@@ -1,0 +1,48 @@
+"""Figure 2 — request size vs. time for the PPM run.
+
+Paper shape: low I/O dominated by 1 KB blocks; essentially no paging
+through the run except a brief 4 KB burst near the end (~230 s); run
+length ~250 s; 4% reads / 96% writes.
+"""
+
+import numpy as np
+
+from repro.core import ExperimentRunner, make_figure
+from repro.core.sizes import class_fractions, dominant_size, RequestClass
+
+from conftest import BENCH_NODES, BENCH_SEED
+
+
+def run_ppm():
+    runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
+    return runner.run_single("ppm")
+
+
+def test_figure2_ppm(benchmark):
+    result = benchmark.pedantic(run_ppm, rounds=1, iterations=1)
+    fig = make_figure(2, result)
+    print()
+    print(fig.render())
+    m = result.metrics
+
+    # Table-1 row: 4% reads (we accept a small band).
+    assert m.read_pct <= 12
+
+    # Low I/O intensity; 1 KB block class dominates.
+    assert m.requests_per_second < 5.0
+    assert dominant_size(result.trace) == 1.0
+    fractions = class_fractions(result.trace)
+    assert fractions[RequestClass.BLOCK] > 0.6
+    assert fractions[RequestClass.CACHE] < 0.02
+
+    # Run length near the paper's ~250 s figure span.
+    assert 150 < m.duration < 350
+
+    # The paging blip: 4 KB reads absent from the middle of the run,
+    # present near the end.
+    reads4 = result.trace.reads()
+    reads4 = reads4.records[reads4.size_kb == 4.0]
+    third = m.duration / 3
+    mid = (reads4["time"] >= third) & (reads4["time"] < 2 * third)
+    assert mid.sum() == 0
+    assert (reads4["time"] >= 2 * third).sum() > 0

@@ -1,0 +1,51 @@
+"""Figure 3 — request size vs. time for the wavelet run.
+
+Paper shape: frequent 4 KB requests (heavy paging) especially early
+("build the working set"), a burst of sizes approaching 16 KB at ~50 s as
+the image streams in, a compute lull with few page requests, heavier
+activity again toward the end; 49% / 51% read/write mix.
+"""
+
+import numpy as np
+
+from repro.core import ExperimentRunner, make_figure
+from repro.core.sizes import class_fractions, RequestClass
+
+from conftest import BENCH_NODES, BENCH_SEED
+
+
+def run_wavelet():
+    runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
+    return runner.run_single("wavelet")
+
+
+def test_figure3_wavelet(benchmark):
+    result = benchmark.pedantic(run_wavelet, rounds=1, iterations=1)
+    fig = make_figure(3, result)
+    print()
+    print(fig.render())
+    m = result.metrics
+    trace = result.trace
+
+    # Table-1 row: 49% reads / 51% writes.
+    assert 40 <= m.read_pct <= 60
+
+    # Heavy 4 KB paging dominates the picture.
+    fractions = class_fractions(trace)
+    assert fractions[RequestClass.PAGE] > 0.5
+
+    # Large reads approach (and reach) the 16 KB cache bound, early in
+    # the run (paper: ~50 s into ~300 s).
+    big_reads = trace.reads()
+    big = big_reads.records[big_reads.size_kb >= 8.0]
+    assert len(big) > 0
+    assert float(big_reads.size_kb.max()) == 16.0
+    assert big["time"].min() < 0.4 * m.duration
+
+    # Lull in the middle: the middle third is quieter than either end.
+    third = m.duration / 3
+    first = len(trace.between(0, third))
+    middle = len(trace.between(third, 2 * third))
+    last = len(trace.between(2 * third, m.duration))
+    assert middle < first
+    assert middle < last

@@ -1,0 +1,43 @@
+"""Figure 4 — request size vs. time for the N-body run.
+
+Paper shape: consistent 1 KB block I/O, more 2 KB requests and a few more
+4 KB page swaps than PPM, but far less total activity than wavelet;
+13% reads / 87% writes.
+"""
+
+from repro.core import ExperimentRunner, make_figure
+from repro.core.sizes import dominant_size, size_histogram
+
+from conftest import BENCH_NODES, BENCH_SEED, run_experiment
+
+
+def run_nbody():
+    runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
+    return runner.run_single("nbody")
+
+
+def test_figure4_nbody(benchmark):
+    result = benchmark.pedantic(run_nbody, rounds=1, iterations=1)
+    fig = make_figure(4, result)
+    print()
+    print(fig.render())
+    m = result.metrics
+    hist = size_histogram(result.trace)
+
+    # Table-1 row: 13% reads / 87% writes (band).
+    assert 5 <= m.read_pct <= 25
+
+    # 1 KB blocks dominate, with visible 2 KB write-back clusters.
+    assert dominant_size(result.trace) == 1.0
+    assert hist.get(2.0, 0) > 0
+
+    # Paging ordering vs. the other applications: PPM < N-body < wavelet.
+    ppm = run_experiment("ppm")
+    wavelet = run_experiment("wavelet")
+    paging = {name: size_histogram(r.trace).get(4.0, 0)
+              for name, r in (("ppm", ppm), ("nbody", result),
+                              ("wavelet", wavelet))}
+    assert paging["ppm"] < paging["nbody"] < paging["wavelet"]
+
+    # Much less total activity than the wavelet run.
+    assert m.requests_per_node < 0.5 * wavelet.metrics.requests_per_node

@@ -1,0 +1,42 @@
+"""Figure 5 — request size vs. time for the combined run.
+
+Paper shape: 1 KB requests persist throughout with many more 4 KB
+requests (greater load); a dramatic rise in request size around the
+wavelet image read; sizes in the 16-32 KB range attributable to the
+increased I/O buffering under multiprogramming; run ~700 s.
+"""
+
+from repro.core import make_figure
+from repro.core.sizes import size_histogram
+
+from conftest import run_experiment
+
+
+def analyse(result):
+    return make_figure(5, result), size_histogram(result.trace)
+
+
+def test_figure5_combined_sizes(benchmark, combined_result):
+    fig, hist = benchmark.pedantic(analyse, args=(combined_result,),
+                                   rounds=3, iterations=1)
+    print()
+    print(fig.render())
+    m = combined_result.metrics
+
+    # 16-32 KB sizes appear only under the combined load.
+    assert max(hist) == 32.0
+    for single in ("ppm", "wavelet", "nbody"):
+        single_hist = size_histogram(run_experiment(single).trace)
+        assert max(single_hist) <= 16.0
+
+    # 1 KB requests are maintained throughout; 4 KB occurrence is high.
+    assert hist.get(1.0, 0) > 100
+    assert hist.get(4.0, 0) > hist.get(1.0, 0)
+
+    # Run length near the paper's ~700 s.
+    assert 450 < m.duration < 1100
+
+    # Combined demand exceeds any single application's.
+    for single in ("ppm", "wavelet", "nbody"):
+        assert m.requests_per_node > \
+            run_experiment(single).metrics.requests_per_node

@@ -1,0 +1,39 @@
+"""Figure 6 — I/O requests (combined): sector vs. time scatter.
+
+Paper shape: much higher request activity than baseline, primarily in
+the lower sector numbers (programs, data, swap), with the request
+clumping in time matching the bursts of Figure 5.
+"""
+
+import numpy as np
+
+from repro.core import make_figure
+
+from conftest import run_experiment
+
+
+def test_figure6_combined_sectors(benchmark, combined_result):
+    fig = benchmark.pedantic(make_figure, args=(6, combined_result),
+                             rounds=3, iterations=1)
+    print()
+    print(fig.render())
+    trace = combined_result.trace
+
+    # Far more activity than the baseline (per unit time).
+    baseline = run_experiment("baseline")
+    combined_rate = combined_result.metrics.requests_per_second
+    baseline_rate = baseline.metrics.requests_per_second
+    assert combined_rate > 5 * baseline_rate
+
+    # Activity concentrated at the lower sector numbers: programs, data,
+    # and swap all live below ~400K on the 1M-sector disk.
+    low = (trace.sector < 400_000).mean()
+    assert low > 0.9
+
+    # Bursts in time: the busiest decile of 10 s windows carries a
+    # disproportionate share of requests (clumping).
+    duration = combined_result.duration
+    bins = np.histogram(trace.time, bins=max(int(duration // 10), 10))[0]
+    bins = np.sort(bins)[::-1]
+    top_decile = bins[:max(1, len(bins) // 10)].sum()
+    assert top_decile > 0.2 * bins.sum()

@@ -1,0 +1,37 @@
+"""Figure 7 — spatial locality of the combined workload.
+
+Paper shape: the percentage of I/O requests per 100K-sector band is
+heavily skewed to the lower bands ("user programs and data, swap file
+space, and kernel file data mainly residing in these locations"), and
+the distribution "almost follows the 80/20 rule".
+"""
+
+from repro.core import make_figure
+from repro.core.locality import spatial_locality
+
+
+def test_figure7_spatial_locality(benchmark, combined_result):
+    spatial = benchmark.pedantic(spatial_locality,
+                                 args=(combined_result.trace,),
+                                 rounds=5, iterations=1)
+    fig = make_figure(7, combined_result)
+    print()
+    print(fig.render())
+
+    # Band fractions form a distribution.
+    assert spatial.band_fraction.sum() == (1.0 or True)
+    assert abs(spatial.band_fraction.sum() - 1.0) < 1e-9
+
+    # ~80/20: the busiest 20% of bands carry the bulk of the traffic.
+    assert spatial.follows_80_20
+    assert spatial.top_20pct_share > 0.75
+    assert spatial.gini > 0.6
+
+    # The busiest band is a low one (below the top half of the disk).
+    busiest_start, busiest_share = spatial.busiest_band()
+    assert busiest_start < 500_000
+    assert busiest_share > 0.3
+
+    # Lower half of the disk dominates overall.
+    low_share = spatial.band_fraction[spatial.band_start < 500_000].sum()
+    assert low_share > 0.9

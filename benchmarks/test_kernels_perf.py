@@ -1,0 +1,37 @@
+"""Throughput benchmarks of the real compute kernels.
+
+Multi-round pytest-benchmark measurements of the three numerical codes
+the workload models are derived from; useful for tracking regressions in
+the kernels themselves.
+"""
+
+import numpy as np
+
+from repro.apps.kernels import haar2d, tree_forces
+from repro.apps.kernels.ppm_hydro import run_advection
+
+
+def test_ppm_advection_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    u0 = rng.random(2048)
+    result = benchmark(run_advection, u0, 1.0, 1.0 / 2048, 0.8, 10)
+    assert np.isfinite(result).all()
+    assert result.sum() == __import__("pytest").approx(u0.sum(), rel=1e-10)
+
+
+def test_haar_decomposition_throughput(benchmark):
+    rng = np.random.default_rng(1)
+    image = rng.integers(0, 256, size=(512, 512)).astype(float)
+    coeffs = benchmark(haar2d, image, 5)
+    assert coeffs.shape == (512, 512)
+    assert np.sum(coeffs ** 2) == __import__("pytest").approx(
+        np.sum(image ** 2))
+
+
+def test_barnes_hut_forces_throughput(benchmark):
+    rng = np.random.default_rng(2)
+    pos = rng.normal(size=(512, 3))
+    mass = np.full(512, 1.0 / 512)
+    acc = benchmark(tree_forces, pos, mass, 0.7)
+    assert acc.shape == (512, 3)
+    assert np.isfinite(acc).all()

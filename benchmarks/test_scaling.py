@@ -1,0 +1,53 @@
+"""Cluster-size scaling: per-disk characteristics are node-count
+invariant.
+
+The paper reports per-disk averages from 16 nodes; the models run one
+task per node with neighbor communication.  This benchmark sweeps the
+cluster size and verifies the per-disk picture the figures show does not
+depend on how many nodes participate (while total volume scales
+linearly), and reports how simulation cost grows.
+"""
+
+import time
+
+from repro.core import ExperimentRunner
+
+from conftest import BENCH_SEED
+
+
+def sweep(node_counts=(1, 2, 4)):
+    rows = []
+    for nnodes in node_counts:
+        t0 = time.time()
+        runner = ExperimentRunner(nnodes=nnodes, seed=BENCH_SEED)
+        result = runner.run_single("wavelet")
+        m = result.metrics
+        rows.append({
+            "nnodes": nnodes,
+            "per_node": m.requests_per_node,
+            "read_pct": m.read_pct,
+            "total": m.total_requests,
+            "wall": time.time() - t0,
+        })
+    return rows
+
+
+def test_per_disk_invariance_across_cluster_sizes(benchmark):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print(f"  {'nodes':>5} {'req/disk':>9} {'reads%':>7} "
+          f"{'total':>8} {'wall s':>7}")
+    for row in rows:
+        print(f"  {row['nnodes']:>5} {row['per_node']:>9.0f} "
+              f"{row['read_pct']:>7} {row['total']:>8} "
+              f"{row['wall']:>7.1f}")
+
+    base = rows[0]
+    for row in rows[1:]:
+        # per-disk request count and mix stay put ...
+        assert abs(row["per_node"] - base["per_node"]) \
+            < 0.25 * base["per_node"]
+        assert abs(row["read_pct"] - base["read_pct"]) <= 5
+        # ... while the total scales with the cluster
+        expected = base["total"] * row["nnodes"]
+        assert abs(row["total"] - expected) < 0.25 * expected

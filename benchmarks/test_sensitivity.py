@@ -1,0 +1,86 @@
+"""Sensitivity sweeps — design-space exploration on the kernel tunables.
+
+The design-tuning use case of the paper's parameter set, run directly on
+the mechanistic substrate: sweep one kernel knob at a time and verify
+the workload responds the way the mechanism predicts.
+
+* read-ahead ceiling bounds the largest observed read;
+* buffer-cache size trades hit ratio against disk reads;
+* bdflush interval shapes write clumping (burstiness).
+"""
+
+import numpy as np
+
+from repro.core import ExperimentRunner
+from repro.core.patterns import arrival_structure
+from repro.core.sizes import size_histogram
+from repro.kernel import NodeParams
+
+from conftest import BENCH_SEED
+
+
+def wavelet_with(params):
+    runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED, node_params=params)
+    return runner.run_single("wavelet")
+
+
+def test_readahead_ceiling_bounds_read_sizes(benchmark):
+    def sweep():
+        out = {}
+        for ceiling in (4, 8, 16, 32):
+            result = wavelet_with(NodeParams(max_readahead_kb=ceiling))
+            reads = result.trace.reads()
+            out[ceiling] = float(reads.size_kb.max())
+        return out
+
+    tops = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("  max read size by read-ahead ceiling:", tops)
+    # one disk request covers at most the syscall span (8 KB chunks can
+    # straddle block boundaries -> 9 blocks) plus one read-ahead window
+    syscall_blocks = 9.0
+    for ceiling, top in tops.items():
+        assert top <= syscall_blocks + ceiling
+    # raising the ceiling monotonically raises the top size
+    ordered = [tops[c] for c in (4, 8, 16, 32)]
+    assert ordered == sorted(ordered)
+    assert tops[32] > tops[8]
+
+
+def test_buffer_cache_size_trades_reads(benchmark):
+    def sweep():
+        out = {}
+        for cache_kb in (256, 1024, 4096):
+            result = wavelet_with(NodeParams(buffer_cache_kb=cache_kb))
+            # block-class reads = misses that reached the disk
+            reads = result.trace.reads()
+            block_reads = int((reads.size_kb < 4.0).sum())
+            out[cache_kb] = block_reads
+        return out
+
+    reads_by_cache = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("  sub-4KB disk reads by cache size:", reads_by_cache)
+    assert reads_by_cache[4096] <= reads_by_cache[256]
+
+
+def test_bdflush_interval_shapes_write_burstiness(benchmark):
+    def sweep():
+        out = {}
+        for interval in (2.0, 30.0):
+            params = NodeParams(bdflush_interval=interval,
+                                bdflush_age=interval)
+            runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED,
+                                      node_params=params,
+                                      baseline_duration=600.0)
+            result = runner.run_baseline()
+            writes = result.trace.writes()
+            # fixed observation window so the IDCs are comparable
+            out[interval] = arrival_structure(writes, window=10.0).idc
+        return out
+
+    idc = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("  write IDC by flush interval:", idc)
+    # longer accumulation -> burstier write-back
+    assert idc[30.0] > idc[2.0]

@@ -1,0 +1,72 @@
+"""Extension — the paper's "next step": a fitted workload parameter set.
+
+Fits the synthesis model on the combined trace, regenerates a trace of
+the same duration, and verifies the regenerated workload preserves the
+characterization results (rate, mix, size classes, spatial profile, hot
+spots).  Then uses the parameter set for the design-tuning purpose the
+paper names: a scheduler comparison by trace replay.
+"""
+
+import numpy as np
+
+from repro.core import TraceDataset, compute_metrics
+from repro.core.locality import spatial_locality, temporal_locality
+from repro.core.sizes import size_histogram
+from repro.synth import fit_workload_model
+from repro.synth.replay import compare_schedulers
+
+
+def fit_and_generate(trace, duration):
+    model = fit_workload_model(trace)
+    synth = model.generate(duration, rng=np.random.default_rng(11))
+    return model, synth
+
+
+def test_synthetic_workload_fidelity(benchmark, combined_result):
+    trace = combined_result.trace
+    duration = combined_result.duration
+    model, synth = benchmark.pedantic(fit_and_generate,
+                                      args=(trace, duration),
+                                      rounds=1, iterations=1)
+    print()
+    print("fitted parameter set:", model.summary())
+
+    real = compute_metrics(trace, duration=duration)
+    fake = compute_metrics(synth, duration=duration)
+    print(f"rate: real {real.requests_per_second:.2f} vs "
+          f"synthetic {fake.requests_per_second:.2f} req/s")
+
+    # Rate, mix and size structure carry over.
+    assert fake.requests_per_second == \
+        __import__("pytest").approx(real.requests_per_second *
+                                    len(trace.nodes()), rel=0.15)
+    assert abs(fake.read_fraction - real.read_fraction) < 0.05
+    real_hist = size_histogram(trace)
+    fake_hist = size_histogram(synth)
+    assert max(fake_hist, key=fake_hist.get) == \
+        max(real_hist, key=real_hist.get)
+
+    # Spatial profile: busiest band identical, concentration preserved.
+    real_sp = spatial_locality(trace)
+    fake_sp = spatial_locality(synth)
+    assert real_sp.busiest_band()[0] == fake_sp.busiest_band()[0]
+    assert abs(real_sp.top_20pct_share - fake_sp.top_20pct_share) < 0.1
+
+    # Hot spots: the synthetic top-5 is a subset of the real top-20.
+    real_hot = {s for s, _ in temporal_locality(trace).hot_spots(20)}
+    fake_hot = [s for s, _ in temporal_locality(synth).hot_spots(5)]
+    assert sum(s in real_hot for s in fake_hot) >= 4
+
+
+def test_parameter_set_drives_design_tuning(benchmark, combined_result):
+    """Replay the synthetic workload to rank queue disciplines."""
+    model = fit_workload_model(combined_result.trace)
+    synth = model.generate(100.0, rng=np.random.default_rng(5))
+    reports = benchmark.pedantic(compare_schedulers, args=(synth,),
+                                 kwargs={"time_scale": 0.1},
+                                 rounds=1, iterations=1)
+    print()
+    for name, report in sorted(reports.items()):
+        print(" ", report)
+    # the elevator should never lose badly to FIFO on this workload
+    assert reports["clook"].mean_latency < 1.5 * reports["fifo"].mean_latency

@@ -1,0 +1,53 @@
+"""Table 1 — the read/write distribution across all five experiments.
+
+Paper values (average per disk):
+
+    baseline   0% /100%   0.9 req/s   1782 total
+    PPM        4% / 96%
+    wavelet   49% / 51%
+    N-body    13% / 87%
+
+Shape targets: ordering of read fractions (baseline < PPM < N-body <<
+wavelet ~ 50%), baseline rate ~0.9/s, totals in-band.
+"""
+
+from repro.core import render_table1
+from repro.core.table import PAPER_TABLE1, table1_rows
+
+from conftest import run_experiment
+
+
+def build_table():
+    results = {name: run_experiment(name)
+               for name in ("baseline", "ppm", "wavelet", "nbody",
+                            "combined")}
+    return results, table1_rows(results)
+
+
+def test_table1(benchmark):
+    results, rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    print()
+    print(render_table1(results))
+    by_name = {m.label: m for m in rows}
+
+    # Read-fraction ordering matches the paper exactly.
+    assert by_name["baseline"].read_fraction <= \
+        by_name["ppm"].read_fraction < \
+        by_name["nbody"].read_fraction < \
+        by_name["wavelet"].read_fraction
+
+    # Per-row bands around the paper's percentages.
+    assert by_name["baseline"].read_pct <= 3            # paper: 0%
+    assert by_name["ppm"].read_pct <= 12                # paper: 4%
+    assert 40 <= by_name["wavelet"].read_pct <= 60      # paper: 49%
+    assert 5 <= by_name["nbody"].read_pct <= 25         # paper: 13%
+
+    # Baseline rate and totals (paper: 0.9 req/s, 1782 over 2000 s).
+    assert 0.5 < by_name["baseline"].requests_per_second < 1.5
+    assert 1000 < by_name["baseline"].requests_per_node < 3000
+
+    # Writes dominate everywhere except wavelet.
+    for name in ("baseline", "ppm", "nbody", "combined"):
+        assert by_name[name].write_fraction > 0.4
+    # every paper row is represented
+    assert set(PAPER_TABLE1) <= set(by_name)

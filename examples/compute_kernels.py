@@ -1,0 +1,84 @@
+"""The real numerical kernels behind the workload models.
+
+Demonstrates that the three applications' compute cores are working
+codes, not placeholders:
+
+* PPM advection of a square wave (sharp-profile preservation);
+* 5-level Haar decomposition of a synthetic satellite scene
+  (energy compaction, exact reconstruction);
+* Barnes-Hut forces vs. the O(N^2) direct sum (accuracy/θ trade-off).
+
+    python examples/compute_kernels.py
+"""
+
+import numpy as np
+
+from repro.apps.kernels import (
+    direct_forces,
+    haar2d,
+    haar2d_inverse,
+    tree_forces,
+)
+from repro.apps.kernels.haar import compression_energy
+from repro.apps.kernels.ppm_hydro import run_advection
+from repro.viz import scatter
+
+
+def ppm_demo():
+    print("== PPM advection ==")
+    n = 256
+    x = np.linspace(0, 1, n, endpoint=False)
+    u0 = ((x > 0.25) & (x < 0.5)).astype(float)
+    u = run_advection(u0, velocity=1.0, dx=1.0 / n, cfl=0.8, nsteps=n)
+    # first-order upwind for comparison
+    ref = u0.copy()
+    for _ in range(int(n / 0.8)):
+        ref = ref - 0.8 * (ref - np.roll(ref, 1))
+    print(f"  mass error: {abs(u.sum() - u0.sum()):.2e}")
+    print(f"  L1 error  : PPM {np.abs(u - np.roll(u0, n)).sum():.3f} vs "
+          f"upwind {np.abs(ref - u0).sum():.3f}")
+    print(scatter(x, u, width=64, height=10,
+                  title="square wave after one transit (PPM)"))
+
+
+def haar_demo():
+    print("\n== Haar wavelet ==")
+    # synthetic 'satellite scene': smooth field + linear trend + noise
+    rng = np.random.default_rng(0)
+    yy, xx = np.mgrid[0:512, 0:512] / 512.0
+    scene = (128 + 60 * np.sin(4 * np.pi * xx) * np.cos(2 * np.pi * yy)
+             + 40 * yy + rng.normal(0, 2.0, (512, 512)))
+    coeffs = haar2d(scene, levels=5)
+    back = haar2d_inverse(coeffs, levels=5)
+    ll_share = compression_energy(coeffs, levels=5)
+    print(f"  512x512 scene, 5 levels: LL band holds "
+          f"{ll_share * 100:.2f}% of the energy")
+    print(f"  reconstruction max error: {np.abs(back - scene).max():.2e}")
+    kept = np.sort(np.abs(coeffs).ravel())[::-1]
+    k = int(0.05 * kept.size)
+    print(f"  top 5% of coefficients hold "
+          f"{(kept[:k] ** 2).sum() / (kept ** 2).sum() * 100:.1f}% "
+          f"of the energy (compression head-room)")
+
+
+def nbody_demo():
+    print("\n== Barnes-Hut N-body ==")
+    rng = np.random.default_rng(1)
+    n = 800
+    pos = rng.normal(size=(n, 3))
+    mass = np.full(n, 1.0 / n)
+    exact = direct_forces(pos, mass)
+    for theta in (0.3, 0.6, 1.0):
+        approx = tree_forces(pos, mass, theta=theta)
+        rel = np.linalg.norm(approx - exact, axis=1) / \
+            (np.linalg.norm(exact, axis=1) + 1e-12)
+        print(f"  theta={theta:.1f}: median force error "
+              f"{np.median(rel) * 100:.2f}%")
+    print("  (the study's code used an oct-tree with 8K bodies/processor "
+          "and 303M total interactions)")
+
+
+if __name__ == "__main__":
+    ppm_demo()
+    haar_demo()
+    nbody_demo()

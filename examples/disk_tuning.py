@@ -1,0 +1,62 @@
+"""System design and tuning with the fitted workload parameter set.
+
+The paper's stated next step: turn the characterization into a parameter
+set for tuning.  This example fits the model on the combined workload,
+generates a synthetic trace, and answers two design questions by replay:
+
+1. which disk queue discipline should the nodes use?
+2. how much would a faster spindle (5400 vs 4500 RPM) buy?
+
+    python examples/disk_tuning.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core import ExperimentRunner
+from repro.disk import DiskServiceModel
+from repro.synth import fit_workload_model, replay_trace
+from repro.synth.replay import compare_schedulers
+
+
+def main():
+    print("running the combined experiment to fit the parameter set ...")
+    runner = ExperimentRunner(nnodes=2, seed=0)
+    combined = runner.run_combined()
+
+    # Fit on one node's trace: the replay target is a single disk.
+    model = fit_workload_model(combined.trace.node(0))
+    print("fitted parameter set:", model.summary())
+
+    synth = model.generate(200.0, rng=np.random.default_rng(1))
+    print(f"generated {len(synth)} synthetic requests over 200 s")
+
+    print("\n1) queue discipline, at 2x load (time compressed):")
+    for name, report in sorted(
+            compare_schedulers(synth, time_scale=0.5).items()):
+        print("  ", report)
+
+    print("\n2) spindle speed (C-LOOK):")
+    for rpm in (3600.0, 4500.0, 5400.0, 7200.0):
+        service = DiskServiceModel(rpm=rpm)
+        report = replay_trace(synth, scheduler="clook", service=service,
+                              time_scale=0.5)
+        print(f"   {rpm:6.0f} RPM: mean {report.mean_latency * 1e3:6.2f} ms, "
+              f"p95 {report.p95_latency * 1e3:6.2f} ms, "
+              f"busy {report.disk_busy_fraction * 100:5.1f}%")
+
+    print("\n3) seek profile (halved seek coefficients):")
+    base = DiskServiceModel()
+    fast_seek = dataclasses.replace(
+        base, seek_settle=base.seek_settle / 2,
+        seek_sqrt_coeff=base.seek_sqrt_coeff / 2,
+        seek_linear_coeff=base.seek_linear_coeff / 2)
+    for label, service in (("stock", base), ("fast-seek", fast_seek)):
+        report = replay_trace(synth, scheduler="clook", service=service,
+                              time_scale=0.5)
+        print(f"   {label:>9}: mean {report.mean_latency * 1e3:6.2f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""The complete study at the paper's scale: 16 nodes, all five
+experiments, full report, Table 1, and the claim scorecard.
+
+This is the closest thing to re-running the 1995 measurement campaign
+end to end.  Expect a couple of minutes of wall time.
+
+    python examples/full_scale_study.py [outdir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.core import ExperimentRunner, full_report, make_figure
+from repro.core.claims import evaluate_claims, render_scorecard
+from repro.core.figures import FIGURE_EXPERIMENT
+
+
+def main(outdir: Path):
+    outdir.mkdir(parents=True, exist_ok=True)
+    runner = ExperimentRunner(nnodes=16, seed=0)
+
+    results = {}
+    for name in ("baseline", "ppm", "wavelet", "nbody", "combined"):
+        t0 = time.time()
+        print(f"running {name} on 16 nodes ...", flush=True)
+        results[name] = runner.run(name)
+        m = results[name].metrics
+        print(f"  {m.total_requests} requests "
+              f"({m.requests_per_node:.0f}/disk), "
+              f"{m.read_pct}%R/{m.write_pct}%W, "
+              f"{m.duration:.0f} s simulated, "
+              f"{time.time() - t0:.1f} s wall")
+
+    report = full_report(results, include_figures=False,
+                         title="NASA ESS I/O characterization - "
+                               "full-scale reproduction (16 nodes)")
+    scorecard = render_scorecard(evaluate_claims(results))
+    print()
+    print(scorecard)
+
+    (outdir / "report.txt").write_text(report + "\n\n" + scorecard + "\n")
+    for number, exp in sorted(FIGURE_EXPERIMENT.items()):
+        fig = make_figure(number, results[exp])
+        fig.to_csv(outdir / f"figure{number}.csv")
+        fig.to_svg(outdir / f"figure{number}.svg")
+        (outdir / f"figure{number}.txt").write_text(fig.render())
+    for name, result in results.items():
+        result.trace.save(outdir / f"trace_{name}.npy")
+    print(f"\nreport, figures, and traces written to {outdir}/")
+
+
+if __name__ == "__main__":
+    main(Path(sys.argv[1]) if len(sys.argv) > 1 else Path("full_scale_out"))

@@ -1,0 +1,79 @@
+"""Offline analysis: characterize a trace file without re-simulating.
+
+The analysis layer is independent of the simulator — point it at any
+trace file in the repro schema (CSV or .npy) and get the full
+characterization.  This script first produces a trace file (so it is
+self-contained), then analyzes it purely from disk, the way you would
+with traces collected elsewhere.
+
+    python examples/offline_trace_analysis.py [trace_file]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import (
+    ExperimentRunner,
+    TraceDataset,
+    compute_metrics,
+    miller_katz_classes,
+    sequentiality,
+    spatial_locality,
+    temporal_locality,
+)
+from repro.core.patterns import arrival_structure, direction_runs
+from repro.core.sizes import class_fractions, size_histogram
+from repro.synth import fit_workload_model
+
+
+def produce_trace(path: Path):
+    print(f"(no trace supplied; producing one at {path})")
+    runner = ExperimentRunner(nnodes=2, seed=0)
+    result = runner.run_single("nbody")
+    result.trace.save(path)
+
+
+def analyze(path: Path):
+    trace = TraceDataset.load(path)
+    print(f"loaded {len(trace)} records from {path} "
+          f"({trace.duration:.0f} s, nodes {list(trace.nodes())})")
+
+    m = compute_metrics(trace)
+    print(f"\nmix     : {m.read_pct}% reads / {m.write_pct}% writes, "
+          f"{m.requests_per_second:.2f} req/s per disk")
+    print(f"sizes   : {size_histogram(trace)}")
+    print("classes : " + ", ".join(
+        f"{cls.value} {frac * 100:.1f}%"
+        for cls, frac in class_fractions(trace).items()))
+
+    sp = spatial_locality(trace)
+    print(f"spatial : busiest band {sp.busiest_band()[0] // 1000}K holds "
+          f"{sp.busiest_band()[1] * 100:.0f}%; gini {sp.gini:.2f}")
+    tl = temporal_locality(trace)
+    print("temporal: hottest sectors "
+          + ", ".join(f"{s:,}" for s, _ in tl.hot_spots(3)))
+
+    seq = sequentiality(trace)
+    arr = arrival_structure(trace)
+    runs = direction_runs(trace)
+    print(f"pattern : {seq.sequential_fraction * 100:.1f}% sequential; "
+          f"IDC {arr.idc:.1f}"
+          + (" (bursty)" if arr.is_bursty else "")
+          + f"; mean write-train {runs.mean_write_run:.1f}")
+    print("M&K     : " + ", ".join(
+        f"{k} {v * 100:.0f}%"
+        for k, v in miller_katz_classes(trace).items()))
+
+    model = fit_workload_model(trace)
+    out = path.with_suffix(".model.json")
+    out.write_text(model.to_json())
+    print(f"\nfitted parameter set -> {out}")
+
+
+if __name__ == "__main__":
+    if len(sys.argv) > 1:
+        target = Path(sys.argv[1])
+    else:
+        target = Path("/tmp/repro_nbody_trace.npy")
+        produce_trace(target)
+    analyze(target)

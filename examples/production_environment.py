@@ -1,0 +1,56 @@
+"""The paper's headline experiment: the emulated production environment.
+
+Runs PPM, wavelet, and N-body simultaneously on every node (the paper's
+combined experiment), regenerates Figures 5-8, prints the locality
+analysis, and exports every series to CSV.
+
+    python examples/production_environment.py [outdir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.core import ExperimentRunner, make_figure
+from repro.core.locality import (
+    reuse_fraction,
+    spatial_locality,
+    temporal_locality,
+)
+from repro.core.sizes import size_histogram
+
+
+def main(outdir: Path):
+    runner = ExperimentRunner(nnodes=2, seed=0)
+    print("running the combined multiprogramming experiment ...")
+    result = runner.run_combined()
+    m = result.metrics
+    print(f"  {m.total_requests} requests over {m.duration:.0f} s "
+          f"({m.requests_per_second:.1f} req/s per disk), "
+          f"{m.read_pct}% reads")
+    print(f"  request sizes: {size_histogram(result.trace)}")
+
+    outdir.mkdir(parents=True, exist_ok=True)
+    for number in (5, 6, 7, 8):
+        fig = make_figure(number, result)
+        print()
+        print(fig.render(width=70, height=14))
+        fig.to_csv(outdir / f"figure{number}.csv")
+
+    spatial = spatial_locality(result.trace)
+    temporal = temporal_locality(result.trace)
+    print()
+    print(f"spatial concentration: top-20% bands carry "
+          f"{spatial.top_20pct_share * 100:.0f}% of requests "
+          f"(gini {spatial.gini:.2f}) — the paper's ~80/20 rule")
+    print(f"temporal reuse: {reuse_fraction(result.trace) * 100:.0f}% of "
+          f"requests revisit a sector")
+    print("hottest sectors (paper: ~45,000 and just under 100,000):")
+    for sector, freq in temporal.hot_spots(5):
+        print(f"  sector {sector:>9,}: {freq:.3f} accesses/s")
+
+    result.trace.save(outdir / "combined_trace.csv")
+    print(f"\nseries + trace exported to {outdir}/")
+
+
+if __name__ == "__main__":
+    main(Path(sys.argv[1]) if len(sys.argv) > 1 else Path("combined_out"))

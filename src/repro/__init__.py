@@ -1,0 +1,28 @@
+"""repro — reproduction of Berry & El-Ghazawi (IPPS 1996).
+
+"An Experimental Study of Input/Output Characteristics of NASA Earth and
+Space Sciences Applications": a driver-level I/O workload characterization
+of the 16-node Beowulf prototype at NASA Goddard, rebuilt end to end as a
+discrete-event simulation.
+
+Subpackages (bottom-up):
+
+* :mod:`repro.sim` — discrete-event engine;
+* :mod:`repro.disk` — disk geometry / mechanics / scheduling / cache;
+* :mod:`repro.driver` — the instrumented IDE driver (the measurement
+  apparatus);
+* :mod:`repro.kernel` — the Linux-like substrate (buffer cache, paging,
+  read-ahead, filesystem, daemons);
+* :mod:`repro.cluster` — Ethernet, PVM, the Beowulf builder, PIOUS;
+* :mod:`repro.apps` — the PPM / wavelet / N-body workload models and
+  their real compute kernels;
+* :mod:`repro.core` — the characterization study itself (experiments,
+  figures, Table 1, locality, claims);
+* :mod:`repro.synth` — the fitted workload parameter set and what-if
+  replay;
+* :mod:`repro.viz` — ASCII / SVG rendering.
+
+Start with ``repro.core.ExperimentRunner`` or ``examples/quickstart.py``.
+"""
+
+__version__ = "1.0.0"

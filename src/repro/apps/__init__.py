@@ -1,0 +1,24 @@
+"""Workload models of the three NASA ESS applications (plus baseline).
+
+Each model is a simulation process that reproduces its application's I/O
+*phase structure* as described in the paper — program demand-load, input
+reads, working-set growth and maintenance paging, periodic statistics
+appends, and final output — while charging compute time derived from the
+real algorithms' operation counts (see :mod:`repro.apps.kernels`).
+"""
+
+from repro.apps.base import AppStats, ESSApplication
+from repro.apps.ppm import PPMApplication, PPMParams
+from repro.apps.wavelet import WaveletApplication, WaveletParams
+from repro.apps.nbody import NBodyApplication, NBodyParams
+
+__all__ = [
+    "AppStats",
+    "ESSApplication",
+    "NBodyApplication",
+    "NBodyParams",
+    "PPMApplication",
+    "PPMParams",
+    "WaveletApplication",
+    "WaveletParams",
+]

@@ -1,0 +1,257 @@
+"""Application framework: phases, memory behaviour, and I/O helpers.
+
+An :class:`ESSApplication` runs on one cluster node (optionally talking to
+its peers over PVM) and expresses its behaviour through a small vocabulary:
+
+* ``install`` — put the program binary (and any input files) on disk;
+  runs *before* tracing starts, as the real codes were installed long
+  before the measurements;
+* ``load_binary`` — demand-page the program image (4 KB reads against the
+  binary's disk blocks, the startup paging the paper observes);
+* ``allocate`` / ``compute`` — anonymous memory regions touched during
+  timesliced compute, driving the VM (zero-fill, then swap traffic once
+  the node's frames are oversubscribed);
+* file reads/writes through the node kernel's syscall layer.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.cluster.beowulf import ClusterNode
+from repro.kernel import NodeKernel
+from repro.kernel.vm import AddressSpace
+
+
+#: sustained double-precision rate assumed for the 486DX4-100 reference
+#: CPU, in Mflop/s.  Calibrated so the derived solo run times land near the
+#: paper's figures (PPM ~230 s, N-body ~240 s).
+REF_MFLOPS = 2.0
+
+
+@dataclass
+class AppStats:
+    """What an application instance did, for tests and reports."""
+
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+    compute_seconds: float = 0.0
+    pages_touched: int = 0
+    messages_sent: int = 0
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+class ESSApplication:
+    """Base class of the workload models."""
+
+    #: application name; used for file paths and address-space labels
+    name = "app"
+    #: size of the program image on disk
+    binary_kb = 256
+
+    def __init__(self, node: Union[ClusterNode, NodeKernel],
+                 seed: int = 0):
+        if isinstance(node, ClusterNode):
+            self.kernel: NodeKernel = node.kernel
+            self.pvm = node.pvm
+            self.node_id = node.node_id
+        else:
+            self.kernel = node
+            self.pvm = None
+            self.node_id = node.node_id
+        # zlib.crc32, not hash(): string hashing is randomized per
+        # process and would make runs irreproducible across invocations
+        name_code = zlib.crc32(self.name.encode())
+        self.rng = np.random.default_rng(
+            np.random.SeedSequence([seed, self.node_id, name_code]))
+        self.stats = AppStats()
+        self.aspace: Optional[AddressSpace] = None
+        self._next_page = 0
+        self._binary_pages = 0
+
+    # -- paths ---------------------------------------------------------------
+    @property
+    def binary_path(self) -> str:
+        return f"/usr/local/bin/{self.name}"
+
+    @property
+    def output_dir(self) -> str:
+        return f"/home/{self.name}"
+
+    # -- lifecycle -----------------------------------------------------------
+    def install(self):
+        """Generator: place the binary (and inputs) on disk.
+
+        Run during experiment setup, before tracing starts.  Subclasses
+        extend this to create their input files.
+        """
+        fs = self.kernel.fs
+        yield from fs.makedirs("/usr/local/bin")
+        yield from fs.makedirs(self.output_dir)
+        if not fs.exists(self.binary_path):
+            inode = yield from fs.create(self.binary_path, zone="binary")
+            yield from fs.truncate_extend(inode, self.binary_kb * 1024)
+
+    def run(self):
+        """Generator: the application process.  Subclasses override."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    # -- memory behaviour ---------------------------------------------------
+    def _setup_address_space(self) -> None:
+        self.aspace = self.kernel.vm.create_space(
+            f"{self.name}@{self.node_id}")
+        self._next_page = 0
+
+    def _teardown_address_space(self) -> None:
+        if self.aspace is not None:
+            self.kernel.vm.destroy_space(self.aspace)
+            self.aspace = None
+
+    def map_binary(self) -> Tuple[int, int]:
+        """Map the program image's pages; returns the (start, npages) region.
+
+        Pages map to the binary file's actual disk blocks, so demand
+        loading reads 4 KB at the right sectors.
+        """
+        fs = self.kernel.fs
+        inode = fs.lookup(self.binary_path)
+        page_kb = self.kernel.params.page_kb
+        blocks_per_page = self.kernel.params.blocks_per_page
+        spb = self.kernel.params.sectors_per_block
+        total_pages = (self.binary_kb + page_kb - 1) // page_kb
+        start = self._next_page
+        for i in range(total_pages):
+            block_index = i * blocks_per_page
+            if block_index < inode.nblocks:
+                sector = inode.blocks[block_index] * spb
+                self.aspace.file_pages[start + i] = (
+                    sector, page_kb * 1024 // 512)
+        self._next_page += total_pages
+        self._binary_pages = total_pages
+        return start, total_pages
+
+    @staticmethod
+    def subregion(region: Tuple[int, int], frac0: float,
+                  frac1: float) -> Tuple[int, int]:
+        """Slice of a page region between fractional bounds."""
+        if not (0 <= frac0 < frac1 <= 1):
+            raise ValueError("need 0 <= frac0 < frac1 <= 1")
+        start, npages = region
+        lo = start + int(npages * frac0)
+        hi = start + max(int(npages * frac1), int(npages * frac0) + 1)
+        return lo, min(hi, start + npages) - lo
+
+    def load_pages(self, region: Tuple[int, int], write: bool = False):
+        """Generator: touch a page region sequentially (demand loading).
+
+        ``write=True`` models initialising data structures: the pages come
+        in dirty, so their later eviction swaps them out.
+        """
+        start, npages = region
+        yield from self.kernel.vm.touch_range(self.aspace, start, npages,
+                                              write=write)
+        self.stats.pages_touched += npages
+
+    def allocate(self, kb: int) -> Tuple[int, int]:
+        """Reserve an anonymous region of ``kb``; returns (start, npages)."""
+        page_kb = self.kernel.params.page_kb
+        npages = max(1, (kb + page_kb - 1) // page_kb)
+        region = (self._next_page, npages)
+        self._next_page += npages
+        return region
+
+    def compute(self, seconds: float, region: Optional[Tuple[int, int]] = None,
+                touches_per_slice: int = 8, dirty_fraction: float = 0.3,
+                slice_seconds: float = 0.25,
+                code_region: Optional[Tuple[int, int]] = None,
+                code_touches: int = 2):
+        """Generator: burn CPU while touching the working set.
+
+        Splits ``seconds`` into slices; after each, touches
+        ``touches_per_slice`` random pages of ``region`` (a fraction
+        written) plus ``code_touches`` random pages of ``code_region``
+        (always clean — instruction fetch).  Touching non-resident pages
+        under memory pressure generates the implicit 4 KB paging traffic;
+        evicted text pages are re-demand-loaded from the program image,
+        which is why paging reads are not bounded by paging writes.
+        """
+        if seconds < 0:
+            raise ValueError("negative compute time")
+        cpu = self.kernel.cpu
+        vm = self.kernel.vm
+        remaining = seconds
+        while remaining > 0:
+            chunk = min(slice_seconds, remaining)
+            yield from cpu.execute(chunk)
+            self.stats.compute_seconds += chunk
+            remaining -= chunk
+            if region is not None and touches_per_slice > 0:
+                start, npages = region
+                pages = self.rng.integers(start, start + npages,
+                                          size=touches_per_slice)
+                dirty = self.rng.random(touches_per_slice) < dirty_fraction
+                for page, write in zip(pages, dirty):
+                    yield from vm.access(self.aspace, int(page),
+                                         write=bool(write))
+                self.stats.pages_touched += touches_per_slice
+            if code_region is not None and code_touches > 0:
+                start, npages = code_region
+                pages = self.rng.integers(start, start + npages,
+                                          size=code_touches)
+                for page in pages:
+                    yield from vm.access(self.aspace, int(page), write=False)
+                self.stats.pages_touched += code_touches
+
+    # -- file I/O helpers ------------------------------------------------
+    def read_file(self, handle, nbytes: int, chunk: int = 8192):
+        """Generator: sequential read in ``chunk``-byte syscalls."""
+        remaining = nbytes
+        while remaining > 0:
+            n = yield from handle.read(min(chunk, remaining))
+            if n == 0:
+                break
+            self.stats.bytes_read += n
+            remaining -= n
+
+    def write_file(self, handle, nbytes: int, chunk: int = 8192):
+        """Generator: sequential write in ``chunk``-byte syscalls."""
+        remaining = nbytes
+        while remaining > 0:
+            n = yield from handle.write(min(chunk, remaining))
+            self.stats.bytes_written += n
+            remaining -= n
+
+    def append_stats(self, handle, nbytes: int):
+        """Generator: append a short statistics record."""
+        n = yield from handle.append(nbytes)
+        self.stats.bytes_written += n
+
+    # -- communication -------------------------------------------------------
+    def exchange_with_neighbors(self, tag: int, nbytes: int, nnodes: int):
+        """Generator: ring boundary exchange (send both ways, recv both)."""
+        if self.pvm is None or nnodes < 2:
+            return
+        left = (self.node_id - 1) % nnodes
+        right = (self.node_id + 1) % nnodes
+        self.pvm.isend(self.node_id, left, tag, nbytes)
+        self.pvm.isend(self.node_id, right, tag, nbytes)
+        self.stats.messages_sent += 2
+        yield from self.pvm.recv(self.node_id, tag)
+        yield from self.pvm.recv(self.node_id, tag)
+
+    def barrier(self, name: str, nnodes: int):
+        """Generator: cluster-wide phase barrier."""
+        if self.pvm is None or nnodes < 2:
+            return
+        yield from self.pvm.barrier(f"{self.name}:{name}", self.node_id,
+                                    nnodes)

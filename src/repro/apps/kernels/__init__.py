@@ -1,0 +1,29 @@
+"""Real miniature compute kernels of the three NASA ESS applications.
+
+These are working numerical codes, not stand-ins: a piecewise parabolic
+method hydrodynamics step (:mod:`.ppm_hydro`), a multi-level 2-D Haar
+wavelet decomposition (:mod:`.haar`), and a Barnes-Hut tree N-body force
+solver (:mod:`.barnes_hut`).  The workload models derive their compute-time
+and memory-touch structure from these algorithms' operation counts, and the
+examples/benchmarks run them directly.
+"""
+
+from repro.apps.kernels.ppm_hydro import PPMState, advect_step, ppm_reconstruct
+from repro.apps.kernels.haar import haar2d, haar2d_inverse, haar_level
+from repro.apps.kernels.barnes_hut import (
+    BarnesHutTree,
+    direct_forces,
+    tree_forces,
+)
+
+__all__ = [
+    "BarnesHutTree",
+    "PPMState",
+    "advect_step",
+    "direct_forces",
+    "haar2d",
+    "haar2d_inverse",
+    "haar_level",
+    "ppm_reconstruct",
+    "tree_forces",
+]

@@ -1,0 +1,138 @@
+"""Command-line driver: run experiments, print figures and Table 1.
+
+Examples::
+
+    repro-experiment baseline --nodes 4 --duration 500
+    repro-experiment combined --figures 5 6 7 8 --csv-dir out/
+    repro-experiment all --table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import ExperimentRunner, EXPERIMENTS, make_figure, render_table1
+from repro.core.figures import FIGURE_EXPERIMENT
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiment",
+        description="Reproduce the I/O characterization experiments of "
+                    "Berry & El-Ghazawi (IPPS 1996) on a simulated "
+                    "Beowulf cluster.")
+    parser.add_argument("experiment",
+                        choices=list(EXPERIMENTS) + ["all"],
+                        help="which experiment to run")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="cluster size (paper: 16; default 4)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root random seed")
+    parser.add_argument("--duration", type=float, default=None,
+                        help="baseline duration in seconds (default 2000)")
+    parser.add_argument("--figures", type=int, nargs="*", default=None,
+                        metavar="N",
+                        help="figure numbers to render (default: all that "
+                             "this experiment supports)")
+    parser.add_argument("--table", action="store_true",
+                        help="print Table 1 for the experiments run")
+    parser.add_argument("--report", action="store_true",
+                        help="print the full characterization report "
+                             "(metrics, classes, locality, patterns)")
+    parser.add_argument("--claims", action="store_true",
+                        help="evaluate the paper-claim scorecard against "
+                             "the experiments run")
+    parser.add_argument("--html", type=Path, metavar="FILE",
+                        help="write a single-file HTML report (Table 1, "
+                             "scorecard, inline SVG figures)")
+    parser.add_argument("--fit-model", type=Path, metavar="FILE",
+                        help="fit the workload parameter set on the (last) "
+                             "experiment's trace and write it as JSON")
+    parser.add_argument("--csv-dir", type=Path, default=None,
+                        help="export figure data and traces as CSV here")
+    parser.add_argument("--width", type=int, default=72,
+                        help="plot width in characters")
+    parser.add_argument("--parallel", action="store_true",
+                        help="with 'all': run the five experiments in "
+                             "separate processes")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    runner = ExperimentRunner(nnodes=args.nodes, seed=args.seed,
+                              baseline_duration=args.duration or 2000.0)
+    names = list(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    results = {}
+    if args.experiment == "all" and args.parallel:
+        print(f"running all experiments in parallel on {args.nodes} "
+              f"nodes ...", file=sys.stderr)
+        results = runner.run_all(parallel=True)
+    else:
+        for name in names:
+            print(f"running {name} on {args.nodes} nodes ...",
+                  file=sys.stderr)
+            results[name] = runner.run(name)
+    for name, result in results.items():
+        m = result.metrics
+        print(f"  {name}: {m.total_requests} requests, "
+              f"{m.read_pct}% reads / {m.write_pct}% writes, "
+              f"{m.requests_per_second:.2f} req/s/node over "
+              f"{m.duration:.0f} s", file=sys.stderr)
+
+    wanted = args.figures
+    if wanted is None:
+        wanted = [n for n, exp in sorted(FIGURE_EXPERIMENT.items())
+                  if exp in results]
+    for number in wanted:
+        exp = FIGURE_EXPERIMENT.get(number)
+        if exp is None:
+            print(f"no Figure {number} in the paper", file=sys.stderr)
+            return 2
+        if exp not in results:
+            print(f"Figure {number} needs the {exp!r} experiment "
+                  f"(not run)", file=sys.stderr)
+            return 2
+        fig = make_figure(number, results[exp])
+        print(fig.render(width=args.width))
+        print()
+        if args.csv_dir:
+            args.csv_dir.mkdir(parents=True, exist_ok=True)
+            fig.to_csv(args.csv_dir / f"figure{number}.csv")
+
+    if args.report:
+        from repro.core import characterize
+        for result in results.values():
+            print(characterize(result))
+            print()
+    if args.html:
+        from repro.core.html_report import build_html_report
+        args.html.write_text(build_html_report(results))
+        print(f"HTML report -> {args.html}", file=sys.stderr)
+    if args.fit_model:
+        from repro.synth import fit_workload_model
+        last = results[names[-1]]
+        model = fit_workload_model(last.trace)
+        args.fit_model.write_text(model.to_json())
+        print(f"parameter set fitted on {last.name!r} "
+              f"({model.source_records} records) -> {args.fit_model}",
+              file=sys.stderr)
+    if args.claims:
+        from repro.core.claims import evaluate_claims, render_scorecard
+        print(render_scorecard(evaluate_claims(results)))
+    if args.table or args.experiment == "all":
+        print(render_table1(results))
+    if args.csv_dir:
+        args.csv_dir.mkdir(parents=True, exist_ok=True)
+        for name, result in results.items():
+            result.trace.save(args.csv_dir / f"trace_{name}.csv")
+        print(f"CSV written to {args.csv_dir}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

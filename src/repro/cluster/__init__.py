@@ -1,0 +1,23 @@
+"""Cluster platform: the 16-node Beowulf prototype.
+
+Nodes (each a full :class:`~repro.kernel.NodeKernel`) are connected by two
+parallel 10 Mb/s Ethernet segments (:mod:`.network`), exchange messages
+through a PVM-like layer (:mod:`.pvm`), and can perform coordinated
+parallel I/O through a PIOUS-like striped file service (:mod:`.pious`).
+"""
+
+from repro.cluster.network import EthernetNetwork
+from repro.cluster.pvm import Message, PVM, Mailbox
+from repro.cluster.beowulf import BeowulfCluster, ClusterNode
+from repro.cluster.pious import PIOUS, PiousFileHandle
+
+__all__ = [
+    "BeowulfCluster",
+    "ClusterNode",
+    "EthernetNetwork",
+    "Mailbox",
+    "Message",
+    "PIOUS",
+    "PiousFileHandle",
+    "PVM",
+]

@@ -1,0 +1,92 @@
+"""The Beowulf cluster: 16 workstation nodes, two Ethernets, PVM.
+
+:class:`BeowulfCluster` assembles the full platform of the study and is the
+entry point experiments use: it builds the nodes, lets application factories
+spawn one task per node, and gathers the per-node driver traces into one
+structured array for analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.cluster.network import EthernetNetwork
+from repro.cluster.pvm import Mailbox, PVM
+from repro.driver import TRACE_DTYPE
+from repro.kernel import NodeKernel, NodeParams
+from repro.sim import Process, RandomStreams, Simulator
+
+
+class ClusterNode:
+    """One workstation: kernel + PVM mailbox."""
+
+    def __init__(self, sim: Simulator, node_id: int, params: NodeParams,
+                 streams: RandomStreams, pvm: PVM,
+                 housekeeping: bool = True,
+                 housekeeping_message_rate: float = 3.0):
+        self.node_id = node_id
+        self.kernel = NodeKernel(
+            sim, params=params, streams=streams.spawn(f"node{node_id}"),
+            node_id=node_id, housekeeping=housekeeping,
+            housekeeping_message_rate=housekeeping_message_rate)
+        self.mailbox: Mailbox = pvm.register(node_id)
+        self.pvm = pvm
+
+    def trace_array(self) -> np.ndarray:
+        return self.kernel.trace_array()
+
+
+class BeowulfCluster:
+    """The 16-node prototype (node count and parameters configurable)."""
+
+    def __init__(self, sim: Simulator, nnodes: int = 16,
+                 params: Optional[NodeParams] = None, seed: int = 0,
+                 housekeeping: bool = True,
+                 housekeeping_message_rate: float = 3.0):
+        if nnodes < 1:
+            raise ValueError("cluster needs at least one node")
+        self.sim = sim
+        self.params = params or NodeParams()
+        streams = RandomStreams(seed=seed)
+        self.network = EthernetNetwork(sim, rng=streams.stream("ethernet"))
+        self.pvm = PVM(sim, self.network)
+        self.nodes: List[ClusterNode] = [
+            ClusterNode(sim, node_id, self.params, streams, self.pvm,
+                        housekeeping=housekeeping,
+                        housekeeping_message_rate=housekeeping_message_rate)
+            for node_id in range(nnodes)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def spawn_on_all(self, factory: Callable[["ClusterNode"], object],
+                     name: str = "app") -> List[Process]:
+        """Start ``factory(node)`` (an app generator) on every node."""
+        return [node.kernel.spawn(factory(node), name=f"{name}:{node.node_id}")
+                for node in self.nodes]
+
+    def spawn_on(self, node_id: int, generator, name: str = "app") -> Process:
+        return self.nodes[node_id].kernel.spawn(generator, name=name)
+
+    def gather_traces(self, sort: bool = True) -> np.ndarray:
+        """Concatenate all nodes' trace records (node ids preserved)."""
+        arrays = [node.trace_array() for node in self.nodes]
+        combined = np.concatenate(arrays) if arrays else \
+            np.zeros(0, dtype=TRACE_DTYPE)
+        if sort and len(combined):
+            combined = combined[np.argsort(combined["time"], kind="stable")]
+        return combined
+
+    def reset_trace_clocks(self) -> None:
+        """Zero every node's trace timestamps and drop records so far."""
+        for node in self.nodes:
+            node.kernel.driver.reset_clock()
+            node.kernel.transport.drain_now()
+            node.kernel.transport.user_buffer.clear()
+
+    def shutdown_daemons(self) -> None:
+        for node in self.nodes:
+            node.kernel.shutdown_daemons()

@@ -1,0 +1,94 @@
+"""Dual-channel Ethernet model.
+
+The Beowulf prototype bonded two parallel 10 Mb/s Ethernet segments.  We
+model each segment as a shared medium (one transmission at a time per
+segment) with fixed per-frame latency, serialization time proportional to
+message size, and a small random inter-frame gap standing in for CSMA/CD
+backoff under contention.  Messages larger than the MTU are fragmented.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sim import Resource, Simulator
+
+#: Ethernet II maximum payload in bytes
+MTU = 1500
+#: per-frame protocol overhead (headers, preamble, CRC) in bytes
+FRAME_OVERHEAD = 26
+
+
+@dataclass
+class NetworkStats:
+    messages: int = 0
+    frames: int = 0
+    bytes_carried: int = 0
+    busy_time: float = 0.0
+
+
+class EthernetNetwork:
+    """Two (by default) parallel shared segments with frame fragmentation."""
+
+    def __init__(self, sim: Simulator, bandwidth_bps: float = 10e6,
+                 latency: float = 0.3e-3, channels: int = 2,
+                 rng: Optional[np.random.Generator] = None):
+        if bandwidth_bps <= 0 or latency < 0:
+            raise ValueError("bad bandwidth/latency")
+        if channels < 1:
+            raise ValueError("need at least one channel")
+        self.sim = sim
+        self.bandwidth_bps = bandwidth_bps
+        self.latency = latency
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._segments = [Resource(sim, capacity=1) for _ in range(channels)]
+        self._next_channel = 0
+        self.stats = NetworkStats()
+
+    @property
+    def channels(self) -> int:
+        return len(self._segments)
+
+    def frame_time(self, payload_bytes: int) -> float:
+        """Serialization time of one frame carrying ``payload_bytes``."""
+        wire_bytes = min(payload_bytes, MTU) + FRAME_OVERHEAD
+        return wire_bytes * 8 / self.bandwidth_bps
+
+    def transfer_time_estimate(self, nbytes: int) -> float:
+        """Uncontended wall time to move ``nbytes`` (for tests/models)."""
+        nframes = max(1, -(-nbytes // MTU))
+        return self.latency + sum(
+            self.frame_time(min(MTU, nbytes - i * MTU) or MTU)
+            for i in range(nframes))
+
+    def transmit(self, nbytes: int):
+        """Move ``nbytes`` across one segment; generator, returns duration.
+
+        Channel choice is round-robin (the prototype's channel bonding);
+        frames of one message stay on their segment.
+        """
+        if nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+        segment = self._segments[self._next_channel]
+        self._next_channel = (self._next_channel + 1) % len(self._segments)
+        start = self.sim.now
+        remaining = nbytes
+        yield self.sim.timeout(self.latency)
+        while remaining > 0:
+            payload = min(remaining, MTU)
+            with segment.request() as req:
+                yield req
+                duration = self.frame_time(payload)
+                # CSMA/CD-style jitter grows with visible contention.
+                if segment.queue_length > 0:
+                    duration += float(self.rng.exponential(duration * 0.2))
+                yield self.sim.timeout(duration)
+                self.stats.frames += 1
+                self.stats.busy_time += duration
+            remaining -= payload
+        self.stats.messages += 1
+        self.stats.bytes_carried += nbytes
+        return self.sim.now - start

@@ -1,0 +1,70 @@
+"""Workload characterization core — the paper's contribution.
+
+Consumes driver traces (:class:`~repro.core.trace.TraceDataset`) and
+produces the paper's analyses:
+
+* request-size classification into the three observed classes — 1 KB block
+  I/O, 4 KB paging, and >= 8 KB cache-bounded streaming (:mod:`.sizes`);
+* spatial locality over sector bands and temporal locality per sector
+  (:mod:`.locality`);
+* the read/write mix and rate table (:mod:`.metrics`, :mod:`.table`);
+* the five experiments — baseline, three single-application runs, and the
+  combined multiprogramming run (:mod:`.experiments`);
+* per-figure data series and text rendering (:mod:`.figures`).
+"""
+
+from repro.core.trace import TraceDataset
+from repro.core.sizes import (
+    RequestClass,
+    classify_sizes,
+    size_histogram,
+    size_time_series,
+)
+from repro.core.locality import (
+    SpatialLocality,
+    TemporalLocality,
+    spatial_locality,
+    temporal_locality,
+)
+from repro.core.metrics import WorkloadMetrics, compute_metrics
+from repro.core.experiments import (
+    ExperimentResult,
+    ExperimentRunner,
+    EXPERIMENTS,
+)
+from repro.core.figures import FigureSeries, make_figure
+from repro.core.patterns import (
+    arrival_structure,
+    direction_runs,
+    miller_katz_classes,
+    sequentiality,
+)
+from repro.core.report import characterize, full_report
+from repro.core.table import table1_rows, render_table1
+
+__all__ = [
+    "EXPERIMENTS",
+    "arrival_structure",
+    "characterize",
+    "direction_runs",
+    "full_report",
+    "miller_katz_classes",
+    "sequentiality",
+    "ExperimentResult",
+    "ExperimentRunner",
+    "FigureSeries",
+    "RequestClass",
+    "SpatialLocality",
+    "TemporalLocality",
+    "TraceDataset",
+    "WorkloadMetrics",
+    "classify_sizes",
+    "compute_metrics",
+    "make_figure",
+    "render_table1",
+    "size_histogram",
+    "size_time_series",
+    "spatial_locality",
+    "temporal_locality",
+    "table1_rows",
+]

@@ -1,0 +1,224 @@
+"""The paper's claims as executable checks — a reproduction scorecard.
+
+Every qualitative statement the paper makes about its measurements is
+encoded here as a :class:`Claim` with a programmatic check over the
+experiment results.  ``evaluate_claims`` runs them all and produces the
+scorecard; the CLI exposes it as ``repro-experiment all --claims``.
+
+This is the contract of the reproduction: if a code change breaks a
+claim, the scorecard (and the corresponding benchmark) says exactly
+which observation no longer holds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.core.experiments import ExperimentResult
+from repro.core.locality import (
+    reuse_fraction,
+    spatial_locality,
+    temporal_locality,
+)
+from repro.core.sizes import dominant_size, size_histogram
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One paper statement and its check."""
+
+    id: str
+    section: str
+    statement: str
+    #: experiments the check needs
+    needs: tuple
+    check: Callable[[Dict[str, ExperimentResult]], tuple]
+
+    def evaluate(self, results: Dict[str, ExperimentResult]):
+        missing = [n for n in self.needs if n not in results]
+        if missing:
+            return ClaimOutcome(self, None, f"needs {missing}")
+        ok, detail = self.check(results)
+        return ClaimOutcome(self, bool(ok), detail)
+
+
+@dataclass(frozen=True)
+class ClaimOutcome:
+    claim: Claim
+    passed: object          # True / False / None (not evaluated)
+    detail: str
+
+    @property
+    def status(self) -> str:
+        if self.passed is None:
+            return "SKIP"
+        return "PASS" if self.passed else "FAIL"
+
+
+def _c(results, name):
+    return results[name]
+
+
+def _baseline_writes(results):
+    m = _c(results, "baseline").metrics
+    return m.read_pct <= 3, f"{m.read_pct}% reads"
+
+
+def _baseline_rate(results):
+    m = _c(results, "baseline").metrics
+    return 0.5 < m.requests_per_second < 1.5, \
+        f"{m.requests_per_second:.2f} req/s (paper 0.9)"
+
+
+def _baseline_1kb(results):
+    d = dominant_size(_c(results, "baseline").trace)
+    return d == 1.0, f"dominant size {d:g} KB"
+
+
+def _baseline_few_sectors(results):
+    trace = _c(results, "baseline").trace
+    reuse = reuse_fraction(trace)
+    return reuse > 0.5, f"{reuse * 100:.0f}% of requests revisit a sector"
+
+
+def _baseline_low_and_high(results):
+    sectors = _c(results, "baseline").trace.sector
+    low = (sectors < 300_000).any()
+    high = (sectors >= 1_000_000).any()
+    return low and high, f"low={low} high={high}"
+
+
+def _ppm_low_reads(results):
+    m = _c(results, "ppm").metrics
+    return m.read_pct <= 12, f"{m.read_pct}% reads (paper 4%)"
+
+
+def _ppm_late_paging(results):
+    result = _c(results, "ppm")
+    reads4 = result.trace.reads()
+    r = reads4.records[reads4.size_kb == 4.0]
+    third = result.metrics.duration / 3
+    mid = ((r["time"] >= third) & (r["time"] < 2 * third)).sum()
+    late = (r["time"] >= 2 * third).sum()
+    return mid == 0 and late > 0, f"mid-run 4KB reads {mid}, late {late}"
+
+
+def _wavelet_balanced(results):
+    m = _c(results, "wavelet").metrics
+    return 40 <= m.read_pct <= 60, f"{m.read_pct}% reads (paper 49%)"
+
+
+def _wavelet_16kb(results):
+    trace = _c(results, "wavelet").trace
+    top = float(trace.reads().size_kb.max()) if len(trace.reads()) else 0.0
+    return top == 16.0, f"largest read {top:g} KB"
+
+
+def _wavelet_paging(results):
+    hist = size_histogram(_c(results, "wavelet").trace)
+    frac = hist.get(4.0, 0) / sum(hist.values())
+    return frac > 0.5, f"4 KB fraction {frac * 100:.0f}%"
+
+
+def _nbody_mix(results):
+    m = _c(results, "nbody").metrics
+    return 5 <= m.read_pct <= 25, f"{m.read_pct}% reads (paper 13%)"
+
+
+def _paging_ordering(results):
+    counts = {name: size_histogram(_c(results, name).trace).get(4.0, 0)
+              for name in ("ppm", "nbody", "wavelet")}
+    ok = counts["ppm"] < counts["nbody"] < counts["wavelet"]
+    return ok, f"4KB counts {counts}"
+
+
+def _combined_32kb(results):
+    top = max(size_histogram(_c(results, "combined").trace))
+    singles = max(max(size_histogram(_c(results, n).trace))
+                  for n in ("ppm", "wavelet", "nbody"))
+    return top == 32.0 and singles <= 16.0, \
+        f"combined max {top:g} KB vs singles max {singles:g} KB"
+
+
+def _combined_duration(results):
+    d = _c(results, "combined").metrics.duration
+    return 450 < d < 1100, f"{d:.0f} s (paper ~700 s)"
+
+
+def _combined_low_sectors(results):
+    trace = _c(results, "combined").trace
+    low = (trace.sector < 400_000).mean()
+    return low > 0.9, f"{low * 100:.0f}% of requests below sector 400K"
+
+
+def _spatial_80_20(results):
+    sp = spatial_locality(_c(results, "combined").trace)
+    return sp.follows_80_20, \
+        f"top-20% bands hold {sp.top_20pct_share * 100:.0f}%"
+
+
+def _temporal_hotspot_log_area(results):
+    tl = temporal_locality(_c(results, "combined").trace)
+    hot = tl.hot_spots(5)
+    in_log = any(40_000 <= s < 56_000 for s, _ in hot)
+    return in_log, f"top-5 hot sectors {[s for s, _ in hot]}"
+
+
+CLAIMS: List[Claim] = [
+    Claim("B1", "4.1", "baseline is essentially 100% writes",
+          ("baseline",), _baseline_writes),
+    Claim("B2", "Table 1", "baseline rate ~0.9 requests/s per disk",
+          ("baseline",), _baseline_rate),
+    Claim("B3", "4.1", "baseline's predominant request size is 1 KB",
+          ("baseline",), _baseline_1kb),
+    Claim("B4", "4.1", "baseline concentrates on few sectors "
+          "(horizontal lines)", ("baseline",), _baseline_few_sectors),
+    Claim("B5", "5", "quiescent writes appear at low and high sector "
+          "numbers (system + instrumentation logging)",
+          ("baseline",), _baseline_low_and_high),
+    Claim("P1", "Table 1", "PPM is read-light (4% in the paper)",
+          ("ppm",), _ppm_low_reads),
+    Claim("P2", "4.2", "PPM pages only briefly toward the end of the run",
+          ("ppm",), _ppm_late_paging),
+    Claim("W1", "Table 1", "wavelet read/write mix is near 50/50",
+          ("wavelet",), _wavelet_balanced),
+    Claim("W2", "4.2", "wavelet reads approach the 16 KB cache size",
+          ("wavelet",), _wavelet_16kb),
+    Claim("W3", "4.2", "wavelet shows a high rate of 4 KB paging",
+          ("wavelet",), _wavelet_paging),
+    Claim("N1", "Table 1", "N-body is write-dominated with modest reads "
+          "(13% in the paper)", ("nbody",), _nbody_mix),
+    Claim("N2", "4.2", "paging ordering: PPM < N-body < wavelet",
+          ("ppm", "nbody", "wavelet"), _paging_ordering),
+    Claim("C1", "4.3", "16-32 KB requests appear only under the combined "
+          "load", ("combined", "ppm", "wavelet", "nbody"), _combined_32kb),
+    Claim("C2", "4.3", "combined run takes ~700 s",
+          ("combined",), _combined_duration),
+    Claim("C3", "4.3", "combined activity concentrates at lower sectors",
+          ("combined",), _combined_low_sectors),
+    Claim("L1", "Figure 7", "spatial locality almost follows the 80/20 "
+          "rule", ("combined",), _spatial_80_20),
+    Claim("L2", "Figure 8", "hottest sectors include the ~45,000 log area",
+          ("combined",), _temporal_hotspot_log_area),
+]
+
+
+def evaluate_claims(results: Dict[str, ExperimentResult]
+                    ) -> List[ClaimOutcome]:
+    """Evaluate every claim against whichever experiments are present."""
+    return [claim.evaluate(results) for claim in CLAIMS]
+
+
+def render_scorecard(outcomes: List[ClaimOutcome]) -> str:
+    lines = ["Reproduction scorecard (paper claims vs. this run)",
+             f"{'id':<4} {'':4} {'claim':<58} detail"]
+    for outcome in outcomes:
+        lines.append(f"{outcome.claim.id:<4} {outcome.status:<4} "
+                     f"{outcome.claim.statement:<58} {outcome.detail}")
+    evaluated = [o for o in outcomes if o.passed is not None]
+    passed = sum(1 for o in evaluated if o.passed)
+    lines.append(f"-- {passed}/{len(evaluated)} claims hold"
+                 + (f" ({len(outcomes) - len(evaluated)} skipped)"
+                    if len(evaluated) < len(outcomes) else ""))
+    return "\n".join(lines)

@@ -1,0 +1,290 @@
+"""The five experiments of the study, as repeatable procedures.
+
+Each experiment builds a fresh simulated Beowulf cluster, installs the
+application binaries and input files (pre-trace, like software installed
+long before the measurements), cold-starts the caches, switches the trace
+clock to zero, excites the system, and returns the gathered traces plus
+per-application statistics.
+
+Experiment protocol (paper section 3.5):
+
+1. ``baseline`` — no user applications, default 2000 s;
+2-4. ``ppm`` / ``wavelet`` / ``nbody`` — one application at a time;
+5. ``combined`` — all three simultaneously (the emulated production
+   environment, ~700 s in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from repro.apps import (
+    AppStats,
+    ESSApplication,
+    NBodyApplication,
+    NBodyParams,
+    PPMApplication,
+    PPMParams,
+    WaveletApplication,
+    WaveletParams,
+)
+from repro.cluster import BeowulfCluster
+from repro.core.metrics import WorkloadMetrics, compute_metrics
+from repro.core.trace import TraceDataset
+from repro.kernel import NodeParams
+from repro.sim import Simulator
+
+#: canonical experiment names, in the paper's order
+EXPERIMENTS = ("baseline", "ppm", "wavelet", "nbody", "combined")
+
+_APP_CLASSES: Dict[str, Type[ESSApplication]] = {
+    "ppm": PPMApplication,
+    "wavelet": WaveletApplication,
+    "nbody": NBodyApplication,
+}
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one experiment produced."""
+
+    name: str
+    trace: TraceDataset
+    duration: float
+    nnodes: int
+    app_stats: Dict[str, List[AppStats]] = field(default_factory=dict)
+
+    @property
+    def metrics(self) -> WorkloadMetrics:
+        return compute_metrics(self.trace, label=self.name,
+                               duration=self.duration)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, directory) -> None:
+        """Persist to ``directory`` (trace as .npy + metadata as JSON)."""
+        import json
+        from pathlib import Path
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        self.trace.save(directory / "trace.npy")
+        meta = {
+            "format": "repro-experiment-v1",
+            "name": self.name,
+            "duration": self.duration,
+            "nnodes": self.nnodes,
+            "app_stats": {
+                app: [{"started_at": s.started_at,
+                       "finished_at": s.finished_at,
+                       "bytes_read": s.bytes_read,
+                       "bytes_written": s.bytes_written,
+                       "compute_seconds": s.compute_seconds,
+                       "pages_touched": s.pages_touched,
+                       "messages_sent": s.messages_sent}
+                      for s in stats_list]
+                for app, stats_list in self.app_stats.items()
+            },
+        }
+        (directory / "experiment.json").write_text(json.dumps(meta, indent=2))
+
+    @classmethod
+    def load(cls, directory) -> "ExperimentResult":
+        import json
+        from pathlib import Path
+        directory = Path(directory)
+        meta = json.loads((directory / "experiment.json").read_text())
+        if meta.get("format") != "repro-experiment-v1":
+            raise ValueError("not a repro experiment directory")
+        app_stats = {
+            app: [AppStats(**fields) for fields in stats_list]
+            for app, stats_list in meta["app_stats"].items()
+        }
+        return cls(name=meta["name"],
+                   trace=TraceDataset.load(directory / "trace.npy"),
+                   duration=float(meta["duration"]),
+                   nnodes=int(meta["nnodes"]),
+                   app_stats=app_stats)
+
+
+def _run_one_experiment(args) -> "ExperimentResult":
+    """Top-level worker for ProcessPoolExecutor (must be picklable)."""
+    (name, nnodes, seed, node_params, housekeeping_message_rate,
+     baseline_duration, hard_limit, flush_grace) = args
+    runner = ExperimentRunner(
+        nnodes=nnodes, seed=seed, node_params=node_params,
+        housekeeping_message_rate=housekeeping_message_rate,
+        baseline_duration=baseline_duration, hard_limit=hard_limit,
+        flush_grace=flush_grace)
+    return runner.run(name)
+
+
+class ExperimentRunner:
+    """Builds clusters and runs the study's experiments on them."""
+
+    def __init__(self, nnodes: int = 4, seed: int = 0,
+                 node_params: Optional[NodeParams] = None,
+                 housekeeping_message_rate: float = 3.0,
+                 baseline_duration: float = 2000.0,
+                 hard_limit: float = 5000.0,
+                 flush_grace: float = 10.0):
+        self.nnodes = nnodes
+        self.seed = seed
+        self.node_params = node_params
+        self.housekeeping_message_rate = housekeeping_message_rate
+        self.baseline_duration = baseline_duration
+        self.hard_limit = hard_limit
+        self.flush_grace = flush_grace
+
+    # -- public API --------------------------------------------------------
+    def run(self, name: str) -> ExperimentResult:
+        """Run one experiment by name."""
+        if name == "baseline":
+            return self.run_baseline()
+        if name == "combined":
+            return self.run_combined()
+        if name == "serial":
+            return self.run_serial()
+        if name in _APP_CLASSES:
+            return self.run_single(name)
+        raise ValueError(f"unknown experiment {name!r}; "
+                         f"choose from {EXPERIMENTS + ('serial',)}")
+
+    def run_all(self, parallel: bool = False,
+                max_workers: Optional[int] = None
+                ) -> Dict[str, ExperimentResult]:
+        """Run the five experiments; ``parallel=True`` uses one process
+        per experiment (they are fully independent simulations)."""
+        if not parallel:
+            return {name: self.run(name) for name in EXPERIMENTS}
+        import concurrent.futures
+        args = [(name, self.nnodes, self.seed, self.node_params,
+                 self.housekeeping_message_rate, self.baseline_duration,
+                 self.hard_limit, self.flush_grace)
+                for name in EXPERIMENTS]
+        with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max_workers or len(EXPERIMENTS)) as pool:
+            results = list(pool.map(_run_one_experiment, args))
+        return dict(zip(EXPERIMENTS, results))
+
+    def run_baseline(self, duration: Optional[float] = None
+                     ) -> ExperimentResult:
+        """Quiescent system: only kernel housekeeping and logging run."""
+        duration = duration or self.baseline_duration
+        sim, cluster = self._build()
+        self._settle(sim, cluster)
+        sim.run(until=sim.now + duration)
+        trace = TraceDataset(cluster.gather_traces()).between(0, duration)
+        return ExperimentResult(name="baseline", trace=trace,
+                                duration=duration, nnodes=self.nnodes)
+
+    def run_single(self, app_name: str) -> ExperimentResult:
+        """One application on every node of the cluster."""
+        return self._run_apps([app_name])
+
+    def run_combined(self) -> ExperimentResult:
+        """All three applications simultaneously on every node."""
+        return self._run_apps(["ppm", "wavelet", "nbody"], name="combined")
+
+    def run_serial(self) -> ExperimentResult:
+        """Extension: the same three applications, one after another.
+
+        A batch-queue counterfactual to the combined experiment: identical
+        work, no multiprogramming.  Comparing the two isolates what
+        concurrency itself does to the I/O (the 32 KB buffer scaling, the
+        cross-application paging pressure).
+        """
+        return self._run_apps(["ppm", "wavelet", "nbody"], name="serial",
+                              serial=True)
+
+    # -- workload assembly ---------------------------------------------------
+    def make_app(self, app_name: str, node) -> ESSApplication:
+        """Instantiate a workload model configured for this cluster."""
+        cls = _APP_CLASSES[app_name]
+        if app_name == "ppm":
+            params = PPMParams(nnodes=self.nnodes)
+        elif app_name == "wavelet":
+            params = WaveletParams(nnodes=self.nnodes)
+        else:
+            params = NBodyParams(nnodes=self.nnodes)
+        return cls(node, seed=self.seed, params=params)
+
+    # -- internals ------------------------------------------------------------
+    def _build(self):
+        sim = Simulator()
+        cluster = BeowulfCluster(
+            sim, nnodes=self.nnodes, seed=self.seed,
+            params=self.node_params,
+            housekeeping_message_rate=self.housekeeping_message_rate)
+        #: the most recent cluster, kept for post-experiment inspection
+        #: (filesystem checks, kernel statistics)
+        self.last_cluster = cluster
+        return sim, cluster
+
+    def _settle(self, sim: Simulator, cluster: BeowulfCluster,
+                setup_procs: Optional[list] = None) -> None:
+        """Run setup, quiesce the caches, and zero the trace clocks."""
+        sim.run(until=sim.now + 5.0)
+        if setup_procs and not all(p.triggered for p in setup_procs):
+            raise RuntimeError("experiment setup did not finish in time")
+        # Write back install-time dirt.  Clean buffers stay cached: the
+        # measured system had been running long before the experiments, so
+        # hot metadata (inode table, directories) lives in the buffer
+        # cache, while application binaries and input data — never read
+        # yet — are cold on disk.
+        for node in cluster.nodes:
+            sim.process(node.kernel.cache.sync(),
+                        name=f"sync:{node.node_id}")
+        sim.run(until=sim.now + 30.0)
+        cluster.reset_trace_clocks()
+
+    def _run_apps(self, app_names: List[str],
+                  name: Optional[str] = None,
+                  serial: bool = False) -> ExperimentResult:
+        sim, cluster = self._build()
+        apps: Dict[str, List[ESSApplication]] = {n: [] for n in app_names}
+        setup_procs = []
+        for node in cluster.nodes:
+            for app_name in app_names:
+                app = self.make_app(app_name, node)
+                apps[app_name].append(app)
+                setup_procs.append(
+                    sim.process(app.install(),
+                                name=f"install:{app_name}:{node.node_id}"))
+        self._settle(sim, cluster, setup_procs)
+
+        t0 = sim.now
+        procs = []
+        if serial:
+            # one chain per node running its applications back to back
+            def chain(node_apps):
+                for app in node_apps:
+                    yield from app.run()
+
+            for node in cluster.nodes:
+                node_apps = [apps[a][node.node_id] for a in app_names]
+                procs.append(node.kernel.spawn(
+                    chain(node_apps), name=f"serial:{node.node_id}"))
+        else:
+            for app_name in app_names:
+                for app in apps[app_name]:
+                    procs.append(app.kernel.spawn(
+                        app.run(), name=f"{app_name}:{app.node_id}"))
+        deadline = t0 + self.hard_limit
+        while not all(p.triggered for p in procs) and sim.peek() <= deadline:
+            sim.step()
+        if not all(p.triggered for p in procs):
+            raise RuntimeError(
+                f"experiment {name or app_names} exceeded the "
+                f"{self.hard_limit}s hard limit")
+        finish = sim.now
+        # Grace period: let the write-back daemons flush the tail.
+        sim.run(until=finish + self.flush_grace)
+        duration = finish - t0 + self.flush_grace
+        trace = TraceDataset(cluster.gather_traces()).between(0, duration)
+        return ExperimentResult(
+            name=name or app_names[0],
+            trace=trace,
+            duration=duration,
+            nnodes=self.nnodes,
+            app_stats={n: [a.stats for a in apps[n]] for n in app_names},
+        )

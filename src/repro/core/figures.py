@@ -1,0 +1,143 @@
+"""Per-figure data series and rendering.
+
+``make_figure(n, result)`` returns the data behind the paper's Figure *n*
+computed from an :class:`~repro.core.experiments.ExperimentResult`, as a
+:class:`FigureSeries` that renders to text (ASCII plot) and exports to CSV.
+
+Figure map (paper section 4):
+
+1. baseline — sector number vs. time;
+2. PPM — request size vs. time;
+3. wavelet — request size vs. time;
+4. N-body — request size vs. time;
+5. combined — request size vs. time;
+6. combined — sector number vs. time;
+7. combined — spatial locality (% of requests per 100K-sector band);
+8. combined — temporal locality (accesses/sec per sector).
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.core.experiments import ExperimentResult
+from repro.core.locality import spatial_locality, temporal_locality
+from repro.core.sizes import size_time_series
+from repro.viz import bar_chart, scatter
+
+#: which experiment each figure is computed from
+FIGURE_EXPERIMENT: Dict[int, str] = {
+    1: "baseline", 2: "ppm", 3: "wavelet", 4: "nbody",
+    5: "combined", 6: "combined", 7: "combined", 8: "combined",
+}
+
+_KIND = {
+    1: ("scatter", "time (s)", "sector"),
+    2: ("scatter", "time (s)", "request size (KB)"),
+    3: ("scatter", "time (s)", "request size (KB)"),
+    4: ("scatter", "time (s)", "request size (KB)"),
+    5: ("scatter", "time (s)", "request size (KB)"),
+    6: ("scatter", "time (s)", "sector"),
+    7: ("bar", "sector band", "% of I/O requests"),
+    8: ("scatter", "sector", "accesses / s"),
+}
+
+_TITLES = {
+    1: "Figure 1. I/O Requests (baseline)",
+    2: "Figure 2. Request Size (PPM)",
+    3: "Figure 3. Request Size (wavelet)",
+    4: "Figure 4. Request Size (N-Body)",
+    5: "Figure 5. Request Size (combined)",
+    6: "Figure 6. I/O Requests (combined)",
+    7: "Figure 7. Spatial Locality (combined)",
+    8: "Figure 8. Temporal Locality (combined)",
+}
+
+
+@dataclass
+class FigureSeries:
+    """One figure's data: x/y arrays plus rendering metadata."""
+
+    number: int
+    title: str
+    kind: str                 # "scatter" | "bar"
+    xlabel: str
+    ylabel: str
+    x: np.ndarray
+    y: np.ndarray
+    labels: list = field(default_factory=list)   # bar charts only
+
+    def render(self, width: int = 72, height: int = 20) -> str:
+        if self.kind == "bar":
+            return bar_chart(self.labels, self.y * 100, title=self.title,
+                             fmt="{:.1f}%")
+        return scatter(self.x, self.y, width=width, height=height,
+                       xlabel=self.xlabel, ylabel=self.ylabel,
+                       title=self.title)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow([self.xlabel, self.ylabel])
+            for xv, yv in zip(self.x, self.y):
+                writer.writerow([xv, yv])
+
+    def to_svg(self, path: Union[str, Path], width: int = 640,
+               height: int = 400) -> None:
+        """Write the figure as a standalone SVG graphic."""
+        from repro.viz import svg_bar_chart, svg_scatter
+        if self.kind == "bar":
+            document = svg_bar_chart(self.labels, self.y * 100,
+                                     width=width, height=height,
+                                     xlabel=self.xlabel,
+                                     ylabel=self.ylabel, title=self.title)
+        else:
+            document = svg_scatter(self.x, self.y, width=width,
+                                   height=height, xlabel=self.xlabel,
+                                   ylabel=self.ylabel, title=self.title)
+        Path(path).write_text(document)
+
+
+def make_figure(number: int, result: ExperimentResult) -> FigureSeries:
+    """Compute Figure ``number`` from an experiment result.
+
+    The result's experiment must match :data:`FIGURE_EXPERIMENT` (e.g.
+    Figure 3 needs the wavelet run).
+    """
+    if number not in FIGURE_EXPERIMENT:
+        raise ValueError(f"no Figure {number}; the paper has Figures 1-8")
+    expected = FIGURE_EXPERIMENT[number]
+    if result.name != expected:
+        raise ValueError(
+            f"Figure {number} is computed from the {expected!r} experiment, "
+            f"got {result.name!r}")
+    kind, xlabel, ylabel = _KIND[number]
+    title = _TITLES[number]
+    trace = result.trace
+
+    if number in (1, 6):
+        x = trace.time.copy()
+        y = trace.sector.astype(np.float64)
+    elif number in (2, 3, 4, 5):
+        x, y = size_time_series(trace)
+    elif number == 7:
+        spatial = spatial_locality(trace)
+        nonzero = spatial.band_fraction > 0
+        labels = [f"{int(s / 1000)}K" for s in spatial.band_start[nonzero]]
+        return FigureSeries(number=number, title=title, kind=kind,
+                            xlabel=xlabel, ylabel=ylabel,
+                            x=spatial.band_start[nonzero].astype(np.float64),
+                            y=spatial.band_fraction[nonzero],
+                            labels=labels)
+    else:  # Figure 8
+        temporal = temporal_locality(trace)
+        x = temporal.sectors.astype(np.float64)
+        y = temporal.frequency
+    return FigureSeries(number=number, title=title, kind=kind,
+                        xlabel=xlabel, ylabel=ylabel, x=x, y=y)

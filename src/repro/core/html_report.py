@@ -1,0 +1,100 @@
+"""Single-file HTML report with inline SVG figures.
+
+Assembles the whole study — Table 1, the claim scorecard, per-experiment
+characterizations, and every figure as an inline SVG — into one
+self-contained HTML document you can open or share.  No external assets,
+no JavaScript, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.claims import evaluate_claims
+from repro.core.experiments import ExperimentResult
+from repro.core.figures import FIGURE_EXPERIMENT, make_figure
+from repro.core.report import characterize
+from repro.core.table import render_table1
+
+_STYLE = """
+body { font-family: Georgia, serif; max-width: 900px; margin: 2em auto;
+       color: #222; line-height: 1.45; padding: 0 1em; }
+h1 { border-bottom: 2px solid #444; padding-bottom: 0.2em; }
+h2 { margin-top: 2em; color: #333; }
+pre { background: #f6f6f4; border: 1px solid #ddd; padding: 0.8em;
+      overflow-x: auto; font-size: 12px; line-height: 1.3; }
+figure { margin: 1.5em 0; text-align: center; }
+figcaption { font-size: 0.9em; color: #555; margin-top: 0.4em; }
+.pass { color: #1a7a1a; font-weight: bold; }
+.fail { color: #b01010; font-weight: bold; }
+.skip { color: #888; }
+"""
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _scorecard_html(results: Dict[str, ExperimentResult]) -> str:
+    rows = []
+    for outcome in evaluate_claims(results):
+        css = outcome.status.lower()
+        rows.append(
+            f"<tr><td>{outcome.claim.id}</td>"
+            f"<td class='{css}'>{outcome.status}</td>"
+            f"<td>{_esc(outcome.claim.statement)}</td>"
+            f"<td>{_esc(outcome.detail)}</td></tr>")
+    return ("<table border='1' cellspacing='0' cellpadding='4'>"
+            "<tr><th>id</th><th>status</th><th>claim</th><th>detail</th>"
+            "</tr>" + "".join(rows) + "</table>")
+
+
+def build_html_report(results: Dict[str, ExperimentResult],
+                      title: str = "NASA ESS I/O characterization "
+                                   "reproduction") -> str:
+    """Return the full report as an HTML document string."""
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>{_esc(title)}</title>",
+        f"<style>{_STYLE}</style></head><body>",
+        f"<h1>{_esc(title)}</h1>",
+        "<p>Reproduction of Berry &amp; El-Ghazawi, "
+        "<em>An Experimental Study of Input/Output Characteristics of "
+        "NASA Earth and Space Sciences Applications</em> (IPPS 1996), "
+        "on a simulated Beowulf cluster.</p>",
+    ]
+    if results:
+        nnodes = next(iter(results.values())).nnodes
+        parts.append(f"<p>Cluster: {nnodes} simulated nodes.</p>")
+
+    parts.append("<h2>Table 1 — I/O request distribution</h2>")
+    parts.append(f"<pre>{_esc(render_table1(results))}</pre>")
+
+    parts.append("<h2>Claim scorecard</h2>")
+    parts.append(_scorecard_html(results))
+
+    parts.append("<h2>Figures</h2>")
+    for number, experiment in sorted(FIGURE_EXPERIMENT.items()):
+        if experiment not in results:
+            continue
+        fig = make_figure(number, results[experiment])
+        from repro.viz import svg_bar_chart, svg_scatter
+        if fig.kind == "bar":
+            svg = svg_bar_chart(fig.labels, fig.y * 100,
+                                xlabel=fig.xlabel, ylabel=fig.ylabel,
+                                title=fig.title)
+        else:
+            svg = svg_scatter(fig.x, fig.y, xlabel=fig.xlabel,
+                              ylabel=fig.ylabel, title=fig.title)
+        parts.append(f"<figure>{svg}<figcaption>{_esc(fig.title)} "
+                     f"(from the {_esc(experiment)} experiment)"
+                     f"</figcaption></figure>")
+
+    parts.append("<h2>Per-experiment characterization</h2>")
+    for result in results.values():
+        parts.append(f"<pre>{_esc(characterize(result))}</pre>")
+
+    parts.append("</body></html>")
+    return "\n".join(parts)

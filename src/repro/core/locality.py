@@ -1,0 +1,141 @@
+"""Spatial and temporal locality analyses (Figures 7 and 8).
+
+Spatial locality: the percentage of requests landing in each band of
+100,000 sectors (the paper's Figure 7 binning), plus concentration
+measures — the paper observes the combined workload "almost follows the
+80/20 rule".
+
+Temporal locality: per-sector access frequency averaged over the
+observation window (Figure 8), inter-access gap statistics, and hot-spot
+extraction — the paper finds the hottest sector near 45,000 and the next
+just under 100,000.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.trace import TraceDataset
+
+#: the paper's spatial band width, in sectors
+BAND_SECTORS = 100_000
+
+
+@dataclass(frozen=True)
+class SpatialLocality:
+    """Band histogram + concentration summary."""
+
+    band_sectors: int
+    band_start: np.ndarray        # first sector of each (non-empty) band
+    band_fraction: np.ndarray     # fraction of all requests per band
+    gini: float
+    top_20pct_share: float        # share of requests in the busiest 20% bands
+
+    @property
+    def follows_80_20(self) -> bool:
+        """Does >= ~80% of the traffic land in <= 20% of the bands?"""
+        return self.top_20pct_share >= 0.7
+
+    def busiest_band(self) -> Tuple[int, float]:
+        i = int(np.argmax(self.band_fraction))
+        return int(self.band_start[i]), float(self.band_fraction[i])
+
+
+def spatial_locality(trace: TraceDataset, band_sectors: int = BAND_SECTORS,
+                     total_sectors: int = 1_024_128) -> SpatialLocality:
+    """Figure 7's analysis: request share per 100K-sector band."""
+    if band_sectors < 1:
+        raise ValueError("band size must be >= 1")
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    nbands = -(-total_sectors // band_sectors)
+    band_of = np.minimum(trace.sector // band_sectors, nbands - 1)
+    counts = np.bincount(band_of.astype(np.int64), minlength=nbands)
+    fraction = counts / counts.sum()
+    starts = np.arange(nbands) * band_sectors
+
+    # Concentration over all bands (including empty ones).
+    sorted_counts = np.sort(counts)[::-1]
+    top_k = max(1, int(np.ceil(0.2 * nbands)))
+    top_share = float(sorted_counts[:top_k].sum() / counts.sum())
+    gini = _gini(counts)
+    return SpatialLocality(band_sectors=band_sectors,
+                           band_start=starts,
+                           band_fraction=fraction,
+                           gini=gini,
+                           top_20pct_share=top_share)
+
+
+def _gini(counts: np.ndarray) -> float:
+    """Gini coefficient of a nonnegative count vector."""
+    counts = np.sort(np.asarray(counts, dtype=np.float64))
+    n = len(counts)
+    total = counts.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    cum = np.cumsum(counts)
+    # standard formula: 1 - 2 * area under the Lorenz curve
+    lorenz_area = (cum.sum() - counts.sum() / 2) / (n * total)
+    return float(1 - 2 * lorenz_area)
+
+
+@dataclass(frozen=True)
+class TemporalLocality:
+    """Per-sector access frequencies over the observation window."""
+
+    window: float
+    sectors: np.ndarray           # distinct sectors, ascending
+    frequency: np.ndarray         # accesses per second per sector
+    mean_interaccess: np.ndarray  # mean gap between accesses (inf if one)
+
+    def hot_spots(self, k: int = 5) -> List[Tuple[int, float]]:
+        """The ``k`` most frequently accessed sectors, hottest first."""
+        order = np.argsort(self.frequency)[::-1][:k]
+        return [(int(self.sectors[i]), float(self.frequency[i]))
+                for i in order]
+
+
+def temporal_locality(trace: TraceDataset,
+                      window: float = 0.0) -> TemporalLocality:
+    """Figure 8's analysis: access frequency per distinct sector.
+
+    ``window`` defaults to the trace duration (the paper averages over
+    the 700 s combined run).
+    """
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    if window <= 0:
+        window = max(trace.duration, 1e-9)
+    sectors, inverse, counts = np.unique(trace.sector, return_inverse=True,
+                                         return_counts=True)
+    frequency = counts / window
+
+    times = trace.time
+    mean_gap = np.full(len(sectors), np.inf)
+    order = np.lexsort((times, inverse))
+    sorted_sector_idx = inverse[order]
+    sorted_times = times[order]
+    # gaps between consecutive accesses to the same sector
+    same = sorted_sector_idx[1:] == sorted_sector_idx[:-1]
+    gaps = sorted_times[1:] - sorted_times[:-1]
+    if same.any():
+        sums = np.zeros(len(sectors))
+        ns = np.zeros(len(sectors))
+        np.add.at(sums, sorted_sector_idx[1:][same], gaps[same])
+        np.add.at(ns, sorted_sector_idx[1:][same], 1)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            computed = sums / ns
+        mean_gap = np.where(ns > 0, computed, np.inf)
+    return TemporalLocality(window=float(window), sectors=sectors,
+                            frequency=frequency, mean_interaccess=mean_gap)
+
+
+def reuse_fraction(trace: TraceDataset) -> float:
+    """Fraction of requests that revisit an already-accessed sector."""
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    _, counts = np.unique(trace.sector, return_counts=True)
+    return float((counts - 1).sum() / counts.sum())

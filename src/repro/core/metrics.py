@@ -1,0 +1,148 @@
+"""Aggregate workload metrics — the measurements behind Table 1."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class WorkloadMetrics:
+    """Table-1-style summary of one experiment's trace."""
+
+    label: str
+    total_requests: int
+    read_fraction: float
+    write_fraction: float
+    requests_per_second: float
+    #: per-disk (per-node) average request count, as the paper reports
+    requests_per_node: float
+    duration: float
+    mean_size_kb: float
+    mean_pending: float
+    #: data moved, KB (all nodes)
+    kb_moved: float = 0.0
+
+    @property
+    def read_pct(self) -> int:
+        return round(self.read_fraction * 100)
+
+    @property
+    def write_pct(self) -> int:
+        return round(self.write_fraction * 100)
+
+    @property
+    def throughput_kb_per_s(self) -> float:
+        """Per-disk average data rate over the observation window."""
+        nodes = max(round(self.total_requests
+                          / max(self.requests_per_node, 1e-12)), 1) \
+            if self.requests_per_node else 1
+        return self.kb_moved / self.duration / nodes if self.duration else 0.0
+
+
+@dataclass(frozen=True)
+class NodeVariance:
+    """Spread of per-node request counts behind a per-disk average.
+
+    The paper reports averages per disk; this quantifies how even the
+    load actually is across the cluster (parallel codes should be
+    near-uniform; stragglers show up as high CV).
+    """
+
+    per_node_requests: dict
+    mean: float
+    std: float
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation of per-node request counts."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def balanced(self) -> bool:
+        return self.cv < 0.25
+
+
+def per_node_variance(trace: TraceDataset) -> NodeVariance:
+    """Per-node request counts and their spread."""
+    counts = {int(n): len(trace.node(int(n))) for n in trace.nodes()}
+    values = np.array(list(counts.values()), dtype=np.float64)
+    if len(values) == 0:
+        return NodeVariance(per_node_requests={}, mean=0.0, std=0.0)
+    return NodeVariance(per_node_requests=counts,
+                        mean=float(values.mean()),
+                        std=float(values.std()))
+
+
+def estimate_service_times(trace: TraceDataset) -> np.ndarray:
+    """Per-request latency estimates from a VERBOSE-level trace.
+
+    At :class:`~repro.driver.TraceLevel.VERBOSE` the driver logs each
+    request twice — at submission and at completion — with identical
+    (sector, size, rw, node).  Pairing consecutive identical records in
+    time order recovers the request latencies, the measurement a
+    timing-focused study would extract.
+    """
+    if len(trace) == 0:
+        return np.zeros(0)
+    order = np.argsort(trace.time, kind="stable")
+    records = trace.records[order]
+    open_requests: dict = {}
+    latencies = []
+    for row in records:
+        key = (int(row["sector"]), int(row["write"]),
+               float(row["size_kb"]), int(row["node"]))
+        started = open_requests.pop(key, None)
+        if started is None:
+            open_requests[key] = float(row["time"])
+        else:
+            latencies.append(float(row["time"]) - started)
+    return np.asarray(latencies)
+
+
+def compute_metrics(trace: TraceDataset, label: str = "",
+                    duration: float = 0.0) -> WorkloadMetrics:
+    """Summarise a trace.  ``duration`` defaults to the trace span."""
+    n = len(trace)
+    if duration <= 0:
+        duration = max(trace.duration, 1e-9)
+    if n == 0:
+        return WorkloadMetrics(label=label, total_requests=0,
+                               read_fraction=0.0, write_fraction=0.0,
+                               requests_per_second=0.0,
+                               requests_per_node=0.0,
+                               duration=duration, mean_size_kb=0.0,
+                               mean_pending=0.0)
+    nreads = int((trace.write == 0).sum())
+    nnodes = max(len(trace.nodes()), 1)
+    return WorkloadMetrics(
+        label=label,
+        total_requests=n,
+        read_fraction=nreads / n,
+        write_fraction=1.0 - nreads / n,
+        requests_per_second=n / duration / nnodes,
+        requests_per_node=n / nnodes,
+        duration=duration,
+        mean_size_kb=float(np.mean(trace.size_kb)),
+        mean_pending=float(np.mean(trace.pending)),
+        kb_moved=float(np.sum(trace.size_kb)),
+    )
+
+
+def class_throughput(trace: TraceDataset, duration: float = 0.0,
+                     page_kb: float = 4.0) -> dict:
+    """KB/s moved per request-size class (block / page / cache)."""
+    from repro.core.sizes import RequestClass, classify_sizes
+    if duration <= 0:
+        duration = max(trace.duration, 1e-9)
+    out = {cls: 0.0 for cls in RequestClass}
+    if len(trace) == 0:
+        return out
+    classes = classify_sizes(trace, page_kb)
+    sizes = trace.size_kb
+    for cls in RequestClass:
+        out[cls] = float(sizes[classes == cls].sum()) / duration
+    return out

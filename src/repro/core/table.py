@@ -1,0 +1,58 @@
+"""Table 1: the read/write distribution across experiments.
+
+The paper's Table 1 reports, per experiment, the percentage of reads and
+writes, requests per second, and the total number of requests (averaged
+per disk over the cluster).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.experiments import EXPERIMENTS, ExperimentResult
+from repro.core.metrics import WorkloadMetrics
+
+#: the paper's published values, for side-by-side reporting.  Blank cells
+#: (lost to the scan) are None.
+PAPER_TABLE1 = {
+    "baseline": {"reads_pct": 0, "writes_pct": 100,
+                 "requests_per_sec": 0.9, "total_requests": 1782},
+    "ppm": {"reads_pct": 4, "writes_pct": 96,
+            "requests_per_sec": None, "total_requests": None},
+    "wavelet": {"reads_pct": 49, "writes_pct": 51,
+                "requests_per_sec": None, "total_requests": None},
+    "nbody": {"reads_pct": 13, "writes_pct": 87,
+              "requests_per_sec": None, "total_requests": None},
+}
+
+
+def table1_rows(results: Dict[str, ExperimentResult]) -> List[WorkloadMetrics]:
+    """Metrics rows in the paper's order, for whichever experiments ran."""
+    rows = []
+    for name in EXPERIMENTS:
+        if name in results:
+            rows.append(results[name].metrics)
+    return rows
+
+
+def render_table1(results: Dict[str, ExperimentResult],
+                  include_paper: bool = True) -> str:
+    """Text rendering of Table 1, optionally with the paper's numbers."""
+    rows = table1_rows(results)
+    lines = ["Table 1. I/O Requests (average per disk)",
+             f"{'Application':<12} {'reads':>6} {'writes':>7} "
+             f"{'req/s':>7} {'total':>8}"]
+    for m in rows:
+        lines.append(f"{m.label:<12} {m.read_pct:>5}% {m.write_pct:>6}% "
+                     f"{m.requests_per_second:>7.2f} "
+                     f"{m.requests_per_node:>8.0f}")
+        paper = PAPER_TABLE1.get(m.label) if include_paper else None
+        if paper:
+            rps = paper["requests_per_sec"]
+            tot = paper["total_requests"]
+            lines.append(
+                f"{'  (paper)':<12} {paper['reads_pct']:>5}% "
+                f"{paper['writes_pct']:>6}% "
+                f"{rps if rps is not None else '--':>7} "
+                f"{tot if tot is not None else '--':>8}")
+    return "\n".join(lines)

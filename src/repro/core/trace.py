@@ -1,0 +1,117 @@
+"""Trace dataset: vectorised access to driver trace records.
+
+Wraps the structured array produced by the instrumentation with the
+filters and persistence the analysis layer needs.  Files round-trip as
+``.npy`` (exact) or ``.csv`` (interoperable).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.driver import TRACE_DTYPE
+
+
+class TraceDataset:
+    """An immutable set of trace records with filtering helpers."""
+
+    def __init__(self, records: np.ndarray):
+        records = np.asarray(records)
+        if records.dtype != TRACE_DTYPE:
+            raise TypeError(f"expected trace dtype, got {records.dtype}")
+        self._records = records
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TraceDataset":
+        return cls(np.zeros(0, dtype=TRACE_DTYPE))
+
+    @classmethod
+    def from_records(cls, rows) -> "TraceDataset":
+        """Build from an iterable of (time, sector, write, pending,
+        size_kb, node) tuples."""
+        arr = np.array(list(rows), dtype=TRACE_DTYPE)
+        return cls(arr)
+
+    # -- basic protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, TraceDataset)
+                and np.array_equal(self._records, other._records))
+
+    @property
+    def records(self) -> np.ndarray:
+        """The underlying structured array (treat as read-only)."""
+        return self._records
+
+    def __getattr__(self, field: str) -> np.ndarray:
+        if field in TRACE_DTYPE.names:
+            return self._records[field]
+        raise AttributeError(field)
+
+    @property
+    def duration(self) -> float:
+        """Span from time 0 to the last record."""
+        return float(self._records["time"].max()) if len(self) else 0.0
+
+    # -- filters ---------------------------------------------------------------
+    def _where(self, mask: np.ndarray) -> "TraceDataset":
+        return TraceDataset(self._records[mask])
+
+    def reads(self) -> "TraceDataset":
+        return self._where(self._records["write"] == 0)
+
+    def writes(self) -> "TraceDataset":
+        return self._where(self._records["write"] == 1)
+
+    def node(self, node_id: int) -> "TraceDataset":
+        return self._where(self._records["node"] == node_id)
+
+    def between(self, t0: float, t1: float) -> "TraceDataset":
+        t = self._records["time"]
+        return self._where((t >= t0) & (t < t1))
+
+    def sector_range(self, lo: int, hi: int) -> "TraceDataset":
+        s = self._records["sector"]
+        return self._where((s >= lo) & (s < hi))
+
+    def nodes(self) -> np.ndarray:
+        return np.unique(self._records["node"])
+
+    def merged_with(self, other: "TraceDataset") -> "TraceDataset":
+        merged = np.concatenate([self._records, other._records])
+        merged = merged[np.argsort(merged["time"], kind="stable")]
+        return TraceDataset(merged)
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if path.suffix == ".csv":
+            with path.open("w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(TRACE_DTYPE.names)
+                for row in self._records:
+                    writer.writerow([row[name] for name in TRACE_DTYPE.names])
+        else:
+            np.save(path, self._records)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "TraceDataset":
+        path = Path(path)
+        if path.suffix == ".csv":
+            rows = []
+            with path.open() as fh:
+                reader = csv.DictReader(fh)
+                for row in reader:
+                    rows.append((float(row["time"]), int(row["sector"]),
+                                 int(row["write"]), int(row["pending"]),
+                                 float(row["size_kb"]), int(row["node"])))
+            return cls.from_records(rows)
+        arr = np.load(path)
+        return cls(arr)

@@ -1,0 +1,35 @@
+"""Disk subsystem: geometry, mechanical service-time model, request
+scheduling, and the disk device itself.
+
+The default parameters model the 500 MB IDE drives of the Beowulf prototype
+nodes (Berry & El-Ghazawi 1996): 512-byte sectors, ~4500 RPM spindles,
+mid-1990s seek profiles, and a single-actuator device served through an
+elevator (C-LOOK) queue.
+"""
+
+from repro.disk.geometry import SECTOR_BYTES, DiskGeometry, ZBRGeometry
+from repro.disk.request import IORequest
+from repro.disk.scheduler import (
+    CLookScheduler,
+    FIFOScheduler,
+    ScanScheduler,
+    SSTFScheduler,
+)
+from repro.disk.service import DiskServiceModel
+from repro.disk.cache import DriveCache
+from repro.disk.device import Disk, DiskStats
+
+__all__ = [
+    "CLookScheduler",
+    "Disk",
+    "DiskGeometry",
+    "DiskServiceModel",
+    "DiskStats",
+    "DriveCache",
+    "FIFOScheduler",
+    "IORequest",
+    "SECTOR_BYTES",
+    "SSTFScheduler",
+    "ScanScheduler",
+    "ZBRGeometry",
+]

@@ -1,0 +1,164 @@
+"""The disk device: a single-actuator server draining a scheduled queue."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.disk.request import IORequest
+from repro.disk.scheduler import CLookScheduler
+from repro.disk.service import DiskServiceModel
+from repro.sim import Event, Simulator
+
+
+@dataclass
+class DiskStats:
+    """Lifetime counters of one disk device."""
+
+    reads: int = 0
+    writes: int = 0
+    sectors_read: int = 0
+    sectors_written: int = 0
+    busy_time: float = 0.0
+    total_latency: float = 0.0
+    max_queue_depth: int = 0
+    media_errors: int = 0
+    _latencies: list = field(default_factory=list, repr=False)
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.requests if self.requests else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self._latencies:
+            return 0.0
+        return float(np.percentile(self._latencies, q))
+
+
+class Disk:
+    """A disk drive as a simulation process.
+
+    ``submit()`` enqueues an :class:`IORequest` and returns an event that
+    fires when the device has finished transferring it.  The internal server
+    process picks requests in scheduler order, advances the actuator, and
+    charges seek + rotation + transfer time per the service model.
+    """
+
+    def __init__(self, sim: Simulator,
+                 service: Optional[DiskServiceModel] = None,
+                 scheduler=None,
+                 rng: Optional[np.random.Generator] = None,
+                 name: str = "hda",
+                 cache=None,
+                 media_error_rate: float = 0.0):
+        self.sim = sim
+        self.service = service or DiskServiceModel()
+        self.scheduler = scheduler if scheduler is not None else CLookScheduler()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = name
+        #: optional on-drive segment cache (see repro.disk.cache)
+        self.cache = cache
+        if not (0.0 <= media_error_rate < 1.0):
+            raise ValueError("media error rate must be in [0, 1)")
+        #: per-request probability of a (soft) media error; the request
+        #: takes full service time and completes with ``failed=True``
+        self.media_error_rate = media_error_rate
+        self.stats = DiskStats()
+        self.head_cylinder = 0
+        self._head_sector = 0
+        self._in_service: Optional[IORequest] = None
+        self._wakeup: Optional[Event] = None
+        sim.process(self._server(), name=f"disk:{name}")
+
+    # -- public interface ------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        """Requests waiting or in service (the trace's *pending* count)."""
+        return len(self.scheduler) + (1 if self._in_service is not None else 0)
+
+    @property
+    def total_sectors(self) -> int:
+        return self.service.geometry.total_sectors
+
+    def submit(self, request: IORequest) -> Event:
+        """Queue ``request``; returns its completion event."""
+        if request.last_sector >= self.total_sectors:
+            raise ValueError(
+                f"request [{request.sector}, {request.last_sector}] "
+                f"beyond end of {self.name} ({self.total_sectors} sectors)")
+        request.submit_time = self.sim.now
+        request.done = self.sim.event()
+        self.scheduler.add(request)
+        self.stats.max_queue_depth = max(self.stats.max_queue_depth,
+                                         self.queue_depth)
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return request.done
+
+    # -- server process ----------------------------------------------------
+    def _server(self):
+        sim = self.sim
+        while True:
+            request = self.scheduler.next(self._head_sector)
+            if request is None:
+                self._wakeup = sim.event()
+                yield self._wakeup
+                self._wakeup = None
+                continue
+            self._in_service = request
+            duration = self._service_duration(request)
+            yield sim.timeout(duration)
+            self.head_cylinder = self.service.geometry.cylinder_of(
+                request.last_sector)
+            self._head_sector = request.last_sector
+            request.complete_time = sim.now
+            if (self.media_error_rate > 0.0
+                    and float(self.rng.random()) < self.media_error_rate):
+                request.failed = True
+                self.stats.media_errors += 1
+            self._account(request, duration)
+            self._in_service = None
+            request.done.succeed(request)
+
+    def _service_duration(self, request: IORequest) -> float:
+        """Mechanical service time, or electronic time on a drive-cache hit.
+
+        Reads fully contained in the on-drive cache skip seek and
+        rotation; misses fill a segment with look-ahead.  Writes are
+        write-through and invalidate overlapping segments.
+        """
+        if self.cache is None:
+            return self.service.service_time(request, self.head_cylinder,
+                                             self.rng)
+        if request.is_write:
+            self.cache.invalidate(request.sector, request.nsectors)
+            return self.service.service_time(request, self.head_cylinder,
+                                             self.rng)
+        if self.cache.lookup(request.sector, request.nsectors):
+            return (self.service.controller_overhead
+                    + self.service.transfer_time(request.nsectors))
+        duration = self.service.service_time(request, self.head_cylinder,
+                                             self.rng)
+        self.cache.fill_after_read(request.sector, request.nsectors,
+                                   disk_sectors=self.total_sectors)
+        # the look-ahead rides the same rotation; charge half a revolution
+        duration += 0.5 * self.service.rotation_time
+        return duration
+
+    def _account(self, request: IORequest, duration: float) -> None:
+        stats = self.stats
+        if request.is_write:
+            stats.writes += 1
+            stats.sectors_written += request.nsectors
+        else:
+            stats.reads += 1
+            stats.sectors_read += request.nsectors
+        stats.busy_time += duration
+        stats.total_latency += request.latency
+        stats._latencies.append(request.latency)

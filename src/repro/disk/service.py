@@ -1,0 +1,103 @@
+"""Mechanical service-time model for a mid-1990s IDE drive.
+
+Service time = seek + rotational latency + media transfer + fixed controller
+overhead.  The seek curve is the standard piecewise model: a short-seek
+square-root region blending into a linear long-seek region, calibrated so
+that the average random seek matches the nominal figure (~14 ms for the
+drives in the Beowulf nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.disk.geometry import DiskGeometry
+from repro.disk.request import IORequest
+
+
+@dataclass(frozen=True)
+class DiskServiceModel:
+    """Timing parameters (seconds) of the drive mechanics.
+
+    Defaults approximate a 500 MB consumer IDE drive ca. 1994-95:
+    4500 RPM spindle, ~14 ms average seek, ~1 ms controller overhead.
+    """
+
+    geometry: DiskGeometry = DiskGeometry()
+    rpm: float = 4500.0
+    #: head settle time even for a 1-cylinder seek
+    seek_settle: float = 0.003
+    #: coefficient of the sqrt(distance) short-seek term
+    seek_sqrt_coeff: float = 0.0005
+    #: coefficient of the linear long-seek term
+    seek_linear_coeff: float = 0.00002
+    #: fixed per-request controller/command overhead
+    controller_overhead: float = 0.001
+
+    @property
+    def rotation_time(self) -> float:
+        """Seconds per revolution."""
+        return 60.0 / self.rpm
+
+    @property
+    def track_transfer_rate(self) -> float:
+        """Bytes per second off the media."""
+        track_bytes = self.geometry.sectors_per_track * 512
+        return track_bytes / self.rotation_time
+
+    def seek_time(self, from_cyl: int, to_cyl: int) -> float:
+        """Seek duration between two cylinders (0 when already there)."""
+        distance = abs(to_cyl - from_cyl)
+        if distance == 0:
+            return 0.0
+        return (self.seek_settle
+                + self.seek_sqrt_coeff * np.sqrt(distance)
+                + self.seek_linear_coeff * distance)
+
+    def rotational_latency(self, rng: np.random.Generator) -> float:
+        """Uniform 0..1 revolution wait for the target sector."""
+        return float(rng.random()) * self.rotation_time
+
+    def transfer_time(self, nsectors: int) -> float:
+        """Media transfer duration for ``nsectors`` contiguous sectors."""
+        if nsectors < 1:
+            raise ValueError("nsectors must be >= 1")
+        return nsectors * 512 / self.track_transfer_rate
+
+    def transfer_time_at(self, nsectors: int, cylinder: int) -> float:
+        """Transfer duration at a specific cylinder.
+
+        With zoned-bit-recording geometry outer cylinders move more
+        sectors per revolution, so data rate varies with position; plain
+        geometry reduces to :meth:`transfer_time`.
+        """
+        if nsectors < 1:
+            raise ValueError("nsectors must be >= 1")
+        spt = self.geometry.sectors_per_track_at(cylinder)
+        rate = spt * 512 / self.rotation_time
+        return nsectors * 512 / rate
+
+    def service_time(self, request: IORequest, head_cylinder: int,
+                     rng: np.random.Generator) -> float:
+        """Total time for the device to service ``request``.
+
+        ``head_cylinder`` is where the actuator currently sits; callers
+        track it across requests so that elevator scheduling actually
+        shortens seeks.
+        """
+        target = self.geometry.cylinder_of(request.sector)
+        return (self.controller_overhead
+                + self.seek_time(head_cylinder, target)
+                + self.rotational_latency(rng)
+                + self.transfer_time_at(request.nsectors, target))
+
+    def average_random_seek(self) -> float:
+        """Expected seek over uniformly random cylinder pairs (sanity aid)."""
+        # E|X-Y| for X,Y uniform on [0, C) is C/3.
+        c = self.geometry.cylinders
+        mean_distance = c / 3.0
+        return (self.seek_settle
+                + self.seek_sqrt_coeff * np.sqrt(mean_distance)
+                + self.seek_linear_coeff * mean_distance)

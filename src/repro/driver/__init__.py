@@ -1,0 +1,28 @@
+"""Instrumented block device driver.
+
+Reproduces the paper's measurement apparatus: the IDE driver's read and
+write handlers are instrumented so that every physical request generates a
+trace entry *(timestamp, sector, read/write flag, pending-request count)*;
+entries are buffered through a simulated ``/proc`` kernel message facility
+and the instrumentation level is switched with an ``ioctl``.
+"""
+
+from repro.driver.trace import TRACE_DTYPE, TraceBuffer, TraceRecord
+from repro.driver.procfs import ProcTraceTransport
+from repro.driver.ide import (
+    HDIO_GET_TRACE,
+    HDIO_SET_TRACE,
+    InstrumentedIDEDriver,
+    TraceLevel,
+)
+
+__all__ = [
+    "HDIO_GET_TRACE",
+    "HDIO_SET_TRACE",
+    "InstrumentedIDEDriver",
+    "ProcTraceTransport",
+    "TRACE_DTYPE",
+    "TraceBuffer",
+    "TraceLevel",
+    "TraceRecord",
+]

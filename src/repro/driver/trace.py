@@ -1,0 +1,84 @@
+"""Trace record schema and an append-optimised buffer.
+
+One record per physical disk request, matching the paper's driver
+instrumentation: timestamp, sector number, read/write flag, and the count of
+pending requests.  We additionally carry the request size (the paper's
+figures plot request sizes, derived from the sector count) and the node id
+(the paper aggregates per-node traces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+#: numpy schema shared by the driver, trace files, and the analysis layer.
+TRACE_DTYPE = np.dtype([
+    ("time", "f8"),      # seconds since experiment start
+    ("sector", "u8"),    # first sector of the request
+    ("write", "u1"),     # 1 = write, 0 = read
+    ("pending", "u2"),   # requests still queued at the device
+    ("size_kb", "f4"),   # request size in KB
+    ("node", "u2"),      # cluster node the disk belongs to
+])
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One instrumentation entry, in object form (handy for tests/streams)."""
+
+    time: float
+    sector: int
+    write: bool
+    pending: int
+    size_kb: float
+    node: int = 0
+
+    def as_tuple(self) -> tuple:
+        return (self.time, self.sector, int(self.write), self.pending,
+                self.size_kb, self.node)
+
+
+class TraceBuffer:
+    """Growable, numpy-backed store of trace records.
+
+    Appends are O(1) amortised (doubling array); :meth:`to_array` yields a
+    structured array view of exactly the written records for vectorised
+    analysis.
+    """
+
+    def __init__(self, initial_capacity: int = 1024):
+        if initial_capacity < 1:
+            raise ValueError("initial capacity must be >= 1")
+        self._data = np.zeros(initial_capacity, dtype=TRACE_DTYPE)
+        self._len = 0
+
+    def __len__(self) -> int:
+        return self._len
+
+    def append(self, record: TraceRecord) -> None:
+        if self._len == len(self._data):
+            grown = np.zeros(len(self._data) * 2, dtype=TRACE_DTYPE)
+            grown[:self._len] = self._data
+            self._data = grown
+        self._data[self._len] = record.as_tuple()
+        self._len += 1
+
+    def extend(self, records) -> None:
+        for record in records:
+            self.append(record)
+
+    def to_array(self) -> np.ndarray:
+        """Structured array of the records written so far (a copy)."""
+        return self._data[:self._len].copy()
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        for row in self._data[:self._len]:
+            yield TraceRecord(float(row["time"]), int(row["sector"]),
+                              bool(row["write"]), int(row["pending"]),
+                              float(row["size_kb"]), int(row["node"]))
+
+    def clear(self) -> None:
+        self._len = 0

@@ -1,0 +1,170 @@
+"""Kernel logging and housekeeping daemons — the baseline workload.
+
+The paper's quiescent baseline is ~0.9 requests/s, essentially 100 % writes,
+concentrated on a few sectors at low *and* high disk addresses, and 1 KB in
+size.  Those writes come from exactly the machinery modelled here:
+
+* :class:`SysLogger` — syslogd/klogd appending to ``/var/log/messages``
+  (low-sector ``log`` zone) and to the instrumentation output file
+  (high-sector ``highlog`` zone, fed by the /proc trace drain);
+* :class:`UpdateDaemon` — the classic ``update`` process syncing the
+  superblock and aged buffers every 30 s;
+* :class:`HousekeepingLoad` — periodic kernel chatter: heartbeat log
+  entries and table lookups that are nearly always buffer-cache hits
+  (hence no reads reach the disk).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.kernel.fs import FileSystem
+from repro.kernel.syscalls import FileHandle
+from repro.sim import Simulator
+
+
+class SysLogger:
+    """Buffered append-only logger over one file."""
+
+    def __init__(self, sim: Simulator, fs: FileSystem, path: str,
+                 zone: str = "log", flush_interval: float = 5.0):
+        self.sim = sim
+        self.fs = fs
+        self.path = path
+        self.zone = zone
+        self.flush_interval = flush_interval
+        self._pending_bytes = 0
+        self.bytes_logged = 0
+        self._handle: Optional[FileHandle] = None
+        self._running = True
+        sim.process(self._setup_and_flush(), name=f"syslog:{path}")
+
+    def log(self, nbytes: int) -> None:
+        """Queue ``nbytes`` of log text (buffered, non-blocking)."""
+        if nbytes < 1:
+            raise ValueError("log payload must be >= 1 byte")
+        self._pending_bytes += nbytes
+        self.bytes_logged += nbytes
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _setup_and_flush(self):
+        if not self.fs.exists(self.path):
+            parent = self.path.rsplit("/", 1)[0]
+            if parent:
+                yield from self.fs.makedirs(parent)
+            inode = yield from self.fs.create(self.path, zone=self.zone)
+        else:
+            inode = self.fs.lookup(self.path)
+        self._handle = FileHandle(self.fs, inode)
+        while self._running:
+            yield self.sim.timeout(self.flush_interval)
+            if self._pending_bytes:
+                n, self._pending_bytes = self._pending_bytes, 0
+                yield from self._handle.append(n)
+
+
+class UpdateDaemon:
+    """The `update` process: periodic metadata + aged-buffer sync."""
+
+    def __init__(self, sim: Simulator, fs: FileSystem,
+                 interval: float = 30.0, buffer_age: float = 30.0):
+        self.sim = sim
+        self.fs = fs
+        self.interval = interval
+        self.buffer_age = buffer_age
+        self.syncs = 0
+        self._running = True
+        sim.process(self._loop(), name="update")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _loop(self):
+        while self._running:
+            yield self.sim.timeout(self.interval)
+            yield from self.fs.sync_metadata()
+            yield from self.fs.cache.flush_aged(self.buffer_age)
+            self.syncs += 1
+
+
+class HousekeepingLoad:
+    """Background kernel/daemon chatter generating the quiescent trace.
+
+    Log entries arrive as a Poisson process with exponential sizes; table
+    lookups re-read a small set of metadata blocks (cache-resident, so they
+    produce negligible read traffic, matching the baseline's ~100 % writes).
+    """
+
+    def __init__(self, sim: Simulator, fs: FileSystem, logger,
+                 rng: np.random.Generator,
+                 message_rate: float = 1.0,
+                 mean_message_bytes: float = 120.0,
+                 lookup_interval: float = 7.0,
+                 lookup_blocks: int = 4):
+        if message_rate <= 0:
+            raise ValueError("message rate must be positive")
+        self.sim = sim
+        self.fs = fs
+        # one logger or several (messages spread across daemons' files)
+        self.loggers = list(logger) if isinstance(logger, (list, tuple)) \
+            else [logger]
+        self.logger = self.loggers[0]
+        self.rng = rng
+        self.message_rate = message_rate
+        self.mean_message_bytes = mean_message_bytes
+        self.lookup_interval = lookup_interval
+        self.lookup_blocks = lookup_blocks
+        #: seconds between in-place utmp/state-file rewrites (0 disables)
+        self.state_rewrite_interval = 4.0
+        self.messages = 0
+        self.lookups = 0
+        self.state_rewrites = 0
+        self._running = True
+        sim.process(self._chatter(), name="klog-chatter")
+        sim.process(self._table_lookups(), name="klog-lookups")
+        sim.process(self._state_rewrites(), name="klog-utmp")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _chatter(self):
+        while self._running:
+            gap = self.rng.exponential(1.0 / self.message_rate)
+            yield self.sim.timeout(float(gap))
+            size = max(16, int(self.rng.exponential(self.mean_message_bytes)))
+            target = self.loggers[int(self.rng.integers(len(self.loggers)))]
+            target.log(size)
+            self.messages += 1
+
+    def _state_rewrites(self):
+        # utmp-style state files: a fixed slot rewritten in place, so the
+        # disk sees the *same* 1 KB block over and over -- the horizontal
+        # lines of the paper's Figure 1.
+        from repro.kernel.syscalls import FileHandle
+        if self.state_rewrite_interval <= 0:
+            return
+        path = "/var/run/utmp"
+        if not self.fs.exists(path):
+            parent = path.rsplit("/", 1)[0]
+            yield from self.fs.makedirs(parent)
+            inode = yield from self.fs.create(path, zone="log")
+        else:
+            inode = self.fs.lookup(path)
+        handle = FileHandle(self.fs, inode)
+        while self._running:
+            yield self.sim.timeout(self.state_rewrite_interval)
+            handle.seek(0)
+            yield from handle.write(256)
+            self.state_rewrites += 1
+
+    def _table_lookups(self):
+        # Re-reads the first inode-table blocks; hot, so almost always hits.
+        first = self.fs._inode_table_first
+        while self._running:
+            yield self.sim.timeout(self.lookup_interval)
+            yield from self.fs.cache.read_range(first, self.lookup_blocks)
+            self.lookups += 1

@@ -1,0 +1,108 @@
+"""File syscall layer: open/read/write/seek over the FS + buffer cache.
+
+Reads consult per-file read-ahead state so sequential streams fetch growing
+multi-block spans; writes are delayed (dirty buffers) and update the inode,
+so the disk sees them later from the write-back daemon.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.fs import FileSystem, FsError, Inode
+from repro.kernel.readahead import ReadAheadState
+
+
+class FileHandle:
+    """An open file descriptor."""
+
+    def __init__(self, fs: FileSystem, inode: Inode,
+                 readahead: Optional[ReadAheadState] = None):
+        self.fs = fs
+        self.inode = inode
+        self.readahead = readahead
+        self.pos = 0
+        self.closed = False
+
+    # -- positioning --------------------------------------------------------
+    def seek(self, pos: int) -> None:
+        if pos < 0:
+            raise ValueError("negative seek position")
+        self.pos = pos
+
+    @property
+    def size(self) -> int:
+        return self.inode.size_bytes
+
+    # -- reading --------------------------------------------------------------
+    def read(self, nbytes: int):
+        """Read ``nbytes`` at the current position.
+
+        Generator; returns the number of bytes actually read (clipped at
+        EOF).  Misses go to disk via the buffer cache, in spans chosen by
+        the read-ahead window.
+        """
+        self._check_open()
+        if nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+        if self.pos >= self.inode.size_bytes:
+            return 0
+        nbytes = min(nbytes, self.inode.size_bytes - self.pos)
+        block_bytes = self.fs.block_kb * 1024
+        first = self.pos // block_bytes
+        last = (self.pos + nbytes - 1) // block_bytes
+        count = last - first + 1
+        if self.readahead is not None:
+            first, count = self.readahead.plan(first, count, self.inode.nblocks)
+            count = max(count, last - first + 1)
+        runs = yield from self.fs.map_blocks(self.inode, first, count)
+        for abs_block, run_len in runs:
+            yield from self.fs.cache.read_range(abs_block, run_len)
+        if self.fs.atime_updates:
+            yield from self.fs._dirty_inode(self.inode)
+        self.pos += nbytes
+        return nbytes
+
+    # -- writing --------------------------------------------------------------
+    def write(self, nbytes: int):
+        """Write ``nbytes`` at the current position (delayed to disk).
+
+        Generator; extends the file if writing past EOF, dirties the data
+        blocks and the inode, and returns the byte count.
+        """
+        self._check_open()
+        if nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+        end = self.pos + nbytes
+        if end > self.inode.size_bytes:
+            yield from self.fs.truncate_extend(self.inode, end)
+        block_bytes = self.fs.block_kb * 1024
+        first = self.pos // block_bytes
+        last = (end - 1) // block_bytes
+        runs = yield from self.fs.map_blocks(self.inode, first,
+                                             last - first + 1)
+        for abs_block, run_len in runs:
+            yield from self.fs.cache.write_range(abs_block, run_len)
+        yield from self.fs._dirty_inode(self.inode)
+        self.pos = end
+        return nbytes
+
+    def append(self, nbytes: int):
+        """Write at EOF (the logging pattern)."""
+        self.seek(self.inode.size_bytes)
+        written = yield from self.write(nbytes)
+        return written
+
+    # -- lifecycle ------------------------------------------------------------
+    def close(self) -> None:
+        self.closed = True
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise FsError("I/O on closed file")
+
+    def __enter__(self) -> "FileHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

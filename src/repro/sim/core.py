@@ -1,0 +1,278 @@
+"""Simulator, events, and generator-based processes.
+
+The engine is a classic event-heap design: :class:`Simulator` owns a binary
+heap of ``(time, priority, seq, event)`` tuples and pops them in order.  An
+:class:`Event` carries callbacks; a :class:`Process` wraps a generator and is
+itself an event that fires when the generator returns, so processes compose
+(one process can ``yield`` another and sleep until it finishes).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+# Event priorities: URGENT events scheduled at the same instant run before
+# NORMAL ones.  The engine uses URGENT internally for process resumption so
+# that a process observes the state change that woke it before anything else
+# scheduled at that time runs.
+URGENT = 0
+NORMAL = 1
+
+
+class SimulationError(RuntimeError):
+    """Raised for engine misuse (re-triggering events, bad yields, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    The interrupted process receives this exception at its current yield
+    point; ``cause`` carries whatever object the interrupter supplied.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A thing that may happen at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once given a value (or an
+    exception) and scheduled, and is *processed* after its callbacks ran.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_scheduled", "processed")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self.processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._ok is not None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._ok is None:
+            raise SimulationError("event not yet triggered")
+        return self._value
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Trigger the event successfully, firing callbacks after ``delay``."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(delay, NORMAL, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Trigger the event with an exception to be raised in waiters."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(delay, NORMAL, self)
+        return self
+
+    def _fire(self) -> None:
+        callbacks, self.callbacks = self.callbacks, None
+        for cb in callbacks:
+            cb(self)
+        self.processed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now:.6g}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay from its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._enqueue(delay, NORMAL, self)
+
+
+class Initialize(Event):
+    """Internal event used to start a process at its spawn time."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process"):
+        super().__init__(sim)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        sim._enqueue(0.0, URGENT, self)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns.
+
+    The generator may yield:
+
+    * another :class:`Event` (timeout, resource request, another process) —
+      the process sleeps until it triggers;
+    * nothing else.  Yielding a non-event raises :class:`SimulationError`.
+    """
+
+    __slots__ = ("generator", "_target", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = None
+        Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its yield point."""
+        if not self.is_alive:
+            raise SimulationError(f"{self.name} already terminated")
+        if self._target is None:
+            raise SimulationError(f"{self.name} not yet started")
+        # Detach from the event we were waiting on; it may still fire but we
+        # no longer care.
+        target = self._target
+        if target.callbacks is not None and self._resume in target.callbacks:
+            target.callbacks.remove(self._resume)
+        interrupt_event = Event(self.sim)
+        interrupt_event.callbacks.append(self._resume)
+        interrupt_event.fail(Interrupt(cause))
+
+    def _resume(self, event: Event) -> None:
+        self._target = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if event._ok:
+                next_event = self.generator.send(event._value)
+            else:
+                next_event = self.generator.throw(event._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            if sim._fail_fast:
+                raise
+            self.fail(exc)
+            return
+        sim._active_process = None
+        if not isinstance(next_event, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded non-event {next_event!r}")
+        if next_event.sim is not sim:
+            raise SimulationError("yielded event belongs to another simulator")
+        self._target = next_event
+        if next_event.callbacks is None:
+            # Already processed: resume immediately (urgent, same timestamp).
+            resumed = Event(sim)
+            resumed.callbacks.append(self._resume)
+            resumed._ok = next_event._ok
+            resumed._value = next_event._value
+            sim._enqueue(0.0, URGENT, resumed)
+            self._target = resumed
+        else:
+            next_event.callbacks.append(self._resume)
+
+
+class Simulator:
+    """The event loop: owns simulated time and the event heap."""
+
+    def __init__(self, fail_fast: bool = True):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._seq = 0
+        self._active_process: Optional[Process] = None
+        # fail_fast=True propagates uncaught process exceptions out of run(),
+        # which is what tests and experiment drivers want.
+        self._fail_fast = fail_fast
+
+    # -- construction helpers -------------------------------------------------
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AllOf
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> Event:
+        from repro.sim.conditions import AnyOf
+        return AnyOf(self, events)
+
+    # -- engine ---------------------------------------------------------------
+    def _enqueue(self, delay: float, priority: int, event: Event) -> None:
+        if event._scheduled:
+            raise SimulationError("event already scheduled")
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def schedule_callback(self, delay: float,
+                          callback: Callable[[], None]) -> Event:
+        """Run a plain callable at ``now + delay`` (no process needed)."""
+        ev = Event(self)
+        ev.callbacks.append(lambda _ev: callback())
+        ev.succeed(delay=delay)
+        return ev
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        time, _prio, _seq, event = heapq.heappop(self._heap)
+        if time < self.now:  # pragma: no cover - heap guarantees order
+            raise SimulationError("time went backwards")
+        self.now = time
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or simulated time reaches ``until``."""
+        if until is not None and until < self.now:
+            raise ValueError(f"until={until} is in the past (now={self.now})")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until

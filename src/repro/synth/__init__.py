@@ -1,0 +1,27 @@
+"""Workload synthesis and what-if tuning — the paper's stated next step.
+
+Section 5 closes: "Our next step is to integrate these data into a
+parameter set that can be used for system design and tuning of parallel
+systems and applications."  This package does exactly that:
+
+* :mod:`.model` fits a compact parameter set (request-size mixture,
+  read/write mix, arrival process, spatial/temporal locality structure)
+  from any trace and generates statistically matching synthetic traces;
+* :mod:`.replay` replays a trace — measured or synthetic — against a
+  configurable disk subsystem (scheduler, mechanics, geometry) and reports
+  latency/throughput, enabling the design-tuning studies the parameter
+  set exists for.
+"""
+
+from repro.synth.model import WorkloadModel, fit_workload_model
+from repro.synth.phased import PhasedWorkloadModel, fit_phased_model
+from repro.synth.replay import ReplayReport, replay_trace
+
+__all__ = [
+    "PhasedWorkloadModel",
+    "ReplayReport",
+    "WorkloadModel",
+    "fit_phased_model",
+    "fit_workload_model",
+    "replay_trace",
+]

@@ -1,0 +1,10 @@
+"""Terminal-friendly rendering of the study's figures.
+
+No plotting dependency: scatters and bar charts render as text, and every
+figure's data series exports to CSV for external plotting.
+"""
+
+from repro.viz.asciiplot import bar_chart, scatter
+from repro.viz.svgplot import svg_bar_chart, svg_scatter
+
+__all__ = ["bar_chart", "scatter", "svg_bar_chart", "svg_scatter"]

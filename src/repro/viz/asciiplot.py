@@ -1,0 +1,87 @@
+"""ASCII scatter plots and bar charts."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def scatter(x: Sequence[float], y: Sequence[float], width: int = 72,
+            height: int = 20, xlabel: str = "", ylabel: str = "",
+            title: str = "", marker: str = "*") -> str:
+    """Render (x, y) points as a text scatter plot.
+
+    Density is shown by character weight: ``.`` for one point in a cell,
+    the marker for a few, ``#`` for many.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    if width < 8 or height < 3:
+        raise ValueError("plot too small")
+    lines = []
+    if title:
+        lines.append(title.center(width + 10))
+    if len(x) == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+
+    x0, x1 = float(x.min()), float(x.max())
+    y0, y1 = float(y.min()), float(y.max())
+    xspan = (x1 - x0) or 1.0
+    yspan = (y1 - y0) or 1.0
+    grid = np.zeros((height, width), dtype=np.int64)
+    col = np.minimum(((x - x0) / xspan * (width - 1)).astype(int), width - 1)
+    row = np.minimum(((y - y0) / yspan * (height - 1)).astype(int),
+                     height - 1)
+    np.add.at(grid, (height - 1 - row, col), 1)
+
+    dense = max(2, int(grid.max() * 0.5))
+    for r in range(height):
+        yvalue = y1 - (r / (height - 1)) * yspan
+        cells = []
+        for c in range(width):
+            n = grid[r, c]
+            if n == 0:
+                cells.append(" ")
+            elif n == 1:
+                cells.append(".")
+            elif n < dense:
+                cells.append(marker)
+            else:
+                cells.append("#")
+        lines.append(f"{yvalue:9.3g} |{''.join(cells)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    left = f"{x0:.3g}"
+    right = f"{x1:.3g}"
+    pad = width - len(left) - len(right)
+    lines.append(" " * 11 + left + " " * max(pad, 1) + right)
+    if xlabel or ylabel:
+        lines.append(f"   x: {xlabel}    y: {ylabel}".rstrip())
+    return "\n".join(lines)
+
+
+def bar_chart(labels: Sequence[str], values: Sequence[float],
+              width: int = 50, title: str = "",
+              fmt: str = "{:.3g}",
+              max_value: Optional[float] = None) -> str:
+    """Render labelled horizontal bars."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must match")
+    lines = []
+    if title:
+        lines.append(title)
+    if len(values) == 0:
+        lines.append("(no data)")
+        return "\n".join(lines)
+    top = max_value if max_value is not None else float(values.max())
+    top = top or 1.0
+    label_w = max(len(str(lab)) for lab in labels)
+    for lab, val in zip(labels, values):
+        nchars = int(round(val / top * width))
+        bar = "#" * max(nchars, 0)
+        lines.append(f"{str(lab):>{label_w}} |{bar} {fmt.format(val)}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""Standalone SVG rendering of scatter plots and bar charts.
+
+Dependency-free publication-quality output: each function returns an SVG
+document string (write it to a ``.svg`` file and open in any browser).
+Used by ``FigureSeries.to_svg`` so every paper figure can be exported as
+a graphic as well as CSV/ASCII.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+# layout constants (pixels)
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 64, 16, 36, 46
+
+
+def _esc(text: str) -> str:
+    return (str(text).replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))
+
+
+def _ticks(lo: float, hi: float, n: int = 5):
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = np.linspace(lo, hi, n)
+    return raw
+
+
+def _fmt(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10_000 or abs(value) < 0.01:
+        return f"{value:.2g}"
+    return f"{value:g}" if value == round(value, 2) else f"{value:.2f}"
+
+
+def _frame(width, height, x0, x1, y0, y1, xlabel, ylabel, title):
+    """Axes, ticks, labels; returns (svg_parts, to_px mapping)."""
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def to_px(x, y):
+        px = _MARGIN_L + (x - x0) / (x1 - x0 or 1.0) * plot_w
+        py = _MARGIN_T + (1 - (y - y0) / (y1 - y0 or 1.0)) * plot_h
+        return px, py
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{width / 2}" y="20" text-anchor="middle" '
+                     f'font-size="13" font-weight="bold">{_esc(title)}'
+                     f'</text>')
+    for xv in _ticks(x0, x1):
+        px, _ = to_px(xv, y0)
+        parts.append(f'<line x1="{px:.1f}" y1="{_MARGIN_T + plot_h}" '
+                     f'x2="{px:.1f}" y2="{_MARGIN_T + plot_h + 4}" '
+                     f'stroke="#333"/>')
+        parts.append(f'<text x="{px:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+                     f'text-anchor="middle">{_esc(_fmt(xv))}</text>')
+    for yv in _ticks(y0, y1):
+        _, py = to_px(x0, yv)
+        parts.append(f'<line x1="{_MARGIN_L - 4}" y1="{py:.1f}" '
+                     f'x2="{_MARGIN_L}" y2="{py:.1f}" stroke="#333"/>')
+        parts.append(f'<text x="{_MARGIN_L - 7}" y="{py + 3:.1f}" '
+                     f'text-anchor="end">{_esc(_fmt(yv))}</text>')
+    if xlabel:
+        parts.append(f'<text x="{_MARGIN_L + plot_w / 2}" '
+                     f'y="{height - 10}" text-anchor="middle">'
+                     f'{_esc(xlabel)}</text>')
+    if ylabel:
+        cx, cy = 14, _MARGIN_T + plot_h / 2
+        parts.append(f'<text x="{cx}" y="{cy}" text-anchor="middle" '
+                     f'transform="rotate(-90 {cx} {cy})">{_esc(ylabel)}'
+                     f'</text>')
+    return parts, to_px
+
+
+def svg_scatter(x: Sequence[float], y: Sequence[float], width: int = 640,
+                height: int = 400, xlabel: str = "", ylabel: str = "",
+                title: str = "", color: str = "#2266aa",
+                radius: float = 1.6,
+                max_points: Optional[int] = 20_000) -> str:
+    """Scatter plot as an SVG document string.
+
+    Very large traces are thinned deterministically to ``max_points``
+    (every k-th point) to keep the file size sane.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if x.shape != y.shape:
+        raise ValueError("x and y must have the same length")
+    if max_points is not None and len(x) > max_points:
+        step = int(np.ceil(len(x) / max_points))
+        x, y = x[::step], y[::step]
+    if len(x) == 0:
+        x0 = y0 = 0.0
+        x1 = y1 = 1.0
+    else:
+        x0, x1 = float(x.min()), float(x.max())
+        y0, y1 = float(y.min()), float(y.max())
+        if x1 == x0:
+            x1 = x0 + 1.0
+        if y1 == y0:
+            y1 = y0 + 1.0
+    parts, to_px = _frame(width, height, x0, x1, y0, y1,
+                          xlabel, ylabel, title)
+    dots = []
+    for xv, yv in zip(x, y):
+        px, py = to_px(xv, yv)
+        dots.append(f'<circle cx="{px:.1f}" cy="{py:.1f}" r="{radius}"/>')
+    parts.append(f'<g fill="{color}" fill-opacity="0.55">'
+                 + "".join(dots) + "</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def svg_bar_chart(labels: Sequence[str], values: Sequence[float],
+                  width: int = 640, height: int = 400,
+                  xlabel: str = "", ylabel: str = "", title: str = "",
+                  color: str = "#2266aa") -> str:
+    """Vertical bar chart as an SVG document string."""
+    values = np.asarray(values, dtype=np.float64)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must match")
+    top = float(values.max()) if len(values) and values.max() > 0 else 1.0
+    parts, to_px = _frame(width, height, 0.0, float(max(len(values), 1)),
+                          0.0, top, xlabel, ylabel, title)
+    plot_bottom = height - _MARGIN_B
+    bars = []
+    n = max(len(values), 1)
+    slot = (width - _MARGIN_L - _MARGIN_R) / n
+    for i, (label, value) in enumerate(zip(labels, values)):
+        px0, py = to_px(i + 0.15, value)
+        bar_w = slot * 0.7
+        bars.append(f'<rect x="{px0:.1f}" y="{py:.1f}" '
+                    f'width="{bar_w:.1f}" '
+                    f'height="{max(plot_bottom - py, 0):.1f}"/>')
+        cx = _MARGIN_L + (i + 0.5) * slot
+        parts.append(f'<text x="{cx:.1f}" y="{plot_bottom + 28}" '
+                     f'text-anchor="middle" font-size="10">'
+                     f'{_esc(label)}</text>')
+    parts.append(f'<g fill="{color}">' + "".join(bars) + "</g>")
+    parts.append("</svg>")
+    return "\n".join(parts)

@@ -1,0 +1,57 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_accepts_experiments():
+    parser = build_parser()
+    args = parser.parse_args(["baseline", "--nodes", "2"])
+    assert args.experiment == "baseline"
+    assert args.nodes == 2
+
+
+def test_parser_rejects_unknown_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["quake"])
+
+
+def test_cli_baseline_with_figure(capsys):
+    rc = main(["baseline", "--nodes", "1", "--duration", "120",
+               "--figures", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 1" in out
+
+
+def test_cli_figure_needs_matching_experiment(capsys):
+    rc = main(["baseline", "--nodes", "1", "--duration", "60",
+               "--figures", "5"])
+    assert rc == 2
+
+
+def test_cli_unknown_figure(capsys):
+    rc = main(["baseline", "--nodes", "1", "--duration", "60",
+               "--figures", "11"])
+    assert rc == 2
+
+
+def test_cli_table_and_csv(tmp_path, capsys):
+    rc = main(["ppm", "--nodes", "1", "--table",
+               "--csv-dir", str(tmp_path), "--figures", "2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert (tmp_path / "figure2.csv").exists()
+    assert (tmp_path / "trace_ppm.csv").exists()
+
+
+def test_cli_parallel_all(tmp_path, capsys):
+    rc = main(["all", "--nodes", "1", "--duration", "200", "--parallel",
+               "--table", "--figures"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    for name in ("baseline", "ppm", "wavelet", "nbody", "combined"):
+        assert name in out

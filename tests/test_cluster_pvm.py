@@ -1,0 +1,181 @@
+"""Unit tests for the PVM-like message layer."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import EthernetNetwork, PVM
+from repro.sim import Simulator
+from tests.conftest import drive
+
+
+@pytest.fixture
+def pvm(sim):
+    net = EthernetNetwork(sim, rng=np.random.default_rng(0))
+    p = PVM(sim, net)
+    for node_id in range(4):
+        p.register(node_id)
+    return p
+
+
+def test_send_recv_roundtrip(sim, pvm):
+    got = []
+
+    def sender():
+        yield from pvm.send(0, 1, tag=5, nbytes=1000, body="hello")
+
+    def receiver():
+        message = yield from pvm.recv(1, tag=5)
+        got.append(message)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert got[0].body == "hello"
+    assert got[0].src == 0 and got[0].nbytes == 1000
+
+
+def test_recv_blocks_until_message_arrives(sim, pvm):
+    times = []
+
+    def receiver():
+        yield from pvm.recv(1, tag=1)
+        times.append(sim.now)
+
+    def sender():
+        yield sim.timeout(5.0)
+        yield from pvm.send(0, 1, tag=1, nbytes=100)
+
+    sim.process(receiver())
+    sim.process(sender())
+    sim.run()
+    assert times[0] > 5.0
+
+
+def test_tag_filtering_skips_unmatched(sim, pvm):
+    order = []
+
+    def sender():
+        yield from pvm.send(0, 1, tag=7, nbytes=100, body="seven")
+        yield from pvm.send(0, 1, tag=8, nbytes=100, body="eight")
+
+    def receiver():
+        m8 = yield from pvm.recv(1, tag=8)
+        order.append(m8.body)
+        m7 = yield from pvm.recv(1, tag=7)
+        order.append(m7.body)
+
+    sim.process(sender())
+    sim.process(receiver())
+    sim.run()
+    assert order == ["eight", "seven"]
+
+
+def test_untagged_recv_takes_first(sim, pvm):
+    got = []
+
+    def scenario():
+        yield from pvm.send(0, 2, tag=1, nbytes=50, body="a")
+        yield from pvm.send(0, 2, tag=2, nbytes=50, body="b")
+        m = yield from pvm.recv(2)
+        got.append(m.body)
+
+    sim.process(scenario())
+    sim.run()
+    assert got == ["a"]
+
+
+def test_self_send_skips_network(sim, pvm):
+    before = pvm.network.stats.messages
+
+    def scenario():
+        yield from pvm.send(3, 3, tag=1, nbytes=10_000)
+        m = yield from pvm.recv(3, tag=1)
+        return m
+
+    drive(sim, scenario())
+    assert pvm.network.stats.messages == before
+
+
+def test_send_to_unknown_destination(sim, pvm):
+    with pytest.raises(KeyError):
+        drive(sim, pvm.send(0, 99, tag=1, nbytes=10))
+
+
+def test_duplicate_registration_rejected(pvm):
+    with pytest.raises(ValueError):
+        pvm.register(0)
+
+
+def test_barrier_releases_all_at_once(sim, pvm):
+    release_times = {}
+
+    def task(node_id, arrive_at):
+        yield sim.timeout(arrive_at)
+        yield from pvm.barrier("phase1", node_id, count=3)
+        release_times[node_id] = sim.now
+
+    for node_id, t in [(0, 1.0), (1, 2.0), (2, 5.0)]:
+        sim.process(task(node_id, t))
+    sim.run()
+    assert all(t == pytest.approx(5.0) for t in release_times.values())
+
+
+def test_barrier_reusable_by_name(sim, pvm):
+    log = []
+
+    def task(node_id):
+        yield from pvm.barrier("a", node_id, count=2)
+        log.append(("a", node_id))
+        yield from pvm.barrier("b", node_id, count=2)
+        log.append(("b", node_id))
+
+    sim.process(task(0))
+    sim.process(task(1))
+    sim.run()
+    assert [phase for phase, _ in log] == ["a", "a", "b", "b"]
+
+
+def test_bcast_reaches_everyone(sim, pvm):
+    got = []
+
+    def receiver(node_id):
+        m = yield from pvm.recv(node_id, tag=3)
+        got.append(node_id)
+
+    def root():
+        yield from pvm.bcast(0, tag=3, nbytes=500)
+
+    for node_id in (1, 2, 3):
+        sim.process(receiver(node_id))
+    sim.process(root())
+    sim.run()
+    assert sorted(got) == [1, 2, 3]
+
+
+def test_gather_collects_from_all(sim, pvm):
+    def worker(node_id):
+        yield from pvm.send(node_id, 0, tag=4, nbytes=64, body=node_id)
+
+    def root():
+        messages = yield from pvm.gather(0, tag=4)
+        return sorted(m.body for m in messages)
+
+    for node_id in (1, 2, 3):
+        sim.process(worker(node_id))
+    assert drive(sim, root()) == [1, 2, 3]
+
+
+def test_transfer_costs_time_proportional_to_size(sim, pvm):
+    def timed_send(nbytes):
+        s = Simulator()
+        net = EthernetNetwork(s, rng=np.random.default_rng(0))
+        p = PVM(s, net)
+        p.register(0), p.register(1)
+
+        def scenario():
+            yield from p.send(0, 1, tag=1, nbytes=nbytes)
+            return s.now
+
+        return drive(s, scenario())
+
+    assert timed_send(100_000) > 2 * timed_send(10_000)

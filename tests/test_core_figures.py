@@ -1,0 +1,109 @@
+"""Unit tests for figure generation and the ASCII renderer."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceDataset, make_figure
+from repro.core.experiments import ExperimentResult
+from repro.core.figures import FIGURE_EXPERIMENT
+from repro.viz import bar_chart, scatter
+
+
+def result(name, n=50, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [(float(i), int(rng.integers(0, 1_000_000)), int(rng.random() < 0.8),
+             1, float(rng.choice([1.0, 4.0, 16.0])), 0) for i in range(n)]
+    return ExperimentResult(name=name, trace=TraceDataset.from_records(rows),
+                            duration=float(n), nnodes=1)
+
+
+def test_every_figure_buildable():
+    for number, exp in FIGURE_EXPERIMENT.items():
+        fig = make_figure(number, result(exp))
+        assert fig.number == number
+        assert len(fig.x) > 0
+        text = fig.render()
+        assert f"Figure {number}" in text
+
+
+def test_wrong_experiment_rejected():
+    with pytest.raises(ValueError, match="wavelet"):
+        make_figure(3, result("baseline"))
+
+
+def test_unknown_figure_rejected():
+    with pytest.raises(ValueError):
+        make_figure(9, result("combined"))
+
+
+def test_figure1_plots_sectors():
+    fig = make_figure(1, result("baseline"))
+    assert fig.ylabel == "sector"
+    assert fig.y.max() <= 1_024_128
+
+
+def test_figure5_plots_sizes():
+    fig = make_figure(5, result("combined"))
+    assert set(np.unique(fig.y)) <= {1.0, 4.0, 16.0}
+
+
+def test_figure7_fractions():
+    fig = make_figure(7, result("combined"))
+    assert fig.kind == "bar"
+    assert fig.y.sum() == pytest.approx(1.0)
+    assert len(fig.labels) == len(fig.y)
+
+
+def test_figure8_frequencies_positive():
+    fig = make_figure(8, result("combined"))
+    assert (fig.y > 0).all()
+
+
+def test_figure_csv_export(tmp_path):
+    fig = make_figure(2, result("ppm"))
+    out = tmp_path / "fig2.csv"
+    fig.to_csv(out)
+    lines = out.read_text().strip().splitlines()
+    assert len(lines) == len(fig.x) + 1
+    assert lines[0].startswith("time")
+
+
+# -- ASCII renderer ------------------------------------------------------------
+
+def test_scatter_renders_axes_and_points():
+    text = scatter([0, 1, 2], [0, 5, 10], width=20, height=5,
+                   title="T", xlabel="x", ylabel="y")
+    assert "T" in text
+    assert "+" in text
+    assert "." in text or "*" in text
+
+
+def test_scatter_empty():
+    assert "(no data)" in scatter([], [], title="empty")
+
+
+def test_scatter_validation():
+    with pytest.raises(ValueError):
+        scatter([1], [1, 2])
+    with pytest.raises(ValueError):
+        scatter([1], [1], width=2)
+
+
+def test_scatter_density_characters():
+    x = [0.5] * 100 + [0.0, 1.0]
+    y = [0.5] * 100 + [0.0, 1.0]
+    text = scatter(x, y, width=10, height=5)
+    assert "#" in text
+
+
+def test_bar_chart_scales_to_max():
+    text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+    lines = text.splitlines()
+    assert lines[0].count("#") == 5
+    assert lines[1].count("#") == 10
+
+
+def test_bar_chart_validation_and_empty():
+    with pytest.raises(ValueError):
+        bar_chart(["a"], [1.0, 2.0])
+    assert "(no data)" in bar_chart([], [])

@@ -1,0 +1,69 @@
+"""Tests for the single-file HTML report."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceDataset
+from repro.core.experiments import ExperimentResult
+from repro.core.html_report import build_html_report
+
+
+def make_results():
+    rng = np.random.default_rng(0)
+
+    def result(name, n=100):
+        rows = [(float(i), int(rng.integers(0, 10**6)),
+                 int(rng.random() < 0.7), 1,
+                 float(rng.choice([1.0, 4.0, 16.0])), 0)
+                for i in range(n)]
+        return ExperimentResult(name=name,
+                                trace=TraceDataset.from_records(rows),
+                                duration=float(n), nnodes=1)
+
+    return {name: result(name)
+            for name in ("baseline", "ppm", "wavelet", "nbody", "combined")}
+
+
+@pytest.fixture(scope="module")
+def html():
+    return build_html_report(make_results())
+
+
+def test_valid_html_skeleton(html):
+    assert html.startswith("<!DOCTYPE html>")
+    assert html.rstrip().endswith("</html>")
+    assert "<title>" in html
+
+
+def test_contains_table_and_scorecard(html):
+    assert "Table 1" in html
+    assert "scorecard" in html.lower()
+    for claim_id in ("B1", "W2", "L1"):
+        assert f"<td>{claim_id}</td>" in html
+
+
+def test_all_eight_figures_inline(html):
+    assert html.count("<svg") == 8
+    for n in range(1, 9):
+        assert f"Figure {n}" in html
+
+
+def test_per_experiment_sections(html):
+    for name in ("baseline", "ppm", "wavelet", "nbody", "combined"):
+        assert f"=== {name}" in html
+
+
+def test_partial_results_render():
+    results = make_results()
+    html = build_html_report({"baseline": results["baseline"]})
+    assert html.count("<svg") == 1          # only Figure 1 available
+    assert "SKIP" in html                   # other claims skipped
+
+
+def test_cli_html_flag(tmp_path):
+    from repro.cli import main
+    out = tmp_path / "report.html"
+    rc = main(["baseline", "--nodes", "1", "--duration", "200",
+               "--html", str(out)])
+    assert rc == 0
+    assert out.read_text().startswith("<!DOCTYPE html>")

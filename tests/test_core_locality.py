@@ -1,0 +1,132 @@
+"""Unit and property tests for locality analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TraceDataset, spatial_locality, temporal_locality
+from repro.core.locality import _gini, reuse_fraction
+
+
+def trace_at_sectors(sectors, dt=1.0):
+    return TraceDataset.from_records(
+        [(i * dt, s, 1, 1, 1.0, 0) for i, s in enumerate(sectors)])
+
+
+# -- spatial ---------------------------------------------------------------
+
+def test_band_fractions_sum_to_one():
+    ds = trace_at_sectors([10, 150_000, 150_001, 950_000])
+    sp = spatial_locality(ds)
+    assert sp.band_fraction.sum() == pytest.approx(1.0)
+
+
+def test_band_assignment():
+    ds = trace_at_sectors([99_999, 100_000, 100_001])
+    sp = spatial_locality(ds)
+    assert sp.band_fraction[0] == pytest.approx(1 / 3)
+    assert sp.band_fraction[1] == pytest.approx(2 / 3)
+
+
+def test_concentrated_trace_follows_80_20():
+    # 90% of requests in one band
+    sectors = [50_000] * 90 + [i * 100_000 + 5 for i in range(1, 11)]
+    sp = spatial_locality(trace_at_sectors(sectors))
+    assert sp.follows_80_20
+    assert sp.top_20pct_share > 0.8
+    assert sp.busiest_band() == (0, pytest.approx(0.9))
+
+
+def test_uniform_trace_does_not_follow_80_20():
+    rng = np.random.default_rng(0)
+    sectors = rng.integers(0, 1_024_000, size=2000)
+    sp = spatial_locality(trace_at_sectors(sectors))
+    assert not sp.follows_80_20
+    assert sp.gini < 0.3
+
+
+def test_spatial_empty_and_bad_args():
+    with pytest.raises(ValueError):
+        spatial_locality(TraceDataset.empty())
+    with pytest.raises(ValueError):
+        spatial_locality(trace_at_sectors([1]), band_sectors=0)
+
+
+def test_gini_extremes():
+    assert _gini(np.array([5, 5, 5, 5])) == pytest.approx(0.0, abs=1e-9)
+    concentrated = np.zeros(100)
+    concentrated[0] = 1000
+    assert _gini(concentrated) > 0.95
+    assert _gini(np.zeros(4)) == 0.0
+
+
+# -- temporal ----------------------------------------------------------------
+
+def test_frequencies_per_sector():
+    ds = trace_at_sectors([7, 7, 7, 9], dt=1.0)  # duration 3 s
+    tl = temporal_locality(ds)
+    assert list(tl.sectors) == [7, 9]
+    assert tl.frequency[0] == pytest.approx(3 / 3.0)
+    assert tl.frequency[1] == pytest.approx(1 / 3.0)
+
+
+def test_hot_spots_ordering():
+    ds = trace_at_sectors([1, 2, 2, 3, 3, 3])
+    tl = temporal_locality(ds)
+    hot = tl.hot_spots(2)
+    assert hot[0][0] == 3
+    assert hot[1][0] == 2
+
+
+def test_mean_interaccess_gap():
+    ds = TraceDataset.from_records([
+        (0.0, 5, 1, 1, 1.0, 0),
+        (2.0, 5, 1, 1, 1.0, 0),
+        (6.0, 5, 1, 1, 1.0, 0),
+        (1.0, 9, 1, 1, 1.0, 0),
+    ])
+    tl = temporal_locality(ds)
+    i5 = list(tl.sectors).index(5)
+    i9 = list(tl.sectors).index(9)
+    assert tl.mean_interaccess[i5] == pytest.approx(3.0)  # gaps 2 and 4
+    assert tl.mean_interaccess[i9] == np.inf
+
+
+def test_explicit_window():
+    ds = trace_at_sectors([1, 1])
+    tl = temporal_locality(ds, window=10.0)
+    assert tl.frequency[0] == pytest.approx(0.2)
+
+
+def test_temporal_empty_raises():
+    with pytest.raises(ValueError):
+        temporal_locality(TraceDataset.empty())
+
+
+def test_reuse_fraction():
+    assert reuse_fraction(trace_at_sectors([1, 1, 1, 2])) == pytest.approx(0.5)
+    assert reuse_fraction(trace_at_sectors([1, 2, 3])) == 0.0
+    with pytest.raises(ValueError):
+        reuse_fraction(TraceDataset.empty())
+
+
+# -- properties ----------------------------------------------------------------
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.integers(0, 1_024_000), min_size=1, max_size=200))
+def test_spatial_invariants(sectors):
+    sp = spatial_locality(trace_at_sectors(sectors))
+    assert sp.band_fraction.sum() == pytest.approx(1.0)
+    assert 0.0 <= sp.gini <= 1.0
+    assert 0.0 < sp.top_20pct_share <= 1.0
+
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.integers(0, 10_000), min_size=1, max_size=200))
+def test_temporal_invariants(sectors):
+    ds = trace_at_sectors(sectors)
+    tl = temporal_locality(ds)
+    assert len(tl.sectors) == len(set(sectors))
+    # total frequency x window = record count
+    assert tl.frequency.sum() * tl.window == pytest.approx(len(sectors))
+    assert (tl.mean_interaccess > 0).all()

@@ -1,0 +1,106 @@
+"""Tests for per-node variance and VERBOSE service-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceDataset
+from repro.core.metrics import estimate_service_times, per_node_variance
+from repro.disk import Disk
+from repro.driver import (
+    HDIO_SET_TRACE,
+    InstrumentedIDEDriver,
+    ProcTraceTransport,
+    TraceLevel,
+)
+from repro.sim import Simulator
+
+
+def test_per_node_variance_balanced():
+    rows = []
+    for node in range(4):
+        for i in range(100):
+            rows.append((float(i), i, 1, 1, 1.0, node))
+    nv = per_node_variance(TraceDataset.from_records(rows))
+    assert nv.mean == 100.0
+    assert nv.cv == 0.0
+    assert nv.balanced
+
+
+def test_per_node_variance_straggler():
+    rows = [(float(i), i, 1, 1, 1.0, 0) for i in range(300)]
+    rows += [(float(i), i, 1, 1, 1.0, 1) for i in range(20)]
+    nv = per_node_variance(TraceDataset.from_records(rows))
+    assert not nv.balanced
+    assert nv.per_node_requests == {0: 300, 1: 20}
+
+
+def test_per_node_variance_empty():
+    nv = per_node_variance(TraceDataset.empty())
+    assert nv.mean == 0.0 and nv.cv == 0.0
+
+
+def test_estimate_service_times_pairs_records():
+    # submit at t, complete at t+latency, same identity
+    rows = [
+        (1.0, 100, 0, 1, 1.0, 0), (1.050, 100, 0, 0, 1.0, 0),
+        (2.0, 200, 1, 1, 4.0, 0), (2.120, 200, 1, 0, 4.0, 0),
+    ]
+    lat = estimate_service_times(TraceDataset.from_records(rows))
+    assert np.allclose(sorted(lat), [0.05, 0.12])
+
+
+def test_estimate_service_times_unpaired_ignored():
+    rows = [(1.0, 100, 0, 1, 1.0, 0)]
+    assert len(estimate_service_times(TraceDataset.from_records(rows))) == 0
+    assert len(estimate_service_times(TraceDataset.empty())) == 0
+
+
+def test_verbose_driver_trace_yields_latencies_end_to_end():
+    sim = Simulator()
+    disk = Disk(sim, rng=np.random.default_rng(0))
+    transport = ProcTraceTransport(sim)
+    driver = InstrumentedIDEDriver(sim, disk, transport=transport)
+    driver.ioctl(HDIO_SET_TRACE, TraceLevel.VERBOSE)
+    for sector in (1000, 50_000, 600_000):
+        driver.read_sectors(sector, 2)
+    sim.run(until=10.0)
+    transport.drain_now()
+    trace = TraceDataset(transport.user_buffer.to_array())
+    lat = estimate_service_times(trace)
+    assert len(lat) == 3
+    assert (lat > 0).all()
+    # estimates agree with the device's own accounting
+    assert np.mean(lat) == pytest.approx(disk.stats.mean_latency, rel=1e-6)
+
+
+def test_kb_moved_and_throughput():
+    from repro.core.metrics import compute_metrics
+    ds = TraceDataset.from_records([
+        (0.0, 1, 1, 1, 1.0, 0),
+        (5.0, 2, 0, 1, 4.0, 0),
+        (10.0, 3, 1, 1, 16.0, 0),
+    ])
+    m = compute_metrics(ds, duration=10.0)
+    assert m.kb_moved == 21.0
+    assert m.throughput_kb_per_s == pytest.approx(2.1)
+
+
+def test_class_throughput_partitions_volume():
+    from repro.core.metrics import class_throughput
+    from repro.core.sizes import RequestClass
+    ds = TraceDataset.from_records([
+        (0.0, 1, 1, 1, 1.0, 0),
+        (1.0, 2, 0, 1, 4.0, 0),
+        (2.0, 3, 1, 1, 16.0, 0),
+    ])
+    tp = class_throughput(ds, duration=1.0)
+    assert tp[RequestClass.BLOCK] == pytest.approx(1.0)
+    assert tp[RequestClass.PAGE] == pytest.approx(4.0)
+    assert tp[RequestClass.CACHE] == pytest.approx(16.0)
+    assert sum(tp.values()) == pytest.approx(21.0)
+
+
+def test_class_throughput_empty():
+    from repro.core.metrics import class_throughput
+    tp = class_throughput(TraceDataset.empty(), duration=1.0)
+    assert all(v == 0.0 for v in tp.values())

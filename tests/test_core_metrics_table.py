@@ -1,0 +1,65 @@
+"""Unit tests for metrics and Table 1 rendering."""
+
+import pytest
+
+from repro.core import TraceDataset, compute_metrics
+from repro.core.experiments import ExperimentResult
+from repro.core.table import render_table1, table1_rows
+
+
+def make_trace():
+    return TraceDataset.from_records([
+        (0.0, 100, 0, 1, 1.0, 0),
+        (5.0, 200, 1, 2, 4.0, 0),
+        (9.0, 300, 1, 3, 1.0, 1),
+        (10.0, 400, 1, 2, 2.0, 1),
+    ])
+
+
+def test_compute_metrics_basic():
+    m = compute_metrics(make_trace(), label="x", duration=20.0)
+    assert m.total_requests == 4
+    assert m.read_fraction == pytest.approx(0.25)
+    assert m.read_pct == 25 and m.write_pct == 75
+    assert m.requests_per_node == 2.0           # 4 requests over 2 nodes
+    assert m.requests_per_second == pytest.approx(4 / 20.0 / 2)
+    assert m.mean_size_kb == pytest.approx(2.0)
+    assert m.mean_pending == pytest.approx(2.0)
+
+
+def test_metrics_duration_defaults_to_span():
+    m = compute_metrics(make_trace())
+    assert m.duration == pytest.approx(10.0)
+
+
+def test_metrics_empty_trace():
+    m = compute_metrics(TraceDataset.empty(), label="empty")
+    assert m.total_requests == 0
+    assert m.read_fraction == 0.0
+    assert m.requests_per_second == 0.0
+
+
+def result_for(name):
+    return ExperimentResult(name=name, trace=make_trace(), duration=20.0,
+                            nnodes=2)
+
+
+def test_table_rows_follow_paper_order():
+    results = {"combined": result_for("combined"),
+               "baseline": result_for("baseline"),
+               "ppm": result_for("ppm")}
+    rows = table1_rows(results)
+    assert [r.label for r in rows] == ["baseline", "ppm", "combined"]
+
+
+def test_render_table_includes_paper_reference():
+    text = render_table1({"baseline": result_for("baseline")})
+    assert "Table 1" in text
+    assert "(paper)" in text
+    assert "1782" in text          # the paper's baseline total
+
+
+def test_render_table_without_paper():
+    text = render_table1({"baseline": result_for("baseline")},
+                         include_paper=False)
+    assert "(paper)" not in text

@@ -1,0 +1,170 @@
+"""Unit and property tests for access-pattern analyses."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TraceDataset
+from repro.core.patterns import (
+    arrival_structure,
+    direction_runs,
+    miller_katz_classes,
+    sequentiality,
+)
+
+
+def trace_from(entries):
+    """entries: list of (time, sector, write, size_kb)."""
+    return TraceDataset.from_records(
+        [(t, s, w, 1, kb, 0) for t, s, w, kb in entries])
+
+
+# -- sequentiality ----------------------------------------------------------
+
+def test_perfectly_sequential_stream():
+    # 1 KB requests, each starting where the last ended (2 sectors apart)
+    ds = trace_from([(float(i), 100 + 2 * i, 0, 1.0) for i in range(10)])
+    report = sequentiality(ds)
+    assert report.sequential_fraction == 1.0
+    assert report.max_run_length == 10
+    assert len(report.run_lengths) == 1
+
+
+def test_random_stream_is_not_sequential():
+    rng = np.random.default_rng(0)
+    ds = trace_from([(float(i), int(rng.integers(0, 10**6)), 0, 1.0)
+                     for i in range(200)])
+    report = sequentiality(ds)
+    assert report.sequential_fraction < 0.05
+    assert report.mean_run_length < 2.0
+
+
+def test_nearly_sequential_counts_small_forward_gaps():
+    ds = trace_from([(0.0, 100, 0, 1.0), (1.0, 150, 0, 1.0)])
+    report = sequentiality(ds, near_window=1000)
+    assert report.sequential_fraction == 0.0
+    assert report.nearly_sequential_fraction == 1.0
+
+
+def test_backward_jump_is_not_nearly_sequential():
+    ds = trace_from([(0.0, 1000, 0, 1.0), (1.0, 100, 0, 1.0)])
+    report = sequentiality(ds)
+    assert report.nearly_sequential_fraction == 0.0
+
+
+def test_run_lengths_partition_the_trace():
+    ds = trace_from([(0.0, 0, 0, 1.0), (1.0, 2, 0, 1.0),     # run of 2
+                     (2.0, 500, 0, 1.0),                     # run of 1
+                     (3.0, 900, 0, 1.0), (4.0, 902, 0, 1.0),
+                     (5.0, 904, 0, 1.0)])                    # run of 3
+    report = sequentiality(ds)
+    assert sorted(report.run_lengths.tolist()) == [1, 2, 3]
+    assert report.run_lengths.sum() == len(ds)
+
+
+def test_sequentiality_single_record_and_empty():
+    one = trace_from([(0.0, 5, 0, 1.0)])
+    assert sequentiality(one).total == 1
+    with pytest.raises(ValueError):
+        sequentiality(TraceDataset.empty())
+
+
+# -- arrivals ----------------------------------------------------------------
+
+def test_poisson_arrivals_have_idc_near_one():
+    rng = np.random.default_rng(1)
+    times = np.cumsum(rng.exponential(0.5, size=2000))
+    ds = trace_from([(float(t), 0, 1, 1.0) for t in times])
+    report = arrival_structure(ds, window=10.0)
+    assert 0.5 < report.idc < 2.0
+    assert not report.is_bursty
+    assert report.mean_gap == pytest.approx(0.5, rel=0.1)
+
+
+def test_bursty_arrivals_have_high_idc():
+    times = []
+    for burst in range(50):
+        times.extend(burst * 20.0 + 0.01 * np.arange(40))
+    ds = trace_from([(float(t), 0, 1, 1.0) for t in times])
+    report = arrival_structure(ds, window=10.0)
+    assert report.is_bursty
+    assert report.cv_gap > 1.5
+
+
+def test_arrival_validation():
+    with pytest.raises(ValueError):
+        arrival_structure(trace_from([(0.0, 0, 1, 1.0)]))
+    ds = trace_from([(0.0, 0, 1, 1.0), (1.0, 0, 1, 1.0)])
+    with pytest.raises(ValueError):
+        arrival_structure(ds, window=0)
+
+
+# -- direction runs -------------------------------------------------------
+
+def test_direction_runs_alternating():
+    ds = trace_from([(0.0, 0, 0, 1.0), (1.0, 0, 1, 1.0),
+                     (2.0, 0, 0, 1.0), (3.0, 0, 1, 1.0)])
+    runs = direction_runs(ds)
+    assert runs.read_runs.tolist() == [1, 1]
+    assert runs.write_runs.tolist() == [1, 1]
+
+
+def test_direction_runs_write_train():
+    ds = trace_from([(float(i), 0, 1, 1.0) for i in range(7)]
+                    + [(7.0, 0, 0, 1.0)])
+    runs = direction_runs(ds)
+    assert runs.write_runs.tolist() == [7]
+    assert runs.read_runs.tolist() == [1]
+    assert runs.mean_write_run == 7.0
+
+
+def test_direction_runs_empty():
+    with pytest.raises(ValueError):
+        direction_runs(TraceDataset.empty())
+
+
+# -- Miller & Katz classes ----------------------------------------------------
+
+def test_classes_partition_to_one():
+    rng = np.random.default_rng(2)
+    ds = trace_from([(float(i), 0, int(rng.random() < 0.7),
+                      float(rng.choice([1.0, 4.0]))) for i in range(100)])
+    classes = miller_katz_classes(ds)
+    assert sum(classes.values()) == pytest.approx(1.0)
+
+
+def test_required_window_captures_run_edges():
+    ds = trace_from([(0.0, 0, 0, 1.0),      # startup
+                     (50.0, 0, 1, 1.0),     # middle write -> checkpoint
+                     (50.5, 0, 1, 4.0),     # middle paging -> staging
+                     (100.0, 0, 1, 1.0)])   # shutdown
+    classes = miller_katz_classes(ds)
+    assert classes["required"] == pytest.approx(0.5)
+    assert classes["checkpoint"] == pytest.approx(0.25)
+    assert classes["staging"] == pytest.approx(0.25)
+
+
+def test_classes_validation():
+    ds = trace_from([(0.0, 0, 0, 1.0)])
+    with pytest.raises(ValueError):
+        miller_katz_classes(TraceDataset.empty())
+    with pytest.raises(ValueError):
+        miller_katz_classes(ds, startup_fraction=0.6, shutdown_fraction=0.6)
+
+
+# -- properties ----------------------------------------------------------------
+
+@settings(deadline=None, max_examples=30)
+@given(st.lists(st.tuples(st.floats(0, 1000, allow_nan=False),
+                          st.integers(0, 10**6),
+                          st.booleans()),
+                min_size=2, max_size=100))
+def test_pattern_invariants(entries):
+    ds = trace_from([(t, s, int(w), 1.0) for t, s, w in entries])
+    report = sequentiality(ds)
+    assert 0.0 <= report.sequential_fraction <= 1.0
+    assert report.run_lengths.sum() == len(ds)
+    runs = direction_runs(ds)
+    assert runs.read_runs.sum() + runs.write_runs.sum() == len(ds)
+    classes = miller_katz_classes(ds)
+    assert sum(classes.values()) == pytest.approx(1.0)

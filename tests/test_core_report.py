@@ -1,0 +1,58 @@
+"""Tests for the characterization report generator."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceDataset, characterize, full_report
+from repro.core.experiments import ExperimentResult
+
+
+def make_result(name="wavelet", n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    rows = [(float(i) * 0.5, int(rng.integers(0, 500_000)),
+             int(rng.random() < 0.6), 1,
+             float(rng.choice([1.0, 4.0, 16.0], p=[0.3, 0.6, 0.1])), 0)
+            for i in range(n)]
+    return ExperimentResult(name=name, trace=TraceDataset.from_records(rows),
+                            duration=n * 0.5, nnodes=1)
+
+
+def test_characterize_mentions_all_sections():
+    text = characterize(make_result())
+    for keyword in ("requests:", "mix:", "sizes:", "classes:", "spatial:",
+                    "temporal:", "pattern:", "arrivals:", "trains:",
+                    "Miller-Katz:"):
+        assert keyword in text, keyword
+
+
+def test_characterize_empty_result():
+    empty = ExperimentResult(name="baseline", trace=TraceDataset.empty(),
+                             duration=10.0, nnodes=1)
+    text = characterize(empty)
+    assert "no I/O recorded" in text
+
+
+def test_characterize_with_figures_inlines_plots():
+    text = characterize(make_result("combined"), include_figures=True)
+    assert "Figure 5" in text
+    assert "Figure 8" in text
+
+
+def test_full_report_includes_table_and_sections():
+    results = {"wavelet": make_result("wavelet"),
+               "combined": make_result("combined", seed=1)}
+    text = full_report(results, title="my study")
+    assert text.startswith("my study")
+    assert "=== wavelet" in text
+    assert "=== combined" in text
+    assert "Table 1" in text
+
+
+def test_cli_report_flag(capsys):
+    from repro.cli import main
+    rc = main(["baseline", "--nodes", "1", "--duration", "120", "--report",
+               "--figures"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "=== baseline" in out
+    assert "Miller-Katz:" in out

@@ -1,0 +1,88 @@
+"""Unit tests for TraceDataset."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceDataset
+from repro.driver import TRACE_DTYPE
+
+
+@pytest.fixture
+def ds():
+    return TraceDataset.from_records([
+        (0.0, 100, 0, 1, 1.0, 0),
+        (1.0, 200, 1, 2, 4.0, 0),
+        (2.0, 300, 1, 1, 1.0, 1),
+        (3.0, 100, 0, 1, 16.0, 1),
+    ])
+
+
+def test_len_and_fields(ds):
+    assert len(ds) == 4
+    assert list(ds.sector) == [100, 200, 300, 100]
+    assert ds.duration == 3.0
+
+
+def test_wrong_dtype_rejected():
+    with pytest.raises(TypeError):
+        TraceDataset(np.zeros(3, dtype=np.float64))
+
+
+def test_empty(ds):
+    empty = TraceDataset.empty()
+    assert len(empty) == 0
+    assert empty.duration == 0.0
+
+
+def test_read_write_filters(ds):
+    assert len(ds.reads()) == 2
+    assert len(ds.writes()) == 2
+    assert set(ds.reads().sector) == {100}
+
+
+def test_node_filter(ds):
+    assert len(ds.node(0)) == 2
+    assert len(ds.node(1)) == 2
+    assert list(ds.nodes()) == [0, 1]
+
+
+def test_time_window(ds):
+    window = ds.between(1.0, 3.0)
+    assert list(window.time) == [1.0, 2.0]
+
+
+def test_sector_range(ds):
+    assert len(ds.sector_range(150, 350)) == 2
+
+
+def test_merge_sorts_by_time():
+    a = TraceDataset.from_records([(5.0, 1, 0, 1, 1.0, 0)])
+    b = TraceDataset.from_records([(2.0, 2, 1, 1, 1.0, 1)])
+    merged = a.merged_with(b)
+    assert list(merged.time) == [2.0, 5.0]
+
+
+def test_unknown_attribute_raises(ds):
+    with pytest.raises(AttributeError):
+        ds.bogus
+
+
+def test_npy_roundtrip(tmp_path, ds):
+    path = tmp_path / "trace.npy"
+    ds.save(path)
+    assert TraceDataset.load(path) == ds
+
+
+def test_csv_roundtrip(tmp_path, ds):
+    path = tmp_path / "trace.csv"
+    ds.save(path)
+    loaded = TraceDataset.load(path)
+    assert len(loaded) == len(ds)
+    assert np.allclose(loaded.time, ds.time)
+    assert np.array_equal(loaded.sector, ds.sector)
+    assert np.array_equal(loaded.write, ds.write)
+
+
+def test_equality(ds):
+    assert ds == TraceDataset(ds.records.copy())
+    assert ds != TraceDataset.empty()

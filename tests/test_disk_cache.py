@@ -1,0 +1,134 @@
+"""Unit tests for the on-drive segment cache and SCAN scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.disk import Disk, DriveCache, IORequest, ScanScheduler
+from repro.sim import Simulator
+
+
+# -- DriveCache unit -----------------------------------------------------------
+
+def test_lookup_miss_then_hit_after_fill():
+    cache = DriveCache(lookahead_sectors=64)
+    assert not cache.lookup(100, 8)
+    cache.fill_after_read(100, 8)
+    assert cache.lookup(100, 8)
+    assert cache.lookup(108, 8)    # inside the look-ahead span
+    assert cache.hit_ratio == pytest.approx(2 / 3)
+
+
+def test_lookahead_clipped_to_disk_end():
+    cache = DriveCache(lookahead_sectors=64)
+    start, end = cache.fill_after_read(990, 8, disk_sectors=1000)
+    assert end == 1000
+
+
+def test_span_clipped_to_segment_capacity():
+    cache = DriveCache(segment_sectors=32, lookahead_sectors=64)
+    start, end = cache.fill_after_read(100, 8)
+    assert end - start == 32
+    assert end == 100 + 8 + 64
+
+
+def test_lru_segment_replacement():
+    cache = DriveCache(nsegments=2, lookahead_sectors=0)
+    cache.fill_after_read(0, 8)
+    cache.fill_after_read(1000, 8)
+    assert cache.lookup(0, 8)          # touch segment A
+    cache.fill_after_read(2000, 8)     # evicts LRU = segment B
+    assert cache.lookup(0, 8)
+    assert not cache.lookup(1000, 8)
+
+
+def test_write_invalidates_overlap():
+    cache = DriveCache(lookahead_sectors=0)
+    cache.fill_after_read(100, 16)
+    assert cache.invalidate(108, 4) == 1
+    assert not cache.lookup(100, 8)
+    assert cache.invalidate(500, 4) == 0
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        DriveCache(nsegments=0)
+    with pytest.raises(ValueError):
+        DriveCache(lookahead_sectors=-1)
+
+
+# -- integration with the disk device -------------------------------------------
+
+def sequential_read_total_time(cache):
+    sim = Simulator()
+    disk = Disk(sim, rng=np.random.default_rng(0), cache=cache)
+    reqs = [IORequest(sector=1000 + 2 * i, nsectors=2, is_write=False)
+            for i in range(20)]
+
+    def issuer():
+        for req in reqs:
+            yield disk.submit(req)
+
+    sim.process(issuer())
+    sim.run()
+    return sim.now, disk
+
+
+def test_drive_cache_accelerates_sequential_reads():
+    t_without, _ = sequential_read_total_time(None)
+    t_with, disk = sequential_read_total_time(DriveCache())
+    assert t_with < 0.5 * t_without
+    assert disk.cache.hits > 10
+
+
+def test_write_through_invalidation_on_device():
+    sim = Simulator()
+    cache = DriveCache(lookahead_sectors=64)
+    disk = Disk(sim, rng=np.random.default_rng(0), cache=cache)
+
+    def scenario():
+        yield disk.submit(IORequest(sector=100, nsectors=2, is_write=False))
+        assert cache.lookup(102, 2)             # look-ahead cached
+        yield disk.submit(IORequest(sector=102, nsectors=2, is_write=True))
+        assert not cache.lookup(102, 2)         # invalidated by the write
+
+    sim.process(scenario())
+    sim.run()
+
+
+# -- SCAN scheduler ---------------------------------------------------------
+
+def _drain(sched, head):
+    order = []
+    while len(sched):
+        r = sched.next(head)
+        order.append(r.sector)
+        head = r.sector
+    return order
+
+
+def test_scan_sweeps_up_then_reverses():
+    s = ScanScheduler()
+    for sector in (50, 500, 200, 900):
+        s.add(IORequest(sector=sector, nsectors=2, is_write=False))
+    assert _drain(s, head=100) == [200, 500, 900, 50]
+
+
+def test_scan_reverses_back_up():
+    s = ScanScheduler()
+    for sector in (300, 100, 400):
+        s.add(IORequest(sector=sector, nsectors=2, is_write=False))
+    # head 350: up -> 400, then down -> 300, 100
+    assert _drain(s, head=350) == [400, 300, 100]
+    # direction is now downward; add below and above
+    for sector in (50, 800):
+        s.add(IORequest(sector=sector, nsectors=2, is_write=False))
+    assert _drain(s, head=100) == [50, 800]
+
+
+def test_scan_serves_everything():
+    rng = np.random.default_rng(2)
+    sectors = rng.integers(0, 10**6, size=50).tolist()
+    s = ScanScheduler()
+    for sector in sectors:
+        s.add(IORequest(sector=sector, nsectors=2, is_write=False))
+    assert sorted(_drain(s, head=0)) == sorted(sectors)

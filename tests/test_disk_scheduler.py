@@ -1,0 +1,88 @@
+"""Unit and property tests for request-queue disciplines."""
+
+from hypothesis import given, strategies as st
+
+from repro.disk import CLookScheduler, FIFOScheduler, IORequest, SSTFScheduler
+
+
+def _req(sector):
+    return IORequest(sector=sector, nsectors=2, is_write=False)
+
+
+def _drain(sched, head=0):
+    order = []
+    while len(sched):
+        r = sched.next(head)
+        order.append(r.sector)
+        head = r.sector
+    return order
+
+
+def test_fifo_preserves_arrival_order():
+    s = FIFOScheduler()
+    for sector in (500, 10, 300):
+        s.add(_req(sector))
+    assert _drain(s) == [500, 10, 300]
+
+
+def test_sstf_picks_nearest():
+    s = SSTFScheduler()
+    for sector in (1000, 90, 110):
+        s.add(_req(sector))
+    # head at 100: nearest is 90 (d=10), then 110 (d=20), then 1000
+    order = []
+    head = 100
+    while len(s):
+        r = s.next(head)
+        order.append(r.sector)
+        head = r.sector
+    assert order == [90, 110, 1000]
+
+
+def test_clook_sweeps_upward_then_wraps():
+    s = CLookScheduler()
+    for sector in (50, 500, 200, 900):
+        s.add(_req(sector))
+    assert _drain(s, head=100) == [200, 500, 900, 50]
+
+
+def test_clook_equal_to_head_served_in_sweep():
+    s = CLookScheduler()
+    s.add(_req(100))
+    s.add(_req(300))
+    assert _drain(s, head=100) == [100, 300]
+
+
+def test_empty_scheduler_returns_none():
+    for s in (FIFOScheduler(), SSTFScheduler(), CLookScheduler()):
+        assert s.next(0) is None
+
+
+def test_pending_lists_queue_without_removal():
+    s = CLookScheduler()
+    s.add(_req(5))
+    s.add(_req(7))
+    assert sorted(r.sector for r in s.pending()) == [5, 7]
+    assert len(s) == 2
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1,
+                max_size=30),
+       st.integers(min_value=0, max_value=10**6))
+def test_all_disciplines_serve_every_request(sectors, head):
+    for make in (FIFOScheduler, SSTFScheduler, CLookScheduler):
+        s = make()
+        for sec in sectors:
+            s.add(_req(sec))
+        assert sorted(_drain(s, head)) == sorted(sectors)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=2,
+                max_size=20))
+def test_clook_single_sweep_is_sorted_above_head(sectors):
+    s = CLookScheduler()
+    for sec in sectors:
+        s.add(_req(sec))
+    served = _drain(s, head=0)
+    # Head starts at 0, so one upward sweep serves everything sorted.
+    assert served == sorted(sectors)

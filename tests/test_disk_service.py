@@ -1,0 +1,76 @@
+"""Unit tests for the disk service-time model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.disk import DiskGeometry, DiskServiceModel, IORequest
+
+
+@pytest.fixture
+def model():
+    return DiskServiceModel()
+
+
+def test_rotation_time_matches_rpm(model):
+    assert model.rotation_time == pytest.approx(60.0 / 4500.0)
+
+
+def test_zero_seek_for_same_cylinder(model):
+    assert model.seek_time(100, 100) == 0.0
+
+
+def test_seek_monotonic_in_distance(model):
+    times = [model.seek_time(0, d) for d in (1, 10, 100, 1000)]
+    assert times == sorted(times)
+    assert times[0] > 0
+
+
+def test_seek_symmetric(model):
+    assert model.seek_time(10, 500) == model.seek_time(500, 10)
+
+
+def test_transfer_time_linear_in_sectors(model):
+    t2 = model.transfer_time(2)
+    t8 = model.transfer_time(8)
+    assert t8 == pytest.approx(4 * t2)
+
+
+def test_transfer_rejects_nonpositive(model):
+    with pytest.raises(ValueError):
+        model.transfer_time(0)
+
+
+def test_track_transfer_rate_is_era_plausible(model):
+    # A mid-90s IDE drive moved roughly 1-4 MB/s off the media.
+    assert 0.5e6 < model.track_transfer_rate < 8e6
+
+
+def test_average_random_seek_near_nominal(model):
+    # Calibration target: ~14 ms average seek, within a loose band.
+    assert 0.008 < model.average_random_seek() < 0.025
+
+
+def test_service_time_includes_all_components(model):
+    rng = np.random.default_rng(1)
+    req = IORequest(sector=500_000, nsectors=2, is_write=False)
+    t = model.service_time(req, head_cylinder=0, rng=rng)
+    lower = model.controller_overhead + model.seek_time(
+        0, model.geometry.cylinder_of(500_000)) + model.transfer_time(2)
+    assert t >= lower
+    assert t <= lower + model.rotation_time
+
+
+def test_rotational_latency_bounded(model):
+    rng = np.random.default_rng(2)
+    draws = [model.rotational_latency(rng) for _ in range(200)]
+    assert all(0 <= d < model.rotation_time for d in draws)
+    # Mean of uniform(0, rot) should be near rot/2.
+    assert np.mean(draws) == pytest.approx(model.rotation_time / 2, rel=0.25)
+
+
+@given(st.integers(min_value=0, max_value=1015),
+       st.integers(min_value=0, max_value=1015))
+def test_seek_time_nonnegative_property(a, b):
+    model = DiskServiceModel()
+    assert model.seek_time(a, b) >= 0.0

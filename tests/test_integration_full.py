@@ -1,0 +1,91 @@
+"""Deep integration tests: whole-system consistency and scale invariance."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExperimentRunner
+from repro.core.claims import evaluate_claims
+from repro.core.sizes import class_fractions, RequestClass
+
+
+def test_filesystems_consistent_after_combined_run():
+    runner = ExperimentRunner(nnodes=2, seed=3)
+    runner.run_combined()
+    for node in runner.last_cluster.nodes:
+        assert node.kernel.fs.fsck() == []
+
+
+def test_filesystems_consistent_after_baseline():
+    runner = ExperimentRunner(nnodes=1, seed=3, baseline_duration=400.0)
+    runner.run_baseline()
+    for node in runner.last_cluster.nodes:
+        assert node.kernel.fs.fsck() == []
+
+
+def test_no_swap_leak_after_apps_exit():
+    runner = ExperimentRunner(nnodes=1, seed=2)
+    runner.run_single("wavelet")
+    vm = runner.last_cluster.nodes[0].kernel.vm
+    # all address spaces destroyed -> no frames held
+    assert vm.frames_used == 0
+
+
+def test_per_node_characteristics_invariant_in_cluster_size():
+    """The paper's per-disk observations should not depend on node count."""
+    def fractions(nnodes):
+        runner = ExperimentRunner(nnodes=nnodes, seed=1)
+        result = runner.run_single("nbody")
+        return (result.metrics.read_fraction,
+                class_fractions(result.trace)[RequestClass.BLOCK],
+                result.metrics.requests_per_node)
+
+    r1, b1, n1 = fractions(1)
+    r3, b3, n3 = fractions(3)
+    assert r3 == pytest.approx(r1, abs=0.06)
+    assert b3 == pytest.approx(b1, abs=0.12)
+    assert n3 == pytest.approx(n1, rel=0.35)
+
+
+def test_different_seeds_same_shape():
+    """Claims are robust to the random seed, not a lucky draw."""
+    for seed in (11, 29):
+        runner = ExperimentRunner(nnodes=1, seed=seed,
+                                  baseline_duration=800.0)
+        results = {"baseline": runner.run_baseline(),
+                   "wavelet": runner.run_single("wavelet")}
+        outcomes = [o for o in evaluate_claims(results)
+                    if o.passed is not None]
+        failing = [o.claim.id for o in outcomes if not o.passed]
+        assert not failing, f"seed {seed}: {failing}"
+
+
+def test_trace_pending_counts_sane_under_load():
+    runner = ExperimentRunner(nnodes=1, seed=4)
+    result = runner.run_single("wavelet")
+    pending = result.trace.pending
+    assert pending.min() >= 1                 # includes the logged request
+    assert pending.max() < 200                # queue never explodes
+    assert float(np.mean(pending)) < 20
+
+
+def test_reproducible_across_hash_seeds():
+    """Results must not depend on Python's per-process hash randomization.
+
+    (Regression test: app RNG seeding once used hash(name), which varies
+    with PYTHONHASHSEED and made benchmark shapes flaky across runs.)
+    """
+    import os
+    import subprocess
+    import sys
+
+    code = ("from repro.core import ExperimentRunner;"
+            "m = ExperimentRunner(nnodes=1, seed=1)"
+            ".run_single('nbody').metrics;"
+            "print(m.total_requests, m.read_pct)")
+    outputs = set()
+    for hash_seed in ("1", "7777"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        result = subprocess.run([sys.executable, "-c", code], env=env,
+                                capture_output=True, text=True, check=True)
+        outputs.add(result.stdout.strip())
+    assert len(outputs) == 1, outputs

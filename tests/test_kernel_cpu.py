@@ -1,0 +1,92 @@
+"""Unit tests for the time-sliced CPU."""
+
+import pytest
+
+from repro.kernel import CPU
+from repro.sim import Simulator
+from tests.conftest import drive
+
+
+def test_single_process_runs_at_full_speed():
+    sim = Simulator()
+    cpu = CPU(sim, speed=1.0, timeslice=0.1)
+    drive(sim, cpu.execute(2.0))
+    assert sim.now == pytest.approx(2.0)
+    assert cpu.busy_time == pytest.approx(2.0)
+
+
+def test_speed_scales_duration():
+    sim = Simulator()
+    cpu = CPU(sim, speed=2.0, timeslice=0.1)
+    drive(sim, cpu.execute(2.0))
+    assert sim.now == pytest.approx(1.0)
+
+
+def test_two_processes_share_fairly():
+    sim = Simulator()
+    cpu = CPU(sim, speed=1.0, timeslice=0.1)
+    finish = {}
+
+    def job(name, seconds):
+        yield from cpu.execute(seconds)
+        finish[name] = sim.now
+
+    sim.process(job("a", 1.0))
+    sim.process(job("b", 1.0))
+    sim.run()
+    # Interleaved round-robin: both finish near 2.0, neither at 1.0.
+    assert finish["a"] == pytest.approx(2.0, abs=0.2)
+    assert finish["b"] == pytest.approx(2.0, abs=0.2)
+
+
+def test_short_job_not_starved_by_long_job():
+    sim = Simulator()
+    cpu = CPU(sim, speed=1.0, timeslice=0.1)
+    finish = {}
+
+    def job(name, seconds):
+        yield from cpu.execute(seconds)
+        finish[name] = sim.now
+
+    sim.process(job("long", 10.0))
+    sim.process(job("short", 0.5))
+    sim.run()
+    assert finish["short"] == pytest.approx(1.0, abs=0.2)  # ~2x stretch
+    assert finish["long"] == pytest.approx(10.5, abs=0.2)
+
+
+def test_zero_compute_is_instant():
+    sim = Simulator()
+    cpu = CPU(sim, timeslice=0.1)
+    drive(sim, cpu.execute(0.0))
+    assert sim.now == 0.0
+
+
+def test_invalid_parameters():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        CPU(sim, speed=0)
+    with pytest.raises(ValueError):
+        CPU(sim, timeslice=0)
+    cpu = CPU(sim)
+    with pytest.raises(ValueError):
+        drive(sim, cpu.execute(-1.0))
+
+
+def test_load_reflects_contention():
+    sim = Simulator()
+    cpu = CPU(sim, timeslice=0.5)
+    observed = []
+
+    def job():
+        yield from cpu.execute(1.0)
+
+    def observer():
+        yield sim.timeout(0.25)
+        observed.append(cpu.load)
+
+    sim.process(job())
+    sim.process(job())
+    sim.process(observer())
+    sim.run()
+    assert observed[0] == 2

@@ -1,0 +1,118 @@
+"""Unit and property tests for the read-ahead window logic.
+
+The observable that matters is the *new coverage* each plan adds — that is
+what turns into a disk request (already-covered blocks are cache hits).
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.kernel import ReadAheadState
+
+
+def coverage_deltas(ra, accesses, file_nblocks=100_000):
+    """Plan a sequence of reads; return newly-fetched blocks per plan.
+
+    New fetch = coverage growth past both the prior coverage and the read
+    position (a seek moves coverage without fetching).
+    """
+    deltas = []
+    for first, n in accesses:
+        before = ra._covered_end
+        ra.plan(first, n, file_nblocks)
+        deltas.append(max(0, ra._covered_end - max(before, first)))
+    return deltas
+
+
+def sequential_1kb(n, start=0):
+    return [(start + i, 1) for i in range(n)]
+
+
+def test_first_access_fetches_only_what_is_asked():
+    ra = ReadAheadState(max_window_kb=16)
+    start, count = ra.plan(0, 1, file_nblocks=100)
+    assert (start, count) == (0, 1)
+
+
+def test_sequential_stream_grows_to_ceiling():
+    ra = ReadAheadState(max_window_kb=16)
+    deltas = coverage_deltas(ra, sequential_1kb(40))
+    assert deltas[0] == 1
+    assert max(deltas) == 16          # saturates at 16 KB window
+    assert all(d <= 16 for d in deltas)
+    # the bulk of a long stream is fetched in full-window units
+    assert deltas.count(16) >= 2
+
+
+def test_plan_always_covers_the_request():
+    ra = ReadAheadState(max_window_kb=16)
+    for first, n in [(0, 1), (1, 4), (5, 2), (100, 3)]:
+        start, count = ra.plan(first, n, 1000)
+        assert start == first
+        assert count >= n
+
+
+def test_seek_resets_window_and_counts():
+    ra = ReadAheadState(max_window_kb=16)
+    coverage_deltas(ra, sequential_1kb(6))
+    assert ra.seeks == 0
+    deltas = coverage_deltas(ra, [(500, 1)])
+    assert ra.seeks == 1
+    assert deltas == [1]              # back to a single block
+
+
+def test_resumed_stream_regrows():
+    ra = ReadAheadState(max_window_kb=16)
+    coverage_deltas(ra, sequential_1kb(6))
+    coverage_deltas(ra, [(500, 1)])
+    deltas = coverage_deltas(ra, sequential_1kb(30, start=501))
+    assert max(deltas) == 16
+
+
+def test_window_clipped_at_file_end():
+    ra = ReadAheadState(max_window_kb=16)
+    for i in range(10):
+        start, count = ra.plan(i, 1, 10)
+        assert start + count <= 10
+
+
+def test_dynamic_ceiling_provider_scales_window():
+    ceiling = {"kb": 16}
+    ra = ReadAheadState(max_window_provider=lambda: ceiling["kb"])
+    deltas = coverage_deltas(ra, sequential_1kb(40))
+    assert max(deltas) == 16
+    ceiling["kb"] = 32                # multiprogramming scale-up
+    deltas = coverage_deltas(ra, sequential_1kb(60, start=40))
+    assert max(deltas) == 32
+
+
+def test_request_larger_than_window_passes_through():
+    ra = ReadAheadState(max_window_kb=16)
+    _, count = ra.plan(0, 40, 1000)
+    assert count >= 40
+
+
+def test_invalid_arguments():
+    with pytest.raises(ValueError):
+        ReadAheadState(max_window_kb=0)
+    ra = ReadAheadState()
+    with pytest.raises(ValueError):
+        ra.plan(0, 0, 10)
+
+
+@given(st.lists(st.tuples(st.integers(0, 500), st.integers(1, 8)),
+                min_size=1, max_size=40),
+       st.integers(1, 64))
+def test_plan_invariants(accesses, max_kb):
+    ra = ReadAheadState(max_window_kb=max_kb)
+    file_nblocks = 512
+    for first, n in accesses:
+        before = ra._covered_end
+        start, count = ra.plan(first, n, file_nblocks)
+        assert start == first
+        assert start + count <= file_nblocks
+        # always covers the (clipped) request
+        assert count >= min(n, file_nblocks - first)
+        # never fetches more new blocks than one request plus one window
+        new_fetch = max(0, ra._covered_end - max(before, first))
+        assert new_fetch <= n + ra.max_window_blocks

@@ -1,0 +1,159 @@
+"""Unit tests for the file syscall layer (FileHandle)."""
+
+import pytest
+
+from repro.kernel import BufferCache, FileSystem, ReadAheadState
+from repro.kernel.fs import FsError
+from repro.kernel.syscalls import FileHandle
+from tests.conftest import drive
+
+
+@pytest.fixture
+def fs(sim, traced_driver):
+    cache = BufferCache(sim, traced_driver, capacity_blocks=256,
+                        sectors_per_block=2)
+    return FileSystem(cache)
+
+
+def handle(sim, fs, path, size=0, readahead=None, zone="data"):
+    """Create a file of ``size`` bytes whose data is NOT cached."""
+    inode = drive(sim, fs.create(path, zone=zone))
+    if size:
+        drive(sim, fs.truncate_extend(inode, size))
+        drive(sim, fs.cache.sync())
+        for block in inode.blocks:
+            fs.cache.invalidate(block)
+        fs.cache.driver.transport.drain_now()
+        fs.cache.driver.transport.user_buffer.clear()
+    return FileHandle(fs, inode, readahead=readahead)
+
+
+def traces(fs):
+    fs.cache.driver.transport.drain_now()
+    return fs.cache.driver.transport.user_buffer.to_array()
+
+
+def test_write_extends_file_and_is_delayed(sim, fs):
+    h = handle(sim, fs, "/out")
+    n = drive(sim, h.write(3000))
+    assert n == 3000
+    assert h.inode.size_bytes == 3000
+    assert h.inode.nblocks == 3
+    assert fs.cache.dirty_count > 0
+
+
+def test_append_positions_at_eof(sim, fs):
+    h = handle(sim, fs, "/log")
+    drive(sim, h.write(1024))
+    h.seek(0)
+    drive(sim, h.append(512))
+    assert h.inode.size_bytes == 1536
+
+
+def test_read_returns_clipped_byte_count(sim, fs):
+    h = handle(sim, fs, "/in", size=2048)
+    h.seek(1024)
+    assert drive(sim, h.read(4096)) == 1024
+    assert drive(sim, h.read(10)) == 0  # at EOF
+
+
+def test_read_miss_generates_disk_reads(sim, fs):
+    h = handle(sim, fs, "/in", size=4096)
+    drive(sim, h.read(1024))
+    arr = traces(fs)
+    reads = arr[arr["write"] == 0]
+    assert len(reads) >= 1
+
+
+def test_sequential_reads_grow_request_sizes(sim, fs):
+    ra = ReadAheadState(max_window_kb=16)
+    h = handle(sim, fs, "/stream", size=64 * 1024, readahead=ra)
+    while True:
+        n = drive(sim, h.read(1024))
+        if n == 0:
+            break
+    arr = traces(fs)
+    reads = arr[(arr["write"] == 0)]
+    sizes = reads["size_kb"].tolist()
+    assert max(sizes) == 16.0  # window saturates at the 16 KB ceiling
+    assert sizes[0] == 1.0     # stream starts with a single block
+
+
+def test_readahead_hits_avoid_disk(sim, fs):
+    ra = ReadAheadState(max_window_kb=16)
+    h = handle(sim, fs, "/stream", size=32 * 1024, readahead=ra)
+    while drive(sim, h.read(1024)):
+        pass
+    arr = traces(fs)
+    reads = arr[arr["write"] == 0]
+    # Far fewer disk requests than the 32 x 1 KB syscalls issued.
+    assert len(reads) < 16
+
+
+def test_random_reads_stay_small(sim, fs):
+    ra = ReadAheadState(max_window_kb=16)
+    h = handle(sim, fs, "/rand", size=64 * 1024, readahead=ra)
+    import numpy as np
+    rng = np.random.default_rng(3)
+    for _ in range(10):
+        h.seek(int(rng.integers(0, 63)) * 1024)
+        drive(sim, h.read(1024))
+    arr = traces(fs)
+    reads = arr[arr["write"] == 0]
+    assert max(reads["size_kb"]) <= 2.0
+
+
+def test_closed_handle_rejects_io(sim, fs):
+    h = handle(sim, fs, "/f", size=1024)
+    h.close()
+    with pytest.raises(FsError):
+        drive(sim, h.read(10))
+    with pytest.raises(FsError):
+        drive(sim, h.write(10))
+
+
+def test_context_manager_closes(sim, fs):
+    h = handle(sim, fs, "/f")
+    with h:
+        pass
+    assert h.closed
+
+
+def test_invalid_arguments(sim, fs):
+    h = handle(sim, fs, "/f", size=1024)
+    with pytest.raises(ValueError):
+        h.seek(-1)
+    with pytest.raises(ValueError):
+        drive(sim, h.read(0))
+    with pytest.raises(ValueError):
+        drive(sim, h.write(0))
+
+
+def test_write_then_read_hits_cache(sim, fs):
+    h = handle(sim, fs, "/f")
+    drive(sim, h.write(2048))
+    h.seek(0)
+    before = fs.cache.stats.misses
+    drive(sim, h.read(2048))
+    assert fs.cache.stats.misses == before  # all hits
+
+
+def test_atime_updates_dirty_inode_on_read(sim, traced_driver):
+    from repro.kernel import BufferCache, FileSystem
+    cache = BufferCache(sim, traced_driver, capacity_blocks=256,
+                        sectors_per_block=2)
+    fs_atime = FileSystem(cache, atime_updates=True)
+    h = handle(sim, fs_atime, "/f", size=2048)
+    inode_block = fs_atime.inode_table_block(h.inode.ino)
+    assert not fs_atime.cache.is_dirty(inode_block)
+    drive(sim, h.read(1024))
+    assert fs_atime.cache.is_dirty(inode_block)
+
+
+def test_no_atime_by_default(sim, fs):
+    h = handle(sim, fs, "/f", size=2048)
+    inode_block = fs.inode_table_block(h.inode.ino)
+    # handle() syncs after setup, so the inode block starts clean
+    assert not fs.cache.is_dirty(inode_block)
+    drive(sim, h.read(1024))
+    assert not fs.cache.is_dirty(inode_block)

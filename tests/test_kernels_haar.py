@@ -1,0 +1,89 @@
+"""Unit and property tests for the Haar wavelet kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kernels import haar2d, haar2d_inverse, haar_level
+from repro.apps.kernels.haar import (
+    compression_energy,
+    haar_level_inverse,
+)
+
+
+def test_constant_image_has_all_energy_in_ll():
+    img = np.full((8, 8), 5.0)
+    out = haar_level(img)
+    assert np.allclose(out[:4, :4], 10.0)   # LL = 2x mean per level
+    assert np.allclose(out[:4, 4:], 0.0)
+    assert np.allclose(out[4:, :4], 0.0)
+    assert np.allclose(out[4:, 4:], 0.0)
+
+
+def test_single_level_roundtrip():
+    rng = np.random.default_rng(0)
+    img = rng.random((16, 16))
+    assert np.allclose(haar_level_inverse(haar_level(img)), img)
+
+
+def test_multi_level_roundtrip():
+    rng = np.random.default_rng(1)
+    img = rng.random((64, 64))
+    coeffs = haar2d(img, levels=4)
+    assert np.allclose(haar2d_inverse(coeffs, levels=4), img, atol=1e-10)
+
+
+def test_orthonormality_preserves_energy():
+    rng = np.random.default_rng(2)
+    img = rng.random((32, 32))
+    coeffs = haar2d(img, levels=3)
+    assert np.sum(coeffs ** 2) == pytest.approx(np.sum(img ** 2))
+
+
+def test_horizontal_edge_excites_hl_band():
+    img = np.zeros((8, 8))
+    img[3:, :] = 1.0  # horizontal edge inside a 2x2 block -> HL detail
+    out = haar_level(img)
+    assert np.abs(out[4:, :4]).sum() > 0       # HL nonzero on the edge rows
+    assert np.allclose(out[:4, 4:], 0.0)       # no LH response
+    assert np.allclose(out[4:, 4:], 0.0)       # no diagonal response
+
+
+def test_smooth_image_compresses_well():
+    x = np.linspace(0, 1, 64)
+    img = np.outer(np.sin(2 * np.pi * x), np.cos(2 * np.pi * x)) + 2.0
+    coeffs = haar2d(img, levels=3)
+    assert compression_energy(coeffs, levels=3) > 0.95
+
+
+def test_odd_dimensions_rejected():
+    with pytest.raises(ValueError):
+        haar_level(np.zeros((7, 8)))
+    with pytest.raises(ValueError):
+        haar2d(np.zeros((12, 12)), levels=3)  # 12 not divisible by 8
+
+
+def test_levels_validation():
+    with pytest.raises(ValueError):
+        haar2d(np.zeros((8, 8)), levels=0)
+    with pytest.raises(ValueError):
+        haar_level(np.zeros(8))  # 1-D
+
+
+def test_512_image_decomposes_like_the_study():
+    rng = np.random.default_rng(3)
+    img = rng.integers(0, 256, size=(512, 512)).astype(float)
+    coeffs = haar2d(img, levels=5)
+    back = haar2d_inverse(coeffs, levels=5)
+    assert np.allclose(back, img, atol=1e-8)
+
+
+@settings(deadline=None, max_examples=20)
+@given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=2**31 - 1))
+def test_roundtrip_and_energy_property(levels, seed):
+    rng = np.random.default_rng(seed)
+    n = 16 << levels
+    img = rng.random((n // 2, n))  # rectangular, still divisible
+    coeffs = haar2d(img, levels=levels)
+    assert np.sum(coeffs ** 2) == pytest.approx(np.sum(img ** 2), rel=1e-9)
+    assert np.allclose(haar2d_inverse(coeffs, levels=levels), img, atol=1e-9)

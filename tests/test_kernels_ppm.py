@@ -1,0 +1,117 @@
+"""Unit and property tests for the PPM hydrodynamics kernel."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps.kernels import PPMState, advect_step, ppm_reconstruct
+from repro.apps.kernels.ppm_hydro import flops_per_cell_step, run_advection
+
+
+def gaussian(n=128):
+    x = np.linspace(0, 1, n, endpoint=False)
+    return np.exp(-200 * (x - 0.5) ** 2)
+
+
+def square(n=128):
+    x = np.linspace(0, 1, n, endpoint=False)
+    return ((x > 0.3) & (x < 0.6)).astype(float)
+
+
+def test_reconstruction_is_exact_for_constants():
+    u = np.full(32, 3.7)
+    left, right = ppm_reconstruct(u)
+    assert np.allclose(left, 3.7)
+    assert np.allclose(right, 3.7)
+
+
+def test_reconstruction_interfaces_bounded_by_neighbors():
+    u = square(64)
+    left, right = ppm_reconstruct(u)
+    lo = np.minimum(u, np.minimum(np.roll(u, 1), np.roll(u, -1)))
+    hi = np.maximum(u, np.maximum(np.roll(u, 1), np.roll(u, -1)))
+    assert (left >= lo - 1e-12).all() and (left <= hi + 1e-12).all()
+    assert (right >= lo - 1e-12).all() and (right <= hi + 1e-12).all()
+
+
+def test_advection_conserves_mass():
+    u = gaussian(256)
+    out = run_advection(u, velocity=1.0, dx=1.0 / 256, cfl=0.8, nsteps=50)
+    assert np.sum(out) == pytest.approx(np.sum(u), rel=1e-12)
+
+
+def test_advection_no_new_extrema_for_square_wave():
+    u = square(128)
+    out = run_advection(u, velocity=1.0, dx=1.0 / 128, cfl=0.6, nsteps=40)
+    assert out.min() >= -1e-10
+    assert out.max() <= 1.0 + 1e-10
+
+
+def test_full_period_returns_profile():
+    n = 256
+    u = gaussian(n)
+    # CFL=1.0 advects exactly one cell per step: n steps = one period.
+    out = run_advection(u, velocity=1.0, dx=1.0 / n, cfl=1.0, nsteps=n)
+    assert np.allclose(out, u, atol=1e-10)
+
+
+def test_advection_moves_peak_the_right_way():
+    n = 128
+    u = gaussian(n)
+    out = run_advection(u, velocity=1.0, dx=1.0 / n, cfl=0.5, nsteps=20)
+    # 20 steps at CFL 0.5 -> 10 cells to the right
+    assert abs(int(np.argmax(out)) - (int(np.argmax(u)) + 10)) <= 1
+
+
+def test_negative_velocity_moves_left():
+    n = 128
+    u = gaussian(n)
+    out = run_advection(u, velocity=-1.0, dx=1.0 / n, cfl=0.5, nsteps=20)
+    assert abs(int(np.argmax(out)) - (int(np.argmax(u)) - 10)) <= 1
+
+
+def test_ppm_sharper_than_first_order_upwind():
+    n = 128
+    u = square(n)
+    dx = 1.0 / n
+    cfl = 0.5
+    steps = 2 * n  # one full period
+    ppm = run_advection(u, 1.0, dx, cfl, steps)
+    # first-order upwind for reference
+    ref = u.copy()
+    for _ in range(steps):
+        ref = ref - cfl * (ref - np.roll(ref, 1))
+    err_ppm = np.abs(ppm - u).sum()
+    err_upwind = np.abs(ref - u).sum()
+    assert err_ppm < 0.5 * err_upwind
+
+
+def test_cfl_violation_rejected():
+    state = PPMState(gaussian(), dx=1.0 / 128, velocity=1.0)
+    with pytest.raises(ValueError):
+        advect_step(state, dt=2.0 / 128)
+
+
+def test_state_validation():
+    with pytest.raises(ValueError):
+        PPMState(np.zeros((4, 4)).ravel()[:3], dx=1.0, velocity=1.0)
+    with pytest.raises(ValueError):
+        PPMState(np.zeros(16), dx=0.0, velocity=1.0)
+    with pytest.raises(ValueError):
+        run_advection(np.zeros(16), 1.0, 0.1, cfl=0.0, nsteps=1)
+
+
+def test_flops_estimate_positive():
+    assert flops_per_cell_step() > 0
+
+
+@settings(deadline=None, max_examples=25)
+@given(st.integers(min_value=8, max_value=64),
+       st.floats(min_value=0.1, max_value=1.0),
+       st.integers(min_value=1, max_value=20))
+def test_mass_conservation_property(n, cfl, nsteps):
+    rng = np.random.default_rng(n)
+    u = rng.random(n)
+    out = run_advection(u, velocity=1.0, dx=1.0 / n, cfl=cfl, nsteps=nsteps)
+    assert np.sum(out) == pytest.approx(np.sum(u), rel=1e-10)
+    assert np.isfinite(out).all()

@@ -1,0 +1,249 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, Simulator, SimulationError
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    log = []
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        log.append(sim.now)
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    sim.process(proc(sim))
+    sim.run()
+    assert log == [2.5, 3.5]
+    assert sim.now == 3.5
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    for delay in (3.0, 1.0, 2.0):
+        sim.schedule_callback(delay, lambda d=delay: order.append(d))
+    sim.run()
+    assert order == [1.0, 2.0, 3.0]
+
+
+def test_ties_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+    for tag in "abc":
+        sim.schedule_callback(1.0, lambda t=tag: order.append(t))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_run_until_stops_clock_exactly():
+    sim = Simulator()
+
+    def ticker(sim):
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(ticker(sim))
+    sim.run(until=5.5)
+    assert sim.now == 5.5
+
+
+def test_run_until_past_raises():
+    sim = Simulator()
+    sim.run(until=3.0)
+    with pytest.raises(ValueError):
+        sim.run(until=1.0)
+
+
+def test_process_return_value_propagates():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        return 42
+
+    def parent(sim):
+        value = yield sim.process(child(sim))
+        results.append(value)
+
+    sim.process(parent(sim))
+    sim.run()
+    assert results == [42]
+
+
+def test_waiting_on_finished_process_resumes_immediately():
+    sim = Simulator()
+    results = []
+
+    def child(sim):
+        return 7
+        yield  # pragma: no cover
+
+    def parent(sim, childproc):
+        yield sim.timeout(5.0)
+        value = yield childproc
+        results.append((sim.now, value))
+
+    childproc = sim.process(child(sim))
+    sim.process(parent(sim, childproc))
+    sim.run()
+    assert results == [(5.0, 7)]
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    gate = sim.event()
+    log = []
+
+    def waiter(sim):
+        value = yield gate
+        log.append((sim.now, value))
+
+    def opener(sim):
+        yield sim.timeout(3.0)
+        gate.succeed("open")
+
+    sim.process(waiter(sim))
+    sim.process(opener(sim))
+    sim.run()
+    assert log == [(3.0, "open")]
+
+
+def test_event_cannot_trigger_twice():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield ev
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.process(waiter(sim))
+    ev.fail(RuntimeError("boom"))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_uncaught_process_exception_propagates_from_run():
+    sim = Simulator()
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("exploded")
+
+    sim.process(bad(sim))
+    with pytest.raises(ValueError, match="exploded"):
+        sim.run()
+
+
+def test_fail_fast_off_records_failure_on_process():
+    sim = Simulator(fail_fast=False)
+
+    def bad(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("exploded")
+
+    proc = sim.process(bad(sim))
+    sim.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.value, ValueError)
+
+
+def test_yield_non_event_raises():
+    sim = Simulator()
+
+    def bad(sim):
+        yield 42
+
+    sim.process(bad(sim))
+    with pytest.raises(SimulationError, match="non-event"):
+        sim.run()
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt("wake up")
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [(2.0, "wake up")]
+
+
+def test_interrupt_dead_process_raises():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(1.0)
+
+    proc = sim.process(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt:
+            pass
+        yield sim.timeout(1.0)
+        log.append(sim.now)
+
+    def interrupter(sim, victim):
+        yield sim.timeout(2.0)
+        victim.interrupt()
+
+    victim = sim.process(sleeper(sim))
+    sim.process(interrupter(sim, victim))
+    sim.run()
+    assert log == [3.0]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+    assert sim.peek() == float("inf")
+    sim.timeout(4.0)
+    assert sim.peek() == 4.0
+
+
+def test_schedule_callback_runs_at_delay():
+    sim = Simulator()
+    hits = []
+    sim.schedule_callback(2.0, lambda: hits.append(sim.now))
+    sim.run()
+    assert hits == [2.0]

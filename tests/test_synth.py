@@ -1,0 +1,164 @@
+"""Unit and integration tests for workload synthesis and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core import TraceDataset, compute_metrics
+from repro.core.sizes import size_histogram
+from repro.synth import WorkloadModel, fit_workload_model, replay_trace
+from repro.synth.replay import compare_schedulers
+
+
+def reference_trace(n=2000, seed=0):
+    """A synthetic 'measured' trace with known structure."""
+    rng = np.random.default_rng(seed)
+    times = np.sort(rng.uniform(0, 1000.0, size=n))
+    sizes = rng.choice([1.0, 2.0, 4.0, 16.0], p=[0.5, 0.1, 0.3, 0.1], size=n)
+    reads = np.where(sizes >= 4.0, rng.random(n) < 0.6, rng.random(n) < 0.05)
+    hot = rng.choice([44_000, 44_002, 96_010], size=n)
+    cold = rng.integers(240_000, 360_000, size=n)
+    sectors = np.where(rng.random(n) < 0.6, hot, cold)
+    rows = [(float(t), int(s), int(not r), 1, float(kb), 0)
+            for t, s, r, kb in zip(times, sectors, reads, sizes)]
+    return TraceDataset.from_records(rows)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return fit_workload_model(reference_trace())
+
+
+def test_fit_requires_records():
+    with pytest.raises(ValueError):
+        fit_workload_model(TraceDataset.empty())
+
+
+def test_fitted_probabilities_are_distributions(model):
+    assert model.size_probs.sum() == pytest.approx(1.0)
+    assert model.hot_probs.sum() == pytest.approx(1.0)
+    if len(model.band_probs):
+        assert model.band_probs.sum() == pytest.approx(1.0)
+    assert 0.0 <= model.hot_share <= 1.0
+    assert ((0.0 <= model.read_prob_by_size)
+            & (model.read_prob_by_size <= 1.0)).all()
+
+
+def test_fitted_rate_matches_source(model):
+    assert model.arrival_rate == pytest.approx(2.0, rel=0.05)  # 2000/1000s
+
+
+def test_generated_trace_matches_rate_and_mix(model):
+    synth = model.generate(1000.0, rng=np.random.default_rng(1))
+    assert len(synth) == pytest.approx(2000, rel=0.15)
+    ref_m = compute_metrics(reference_trace())
+    syn_m = compute_metrics(synth)
+    assert syn_m.read_fraction == pytest.approx(ref_m.read_fraction, abs=0.05)
+    assert syn_m.mean_size_kb == pytest.approx(ref_m.mean_size_kb, rel=0.1)
+
+
+def test_generated_size_histogram_shape(model):
+    synth = model.generate(1000.0, rng=np.random.default_rng(2))
+    ref_hist = size_histogram(reference_trace())
+    syn_hist = size_histogram(synth)
+    assert set(syn_hist) <= set(ref_hist)
+    # dominant size preserved
+    assert max(syn_hist, key=syn_hist.get) == max(ref_hist, key=ref_hist.get)
+
+
+def test_generated_hot_spots_preserved(model):
+    synth = model.generate(1000.0, rng=np.random.default_rng(3))
+    sectors, counts = np.unique(synth.sector, return_counts=True)
+    top3 = set(sectors[np.argsort(counts)[::-1][:3]].tolist())
+    assert top3 == {44_000, 44_002, 96_010}
+
+
+def test_generate_validation(model):
+    with pytest.raises(ValueError):
+        model.generate(0.0)
+
+
+def test_generate_reproducible(model):
+    a = model.generate(100.0, rng=np.random.default_rng(7))
+    b = model.generate(100.0, rng=np.random.default_rng(7))
+    assert a == b
+
+
+def test_bursty_model_generates_bursty_arrivals():
+    # strongly bursty source: bursts of 10 back-to-back requests every 10 s
+    times = np.sort(np.concatenate(
+        [10.0 * burst + 1e-3 * np.arange(10) for burst in range(100)]))
+    rows = [(float(t), 100, 1, 1, 1.0, 0) for t in times]
+    model = fit_workload_model(TraceDataset.from_records(rows))
+    assert model.interarrival_scv > 1.5
+    synth = model.generate(500.0, rng=np.random.default_rng(4))
+    gaps = np.diff(np.sort(synth.time))
+    scv = gaps.var() / gaps.mean() ** 2
+    assert scv > 1.2
+
+
+# -- replay -------------------------------------------------------------------
+
+def test_replay_reports_sane_latencies():
+    report = replay_trace(reference_trace(n=300), scheduler="clook")
+    assert report.requests == 300
+    assert 0 < report.mean_latency < 1.0
+    assert report.p95_latency >= report.mean_latency
+    assert 0 < report.disk_busy_fraction <= 1.0
+
+
+def test_replay_validation():
+    with pytest.raises(ValueError):
+        replay_trace(TraceDataset.empty())
+    with pytest.raises(ValueError):
+        replay_trace(reference_trace(n=10), scheduler="elevator9000")
+    with pytest.raises(ValueError):
+        replay_trace(reference_trace(n=10), time_scale=0)
+
+
+def test_time_compression_raises_queueing():
+    trace = reference_trace(n=300)
+    relaxed = replay_trace(trace, time_scale=1.0)
+    loaded = replay_trace(trace, time_scale=0.01)
+    assert loaded.mean_latency > relaxed.mean_latency
+    assert loaded.max_queue_depth > relaxed.max_queue_depth
+
+
+def test_scheduler_comparison_under_load():
+    # seek-heavy workload: sectors uniform over the whole disk, arrivals
+    # compressed so the queue stays deep
+    rng = np.random.default_rng(5)
+    rows = [(float(t), int(rng.integers(0, 1_000_000)), 1, 1, 1.0, 0)
+            for t in np.sort(rng.uniform(0, 400.0, size=400))]
+    trace = TraceDataset.from_records(rows)
+    reports = compare_schedulers(trace, time_scale=0.001)
+    assert set(reports) == {"fifo", "sstf", "scan", "clook"}
+    assert reports["scan"].mean_latency < reports["fifo"].mean_latency
+    # seek-aware disciplines beat FIFO when the queue is deep
+    assert reports["clook"].mean_latency < reports["fifo"].mean_latency
+    assert reports["sstf"].mean_latency < reports["fifo"].mean_latency
+
+
+def test_model_json_roundtrip(model):
+    restored = WorkloadModel.from_json(model.to_json())
+    assert np.array_equal(restored.sizes_kb, model.sizes_kb)
+    assert np.array_equal(restored.hot_sectors, model.hot_sectors)
+    assert restored.arrival_rate == model.arrival_rate
+    # a restored model generates the identical trace
+    a = model.generate(50.0, rng=np.random.default_rng(9))
+    b = restored.generate(50.0, rng=np.random.default_rng(9))
+    assert a == b
+
+
+def test_from_json_rejects_foreign_documents():
+    with pytest.raises(ValueError):
+        WorkloadModel.from_json('{"format": "something-else"}')
+
+
+def test_cli_fit_model(tmp_path, capsys):
+    from repro.cli import main
+    out = tmp_path / "model.json"
+    rc = main(["baseline", "--nodes", "1", "--duration", "300",
+               "--fit-model", str(out)])
+    assert rc == 0
+    restored = WorkloadModel.from_json(out.read_text())
+    assert restored.arrival_rate > 0

@@ -1,0 +1,23 @@
+"""The API-doc generator runs and covers the public surface."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def test_gen_api_docs(tmp_path):
+    out = tmp_path / "API.md"
+    subprocess.run([sys.executable, str(REPO / "tools" / "gen_api_docs.py"),
+                    str(out)], check=True, cwd=REPO)
+    text = out.read_text()
+    for symbol in ("Simulator", "Disk", "InstrumentedIDEDriver",
+                   "NodeKernel", "BeowulfCluster", "WaveletApplication",
+                   "ExperimentRunner", "WorkloadModel", "TraceDataset"):
+        assert symbol in text, symbol
+    # every subpackage is documented
+    for package in ("repro.sim", "repro.disk", "repro.driver",
+                    "repro.kernel", "repro.cluster", "repro.apps",
+                    "repro.core", "repro.synth", "repro.viz"):
+        assert f"## `{package}`" in text, package

@@ -1,0 +1,67 @@
+"""Tests for the SVG rendering backend."""
+
+import numpy as np
+import pytest
+
+from repro.viz import svg_bar_chart, svg_scatter
+
+
+def test_scatter_is_wellformed_svg():
+    doc = svg_scatter([0, 1, 2], [3, 4, 5], title="T", xlabel="x",
+                      ylabel="y")
+    assert doc.startswith("<svg")
+    assert doc.rstrip().endswith("</svg>")
+    assert doc.count("<circle") == 3
+    assert ">T</text>" in doc
+    assert ">x</text>" in doc
+
+
+def test_scatter_empty_still_valid():
+    doc = svg_scatter([], [])
+    assert "<circle" not in doc
+    assert doc.startswith("<svg")
+
+
+def test_scatter_thins_huge_inputs():
+    n = 100_000
+    doc = svg_scatter(np.arange(n), np.arange(n), max_points=1000)
+    assert doc.count("<circle") <= 1001
+
+
+def test_scatter_mismatched_lengths():
+    with pytest.raises(ValueError):
+        svg_scatter([1, 2], [1])
+
+
+def test_scatter_escapes_labels():
+    doc = svg_scatter([1], [1], title="a<b&c")
+    assert "a&lt;b&amp;c" in doc
+    assert "a<b" not in doc
+
+
+def test_bar_chart_one_rect_per_value():
+    doc = svg_bar_chart(["a", "b", "c"], [1.0, 2.0, 3.0])
+    assert doc.count("<rect") == 1 + 1 + 3  # background + frame + bars
+    assert ">a</text>" in doc
+
+
+def test_bar_chart_mismatch():
+    with pytest.raises(ValueError):
+        svg_bar_chart(["a"], [1.0, 2.0])
+
+
+def test_figure_to_svg(tmp_path):
+    from repro.core import TraceDataset, make_figure
+    from repro.core.experiments import ExperimentResult
+    rng = np.random.default_rng(0)
+    rows = [(float(i), int(rng.integers(0, 10**6)), 1, 1, 1.0, 0)
+            for i in range(50)]
+    result = ExperimentResult(name="combined",
+                              trace=TraceDataset.from_records(rows),
+                              duration=50.0, nnodes=1)
+    for number in (6, 7):
+        out = tmp_path / f"fig{number}.svg"
+        make_figure(number, result).to_svg(out)
+        text = out.read_text()
+        assert text.startswith("<svg")
+        assert "Figure" in text
