@@ -7,7 +7,6 @@ watch its class disappear — a causal confirmation of the paper's
 attribution.
 """
 
-import dataclasses
 
 from repro.core import ExperimentRunner
 from repro.core.sizes import size_histogram

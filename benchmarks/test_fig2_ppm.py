@@ -5,7 +5,6 @@ through the run except a brief 4 KB burst near the end (~230 s); run
 length ~250 s; 4% reads / 96% writes.
 """
 
-import numpy as np
 
 from repro.core import ExperimentRunner, make_figure
 from repro.core.sizes import class_fractions, dominant_size, RequestClass

@@ -6,7 +6,6 @@ the image streams in, a compute lull with few page requests, heavier
 activity again toward the end; 49% / 51% read/write mix.
 """
 
-import numpy as np
 
 from repro.core import ExperimentRunner, make_figure
 from repro.core.sizes import class_fractions, RequestClass

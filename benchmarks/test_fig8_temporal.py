@@ -36,6 +36,5 @@ def test_figure8_temporal_locality(benchmark, combined_result):
 
     # Mean inter-access gap of the hottest sector is well under the run
     # length (it is hit repeatedly, not once).
-    import numpy as np
     idx = list(temporal.sectors).index(hottest_sector)
     assert temporal.mean_interaccess[idx] < combined_result.duration / 10

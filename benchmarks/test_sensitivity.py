@@ -9,11 +9,9 @@ the workload responds the way the mechanism predicts.
 * bdflush interval shapes write clumping (burstiness).
 """
 
-import numpy as np
 
 from repro.core import ExperimentRunner
 from repro.core.patterns import arrival_structure
-from repro.core.sizes import size_histogram
 from repro.kernel import NodeParams
 
 from conftest import BENCH_SEED

@@ -9,7 +9,7 @@ paper names: a scheduler comparison by trace replay.
 
 import numpy as np
 
-from repro.core import TraceDataset, compute_metrics
+from repro.core import compute_metrics
 from repro.core.locality import spatial_locality, temporal_locality
 from repro.core.sizes import size_histogram
 from repro.synth import fit_workload_model

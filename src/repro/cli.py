@@ -53,6 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "experiment's trace and write it as JSON")
     parser.add_argument("--csv-dir", type=Path, default=None,
                         help="export figure data and traces as CSV here")
+    parser.add_argument("--sink", type=Path, default=None, metavar="DIR",
+                        help="stream per-node traces into a run catalog "
+                             "at DIR (chunked .rpt files + manifest; "
+                             "inspect with repro-trace)")
     parser.add_argument("--width", type=int, default=72,
                         help="plot width in characters")
     parser.add_argument("--parallel", action="store_true",
@@ -64,7 +68,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     runner = ExperimentRunner(nnodes=args.nodes, seed=args.seed,
-                              baseline_duration=args.duration or 2000.0)
+                              baseline_duration=args.duration or 2000.0,
+                              sink=args.sink)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     results = {}
@@ -131,6 +136,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         for name, result in results.items():
             result.trace.save(args.csv_dir / f"trace_{name}.csv")
         print(f"CSV written to {args.csv_dir}", file=sys.stderr)
+    if args.sink:
+        print(f"run catalog -> {args.sink} "
+              f"(browse with: repro-trace ls {args.sink})", file=sys.stderr)
     return 0
 
 

@@ -109,24 +109,32 @@ class ExperimentResult:
 def _run_one_experiment(args) -> "ExperimentResult":
     """Top-level worker for ProcessPoolExecutor (must be picklable)."""
     (name, nnodes, seed, node_params, housekeeping_message_rate,
-     baseline_duration, hard_limit, flush_grace) = args
+     baseline_duration, hard_limit, flush_grace, sink) = args
     runner = ExperimentRunner(
         nnodes=nnodes, seed=seed, node_params=node_params,
         housekeeping_message_rate=housekeeping_message_rate,
         baseline_duration=baseline_duration, hard_limit=hard_limit,
-        flush_grace=flush_grace)
+        flush_grace=flush_grace, sink=sink)
     return runner.run(name)
 
 
 class ExperimentRunner:
-    """Builds clusters and runs the study's experiments on them."""
+    """Builds clusters and runs the study's experiments on them.
+
+    With ``sink=`` set to a directory, every run is also captured into a
+    :class:`~repro.store.RunCatalog` there: per-node ``.rpt`` trace files
+    stream to disk *during* the experiment (bounded writer memory) and a
+    ``manifest.json`` with config, seed, and summary metrics is written
+    at the end.
+    """
 
     def __init__(self, nnodes: int = 4, seed: int = 0,
                  node_params: Optional[NodeParams] = None,
                  housekeeping_message_rate: float = 3.0,
                  baseline_duration: float = 2000.0,
                  hard_limit: float = 5000.0,
-                 flush_grace: float = 10.0):
+                 flush_grace: float = 10.0,
+                 sink=None):
         self.nnodes = nnodes
         self.seed = seed
         self.node_params = node_params
@@ -134,6 +142,7 @@ class ExperimentRunner:
         self.baseline_duration = baseline_duration
         self.hard_limit = hard_limit
         self.flush_grace = flush_grace
+        self.sink = sink
 
     # -- public API --------------------------------------------------------
     def run(self, name: str) -> ExperimentResult:
@@ -157,9 +166,10 @@ class ExperimentRunner:
         if not parallel:
             return {name: self.run(name) for name in EXPERIMENTS}
         import concurrent.futures
+        sink = str(self.sink) if self.sink is not None else None
         args = [(name, self.nnodes, self.seed, self.node_params,
                  self.housekeeping_message_rate, self.baseline_duration,
-                 self.hard_limit, self.flush_grace)
+                 self.hard_limit, self.flush_grace, sink)
                 for name in EXPERIMENTS]
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers or len(EXPERIMENTS)) as pool:
@@ -172,10 +182,13 @@ class ExperimentRunner:
         duration = duration or self.baseline_duration
         sim, cluster = self._build()
         self._settle(sim, cluster)
+        capture = self._start_capture("baseline", cluster)
         sim.run(until=sim.now + duration)
         trace = TraceDataset(cluster.gather_traces()).between(0, duration)
-        return ExperimentResult(name="baseline", trace=trace,
-                                duration=duration, nnodes=self.nnodes)
+        result = ExperimentResult(name="baseline", trace=trace,
+                                  duration=duration, nnodes=self.nnodes)
+        self._finish_capture(capture, cluster, result)
+        return result
 
     def run_single(self, app_name: str) -> ExperimentResult:
         """One application on every node of the cluster."""
@@ -251,6 +264,7 @@ class ExperimentRunner:
                     sim.process(app.install(),
                                 name=f"install:{app_name}:{node.node_id}"))
         self._settle(sim, cluster, setup_procs)
+        capture = self._start_capture(name or app_names[0], cluster)
 
         t0 = sim.now
         procs = []
@@ -281,10 +295,46 @@ class ExperimentRunner:
         sim.run(until=finish + self.flush_grace)
         duration = finish - t0 + self.flush_grace
         trace = TraceDataset(cluster.gather_traces()).between(0, duration)
-        return ExperimentResult(
+        result = ExperimentResult(
             name=name or app_names[0],
             trace=trace,
             duration=duration,
             nnodes=self.nnodes,
             app_stats={n: [a.stats for a in apps[n]] for n in app_names},
         )
+        self._finish_capture(capture, cluster, result)
+        return result
+
+    # -- streaming capture -----------------------------------------------------
+    def _start_capture(self, name: str, cluster: BeowulfCluster):
+        """Attach per-node store writers when a ``sink`` is configured.
+
+        Called after :meth:`_settle` so the streamed files start at the
+        zeroed trace clock, exactly like the in-memory capture.
+        """
+        if self.sink is None:
+            return None
+        from repro.store import RunCatalog
+        catalog = self.sink if isinstance(self.sink, RunCatalog) \
+            else RunCatalog(self.sink)
+        capture = catalog.start_run(
+            name, nnodes=self.nnodes, seed=self.seed,
+            config={"nnodes": self.nnodes,
+                    "baseline_duration": self.baseline_duration,
+                    "housekeeping_message_rate":
+                        self.housekeeping_message_rate,
+                    "hard_limit": self.hard_limit,
+                    "flush_grace": self.flush_grace})
+        capture.attach(cluster)
+        return capture
+
+    def _finish_capture(self, capture, cluster: BeowulfCluster,
+                        result: ExperimentResult) -> None:
+        """Close streamed files and write the manifest (traces already
+        fully drained by ``gather_traces``)."""
+        if capture is None:
+            return
+        capture.detach(cluster)
+        capture.finalize(result)
+        #: directory of the last captured run, for callers/tests
+        self.last_run_dir = capture.directory

@@ -91,6 +91,14 @@ class TraceDataset:
 
     # -- persistence ----------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
+        """Write by suffix: ``.csv`` (interoperable), ``.rpt`` (chunked
+        compressed store), anything else as ``.npy``.
+
+        A suffix-less path is normalised to ``.npy`` so that
+        ``save(p)`` / ``load(p)`` always round-trip on the same string
+        (``np.save`` would silently append the suffix that a symmetric
+        ``np.load`` then misses).
+        """
         path = Path(path)
         if path.suffix == ".csv":
             with path.open("w", newline="") as fh:
@@ -98,11 +106,18 @@ class TraceDataset:
                 writer.writerow(TRACE_DTYPE.names)
                 for row in self._records:
                     writer.writerow([row[name] for name in TRACE_DTYPE.names])
+        elif path.suffix == ".rpt":
+            from repro.store import write_trace
+            write_trace(path, self._records)
         else:
-            np.save(path, self._records)
+            if path.suffix != ".npy":
+                path = path.with_name(path.name + ".npy")
+            with path.open("wb") as fh:
+                np.save(fh, self._records)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceDataset":
+        """Read back a file written by :meth:`save` (suffix-driven)."""
         path = Path(path)
         if path.suffix == ".csv":
             rows = []
@@ -113,5 +128,13 @@ class TraceDataset:
                                  int(row["write"]), int(row["pending"]),
                                  float(row["size_kb"]), int(row["node"])))
             return cls.from_records(rows)
+        if path.suffix == ".rpt":
+            from repro.store import read_trace
+            return cls(read_trace(path))
+        if path.suffix != ".npy":
+            # save() normalised the name; accept the original spelling
+            with_npy = path.with_name(path.name + ".npy")
+            if with_npy.exists() or not path.exists():
+                path = with_npy
         arr = np.load(path)
         return cls(arr)

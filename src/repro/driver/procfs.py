@@ -15,7 +15,9 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, Optional
 
-from repro.driver.trace import TraceBuffer, TraceRecord
+import numpy as np
+
+from repro.driver.trace import TRACE_DTYPE, TraceBuffer, TraceRecord
 from repro.sim import Simulator
 
 
@@ -25,7 +27,8 @@ class ProcTraceTransport:
     def __init__(self, sim: Simulator,
                  ring_capacity: int = 4096,
                  drain_interval: float = 1.0,
-                 sink: Optional[Callable[[int], None]] = None):
+                 sink: Optional[Callable[[int], None]] = None,
+                 writer=None):
         if ring_capacity < 1:
             raise ValueError("ring capacity must be >= 1")
         if drain_interval <= 0:
@@ -37,6 +40,9 @@ class ProcTraceTransport:
         self.user_buffer = TraceBuffer()
         #: called with the number of records each time a drain moves data
         self.sink = sink
+        #: optional streaming store sink (anything with ``append_array``,
+        #: e.g. :class:`repro.store.TraceWriter`) fed each drained batch
+        self.writer = writer
         self.dropped = 0
         self._ring: Deque[TraceRecord] = deque()
         self._running = True
@@ -61,14 +67,23 @@ class ProcTraceTransport:
             self._wakeup.succeed()
 
     def drain_now(self) -> int:
-        """Move everything currently in the ring to user space."""
-        moved = 0
-        while self._ring:
-            self.user_buffer.append(self._ring.popleft())
-            moved += 1
-        if moved and self.sink is not None:
-            self.sink(moved)
-        return moved
+        """Move everything currently in the ring to user space.
+
+        The batch is converted to a structured array once and
+        bulk-appended (the hot capture path), then also handed to the
+        streaming ``writer`` when one is attached.
+        """
+        if not self._ring:
+            return 0
+        rows = [record.as_tuple() for record in self._ring]
+        self._ring.clear()
+        batch = np.array(rows, dtype=TRACE_DTYPE)
+        self.user_buffer.append_array(batch)
+        if self.writer is not None:
+            self.writer.append_array(batch)
+        if self.sink is not None:
+            self.sink(len(batch))
+        return len(batch)
 
     def stop(self) -> None:
         """Stop the periodic drain (final drain still possible manually)."""

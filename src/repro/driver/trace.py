@@ -66,9 +66,34 @@ class TraceBuffer:
         self._data[self._len] = record.as_tuple()
         self._len += 1
 
+    def append_array(self, records: np.ndarray) -> None:
+        """Bulk append a structured array in one vectorised copy."""
+        records = np.asarray(records)
+        if records.dtype != TRACE_DTYPE:
+            raise TypeError(f"expected trace dtype, got {records.dtype}")
+        n = len(records)
+        if n == 0:
+            return
+        needed = self._len + n
+        if needed > len(self._data):
+            capacity = len(self._data)
+            while capacity < needed:
+                capacity *= 2
+            grown = np.zeros(capacity, dtype=TRACE_DTYPE)
+            grown[:self._len] = self._data[:self._len]
+            self._data = grown
+        self._data[self._len:needed] = records
+        self._len = needed
+
     def extend(self, records) -> None:
-        for record in records:
-            self.append(record)
+        """Append many records at once (vectorised via a staging array)."""
+        if isinstance(records, np.ndarray):
+            self.append_array(records)
+            return
+        rows = [r.as_tuple() if isinstance(r, TraceRecord) else tuple(r)
+                for r in records]
+        if rows:
+            self.append_array(np.array(rows, dtype=TRACE_DTYPE))
 
     def to_array(self) -> np.ndarray:
         """Structured array of the records written so far (a copy)."""

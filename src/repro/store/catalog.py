@@ -1,0 +1,197 @@
+"""Run catalog: a directory of experiment runs with manifests.
+
+Layout (one directory per run)::
+
+    runs/
+      combined/
+        manifest.json          # config, seed, summary metrics, file list
+        node_0000.rpt          # per-node trace store files
+        node_0001.rpt
+        ...
+
+Two capture paths produce identical layouts:
+
+* **streaming** — :meth:`RunCatalog.start_run` hands out one
+  :class:`~repro.store.writer.TraceWriter` per node which the driver's
+  ``/proc`` transport drains into *during* the run (bounded memory); the
+  capture is finalised with the experiment's summary once it ends;
+* **one-shot** — :meth:`RunCatalog.save` splits an in-memory
+  :class:`~repro.core.experiments.ExperimentResult` per node and writes
+  it out after the fact.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.store.format import DEFAULT_CHUNK_RECORDS
+from repro.store.reader import TraceReader
+from repro.store.writer import TraceWriter
+
+MANIFEST_FORMAT = "repro-run-v1"
+MANIFEST_NAME = "manifest.json"
+
+
+def _node_filename(node_id: int) -> str:
+    return f"node_{node_id:04d}.rpt"
+
+
+class RunCapture:
+    """Per-node streaming writers for one run in progress."""
+
+    def __init__(self, directory: Path, name: str, nnodes: int,
+                 seed: Optional[int] = None,
+                 config: Optional[dict] = None,
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS):
+        self.directory = directory
+        self.name = name
+        self.nnodes = nnodes
+        self.seed = seed
+        self.config = dict(config or {})
+        self._writers: Dict[int, TraceWriter] = {}
+        self._chunk_records = chunk_records
+        self.finalized = False
+
+    def writer_for(self, node_id: int) -> TraceWriter:
+        """The (lazily created) trace sink for one node."""
+        if node_id not in self._writers:
+            self._writers[node_id] = TraceWriter(
+                self.directory / _node_filename(node_id),
+                chunk_records=self._chunk_records)
+        return self._writers[node_id]
+
+    def attach(self, cluster) -> None:
+        """Point every node's ``/proc`` transport at its writer."""
+        for node in cluster.nodes:
+            node.kernel.transport.writer = self.writer_for(node.node_id)
+
+    def detach(self, cluster) -> None:
+        for node in cluster.nodes:
+            node.kernel.transport.writer = None
+
+    def finalize(self, result=None, metrics: Optional[dict] = None) -> Path:
+        """Close all writers and write the manifest.
+
+        ``result`` (an ``ExperimentResult``) supplies duration and summary
+        metrics when given; a crash before ``finalize`` leaves recoverable
+        per-node files and no manifest.
+        """
+        if self.finalized:
+            return self.directory / MANIFEST_NAME
+        for writer in self._writers.values():
+            writer.close()
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "name": self.name,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "nnodes": self.nnodes,
+            "seed": self.seed,
+            "config": self.config,
+            "traces": {str(nid): _node_filename(nid)
+                       for nid in sorted(self._writers)},
+            "records": sum(w.records_written
+                           for w in self._writers.values()),
+        }
+        if result is not None:
+            m = result.metrics
+            manifest["duration"] = result.duration
+            manifest["metrics"] = {
+                "total_requests": m.total_requests,
+                "read_pct": m.read_pct,
+                "write_pct": m.write_pct,
+                "requests_per_second": m.requests_per_second,
+                "duration": m.duration,
+            }
+        if metrics:
+            manifest.setdefault("metrics", {}).update(metrics)
+        path = self.directory / MANIFEST_NAME
+        path.write_text(json.dumps(manifest, indent=2))
+        self.finalized = True
+        return path
+
+
+class RunCatalog:
+    """The ``runs/`` directory: create, list, and open stored runs."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- creating runs --------------------------------------------------------
+    def start_run(self, name: str, nnodes: int,
+                  seed: Optional[int] = None,
+                  config: Optional[dict] = None,
+                  chunk_records: int = DEFAULT_CHUNK_RECORDS) -> RunCapture:
+        """Begin a streaming capture; the run name is de-duplicated."""
+        run_id = self._unique_id(name)
+        directory = self.root / run_id
+        directory.mkdir(parents=True)
+        return RunCapture(directory, name=run_id, nnodes=nnodes, seed=seed,
+                          config=config, chunk_records=chunk_records)
+
+    def save(self, result, seed: Optional[int] = None,
+             config: Optional[dict] = None,
+             chunk_records: int = DEFAULT_CHUNK_RECORDS) -> Path:
+        """One-shot: persist an in-memory experiment result, per node."""
+        capture = self.start_run(result.name, nnodes=result.nnodes,
+                                 seed=seed, config=config,
+                                 chunk_records=chunk_records)
+        records = result.trace.records
+        for node_id in np.unique(records["node"]):
+            writer = capture.writer_for(int(node_id))
+            writer.append_array(records[records["node"] == node_id])
+        capture.finalize(result)
+        return capture.directory
+
+    # -- browsing -------------------------------------------------------------
+    def runs(self) -> List[str]:
+        """Run ids with a manifest, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(p.parent.name
+                      for p in self.root.glob(f"*/{MANIFEST_NAME}"))
+
+    def manifest(self, run_id: str) -> dict:
+        path = self.root / run_id / MANIFEST_NAME
+        if not path.is_file():
+            raise FileNotFoundError(f"no run {run_id!r} under {self.root}")
+        manifest = json.loads(path.read_text())
+        if manifest.get("format") != MANIFEST_FORMAT:
+            raise ValueError(f"{path} is not a {MANIFEST_FORMAT} manifest")
+        return manifest
+
+    def trace_paths(self, run_id: str) -> Dict[int, Path]:
+        manifest = self.manifest(run_id)
+        return {int(nid): self.root / run_id / fname
+                for nid, fname in manifest["traces"].items()}
+
+    def open_traces(self, run_id: str) -> Dict[int, TraceReader]:
+        """One lazy :class:`TraceReader` per node file."""
+        return {nid: TraceReader(path)
+                for nid, path in self.trace_paths(run_id).items()}
+
+    def load_dataset(self, run_id: str, **predicates):
+        """All nodes' matching records, time-merged, as a ``TraceDataset``."""
+        from repro.core.trace import TraceDataset
+        parts = []
+        for nid, path in sorted(self.trace_paths(run_id).items()):
+            with TraceReader(path) as reader:
+                parts.append(reader.read(**predicates))
+        if not parts:
+            return TraceDataset.empty()
+        merged = np.concatenate(parts)
+        merged = merged[np.argsort(merged["time"], kind="stable")]
+        return TraceDataset(merged)
+
+    # -- internals ------------------------------------------------------------
+    def _unique_id(self, name: str) -> str:
+        if not (self.root / name).exists():
+            return name
+        n = 2
+        while (self.root / f"{name}-{n}").exists():
+            n += 1
+        return f"{name}-{n}"

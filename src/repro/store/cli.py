@@ -1,0 +1,270 @@
+"""``repro-trace``: inspect and manipulate stored traces.
+
+Subcommands::
+
+    repro-trace info  FILE...            # header/index summary (-v: chunks)
+    repro-trace cat   FILE [filters]     # records as CSV on stdout
+    repro-trace convert SRC DST          # between .rpt / .npy / .csv
+    repro-trace merge OUT SRC...         # time-ordered k-way merge
+    repro-trace ls    DIR                # list a run catalog
+
+``cat``/``convert``/``merge`` stream chunk by chunk — a multi-gigabyte
+trace never has to fit in memory.  Filters (``--t0/--t1/--node/--reads/
+--writes``) push down to the chunk index, so a narrow time window only
+decompresses the chunks it touches.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import heapq
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.driver import TRACE_DTYPE
+from repro.store.catalog import RunCatalog
+from repro.store.format import StoreFormatError
+from repro.store.reader import TraceReader
+from repro.store.writer import TraceWriter
+
+_BATCH = 65536
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Inspect, convert, and merge repro trace store files "
+                    "(.rpt) and run catalogs.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="summarise trace store files")
+    p_info.add_argument("files", nargs="+", type=Path)
+    p_info.add_argument("-v", "--verbose", action="store_true",
+                        help="also print the per-chunk index")
+
+    p_cat = sub.add_parser("cat", help="print records as CSV")
+    p_cat.add_argument("file", type=Path)
+    _add_filters(p_cat)
+    p_cat.add_argument("--limit", type=int, default=None,
+                       help="stop after N records")
+    p_cat.add_argument("--no-header", action="store_true",
+                       help="omit the CSV header row")
+
+    p_conv = sub.add_parser("convert",
+                            help="convert between .rpt/.npy/.csv by suffix")
+    p_conv.add_argument("src", type=Path)
+    p_conv.add_argument("dst", type=Path)
+    _add_filters(p_conv)
+
+    p_merge = sub.add_parser("merge",
+                             help="merge traces into one time-ordered file")
+    p_merge.add_argument("out", type=Path)
+    p_merge.add_argument("sources", nargs="+", type=Path)
+
+    p_ls = sub.add_parser("ls", help="list the runs of a catalog directory")
+    p_ls.add_argument("root", type=Path, nargs="?", default=Path("runs"))
+    return parser
+
+
+def _add_filters(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--t0", type=float, default=None,
+                        help="keep records with time >= T0")
+    parser.add_argument("--t1", type=float, default=None,
+                        help="keep records with time < T1")
+    parser.add_argument("--node", type=int, default=None,
+                        help="keep one node's records")
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument("--reads", action="store_true",
+                       help="keep only reads")
+    group.add_argument("--writes", action="store_true",
+                       help="keep only writes")
+
+
+def _write_filter(args) -> Optional[bool]:
+    if getattr(args, "reads", False):
+        return False
+    if getattr(args, "writes", False):
+        return True
+    return None
+
+
+def _iter_source(path: Path, t0=None, t1=None, node=None, write=None):
+    """Yield record arrays from any supported trace file, filtered."""
+    if path.suffix == ".rpt":
+        with TraceReader(path) as reader:
+            yield from reader.iter_arrays(t0=t0, t1=t1, node=node,
+                                          write=write)
+        return
+    from repro.core.trace import TraceDataset
+    dataset = TraceDataset.load(path)
+    if t0 is not None or t1 is not None:
+        dataset = dataset.between(t0 if t0 is not None else 0.0,
+                                  t1 if t1 is not None else np.inf)
+    if node is not None:
+        dataset = dataset.node(node)
+    if write is True:
+        dataset = dataset.writes()
+    elif write is False:
+        dataset = dataset.reads()
+    if len(dataset):
+        yield dataset.records
+
+
+# -- subcommands ---------------------------------------------------------------
+def cmd_info(args) -> int:
+    status = 0
+    for path in args.files:
+        try:
+            with TraceReader(path) as reader:
+                _print_info(path, reader, args.verbose)
+        except (OSError, StoreFormatError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 1
+    return status
+
+
+def _print_info(path: Path, reader: TraceReader, verbose: bool) -> None:
+    size = path.stat().st_size
+    t_lo, t_hi = reader.time_span
+    raw = sum(c.raw for c in reader.chunks)
+    comp = sum(c.comp for c in reader.chunks)
+    writes = sum(c.writes for c in reader.chunks)
+    reads = len(reader) - writes
+    ratio = raw / comp if comp else 0.0
+    state = " (recovered: no footer)" if reader.recovered else ""
+    print(f"{path}: trace store v{1}{state}")
+    print(f"  records   {len(reader):>12,}  "
+          f"({reads:,} reads / {writes:,} writes)")
+    print(f"  chunks    {reader.chunk_count:>12,}  "
+          f"(<= {reader.header['chunk_records']:,} records each)")
+    print(f"  time      {t_lo:>12.3f} .. {t_hi:.3f} s")
+    print(f"  nodes     {', '.join(str(n) for n in reader.nodes()) or '-'}")
+    print(f"  size      {size:>12,} B on disk; payload {comp:,} B "
+          f"from {raw:,} B raw ({ratio:.1f}x)")
+    if verbose:
+        print(f"  {'chunk':>5} {'offset':>10} {'count':>8} "
+              f"{'t0':>10} {'t1':>10} {'sectors':>23} {'nodes':>8}")
+        for i, c in enumerate(reader.chunks):
+            print(f"  {i:>5} {c.offset:>10} {c.count:>8} "
+                  f"{c.t0:>10.3f} {c.t1:>10.3f} "
+                  f"{c.s0:>11}-{c.s1:<11} "
+                  f"{','.join(str(n) for n in c.nodes):>8}")
+
+
+def cmd_cat(args) -> int:
+    writer = csv.writer(sys.stdout)
+    if not args.no_header:
+        writer.writerow(TRACE_DTYPE.names)
+    remaining = args.limit
+    for batch in _iter_source(args.file, t0=args.t0, t1=args.t1,
+                              node=args.node, write=_write_filter(args)):
+        if remaining is not None:
+            batch = batch[:remaining]
+        for row in batch:
+            writer.writerow([row[name] for name in TRACE_DTYPE.names])
+        if remaining is not None:
+            remaining -= len(batch)
+            if remaining <= 0:
+                break
+    return 0
+
+
+def cmd_convert(args) -> int:
+    batches = _iter_source(args.src, t0=args.t0, t1=args.t1,
+                           node=args.node, write=_write_filter(args))
+    suffix = args.dst.suffix
+    if suffix == ".rpt":
+        with TraceWriter(args.dst) as writer:
+            for batch in batches:
+                writer.append_array(batch)
+        total = writer.records_written
+    elif suffix == ".csv":
+        with args.dst.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(TRACE_DTYPE.names)
+            total = 0
+            for batch in batches:
+                for row in batch:
+                    writer.writerow([row[name]
+                                     for name in TRACE_DTYPE.names])
+                total += len(batch)
+    else:
+        from repro.core.trace import TraceDataset
+        parts = list(batches)
+        arr = np.concatenate(parts) if parts \
+            else np.zeros(0, dtype=TRACE_DTYPE)
+        TraceDataset(arr).save(args.dst)
+        total = len(arr)
+    print(f"{args.src} -> {args.dst}: {total:,} records", file=sys.stderr)
+    return 0
+
+
+def _keyed_records(path: Path, seq: int):
+    """(time, tiebreaker, row-tuple) stream for the k-way merge."""
+    for batch in _iter_source(path):
+        for row in batch:
+            yield (float(row["time"]), seq,
+                   tuple(row[name] for name in TRACE_DTYPE.names))
+
+
+def cmd_merge(args) -> int:
+    streams = [_keyed_records(path, i)
+               for i, path in enumerate(args.sources)]
+    with TraceWriter(args.out) as writer:
+        staging: List[tuple] = []
+        for _, _, row in heapq.merge(*streams):
+            staging.append(row)
+            if len(staging) >= _BATCH:
+                writer.append_array(np.array(staging, dtype=TRACE_DTYPE))
+                staging.clear()
+        if staging:
+            writer.append_array(np.array(staging, dtype=TRACE_DTYPE))
+    total = writer.records_written
+    print(f"merged {len(args.sources)} files -> {args.out}: "
+          f"{total:,} records", file=sys.stderr)
+    return 0
+
+
+def cmd_ls(args) -> int:
+    catalog = RunCatalog(args.root)
+    runs = catalog.runs()
+    if not runs:
+        print(f"no runs under {args.root}", file=sys.stderr)
+        return 1
+    print(f"{'run':<16} {'nodes':>5} {'seed':>6} {'records':>10} "
+          f"{'duration':>10} {'req/s/node':>11}")
+    for run_id in runs:
+        m = catalog.manifest(run_id)
+        metrics = m.get("metrics", {})
+        duration = m.get("duration")
+        rps = metrics.get("requests_per_second")
+        print(f"{run_id:<16} {m.get('nnodes', '-'):>5} "
+              f"{str(m.get('seed', '-')):>6} {m.get('records', 0):>10,} "
+              f"{f'{duration:.0f} s' if duration is not None else '-':>10} "
+              f"{f'{rps:.2f}' if rps is not None else '-':>11}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"info": cmd_info, "cat": cmd_cat, "convert": cmd_convert,
+               "merge": cmd_merge, "ls": cmd_ls}[args.command]
+    try:
+        return handler(args)
+    except BrokenPipeError:  # e.g. `repro-trace cat ... | head`
+        return 0
+    except FileNotFoundError as exc:
+        print(f"repro-trace: error: {exc.filename}: no such file",
+              file=sys.stderr)
+        return 1
+    except StoreFormatError as exc:
+        print(f"repro-trace: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

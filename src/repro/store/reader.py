@@ -1,0 +1,157 @@
+"""Lazy, index-driven reader of ``.rpt`` trace store files.
+
+Opening a file reads only the header and the footer index — record
+payloads stay compressed on disk until a query actually needs them.
+Queries push predicates down to the chunk index: a chunk whose min/max
+time, node set, or read/write counts cannot match is skipped without
+being read or decompressed (``chunks_read`` counts what was inflated, so
+tests and benchmarks can verify the skipping).
+
+If the footer is missing — the writer crashed before ``close()`` or the
+file was truncated — the reader transparently falls back to scanning the
+chunk headers from the front, recovering every complete chunk
+(``recovered`` is then True).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.store.format import (
+    ChunkMeta,
+    StoreFormatError,
+    TracePredicate,
+    decode_footer,
+    decode_header,
+    dtype_from_descr,
+    read_chunk_at,
+    read_payload,
+)
+
+
+class TraceReader:
+    """Random/streaming access to one trace store file."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = self.path.open("rb")
+        self.header = decode_header(self._fh)
+        self.dtype = dtype_from_descr(self.header["dtype"])
+        self.recovered = False
+        #: chunks decompressed so far (the predicate-pushdown scorecard)
+        self.chunks_read = 0
+        size = self.path.stat().st_size
+        index = decode_footer(self._fh, size)
+        if index is not None:
+            self.chunks, self.record_count = index
+        else:
+            self.chunks = self._scan_chunks(size)
+            self.record_count = sum(c.count for c in self.chunks)
+            self.recovered = True
+
+    # -- basic protocol -------------------------------------------------------
+    def __len__(self) -> int:
+        return self.record_count
+
+    @property
+    def chunk_count(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def time_span(self) -> tuple:
+        """(min, max) record time over the whole file, from the index."""
+        if not self.chunks:
+            return (0.0, 0.0)
+        return (min(c.t0 for c in self.chunks),
+                max(c.t1 for c in self.chunks))
+
+    def nodes(self) -> tuple:
+        """Distinct node ids over the whole file, from the index."""
+        ids = set()
+        for c in self.chunks:
+            ids.update(c.nodes)
+        return tuple(sorted(ids))
+
+    def close(self) -> None:
+        self._fh.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- queries ---------------------------------------------------------------
+    def iter_arrays(self, t0: Optional[float] = None,
+                    t1: Optional[float] = None,
+                    node: Optional[int] = None,
+                    write: Optional[bool] = None
+                    ) -> Iterator[np.ndarray]:
+        """Yield matching records chunk by chunk (bounded memory).
+
+        Chunks the index proves irrelevant are never decompressed; the
+        surviving chunks are masked record-exactly.
+        """
+        pred = TracePredicate(t0=t0, t1=t1, node=node, write=write)
+        for meta in self.chunks:
+            if not pred.admits_chunk(meta):
+                continue
+            records = self._load(meta)
+            if not pred.trivial:
+                records = records[pred.mask(records)]
+            if len(records):
+                yield records
+
+    def read(self, t0: Optional[float] = None, t1: Optional[float] = None,
+             node: Optional[int] = None, write: Optional[bool] = None
+             ) -> np.ndarray:
+        """Materialise all matching records as one structured array."""
+        parts = list(self.iter_arrays(t0=t0, t1=t1, node=node, write=write))
+        if not parts:
+            return np.zeros(0, dtype=self.dtype)
+        return np.concatenate(parts)
+
+    def dataset(self, t0: Optional[float] = None, t1: Optional[float] = None,
+                node: Optional[int] = None, write: Optional[bool] = None):
+        """Matching records as a :class:`~repro.core.trace.TraceDataset`."""
+        from repro.core.trace import TraceDataset
+        return TraceDataset(self.read(t0=t0, t1=t1, node=node, write=write))
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return self.iter_arrays()
+
+    # -- internals ------------------------------------------------------------
+    def _load(self, meta: ChunkMeta) -> np.ndarray:
+        _, payload_offset = read_chunk_at(self._fh, meta.offset)
+        self.chunks_read += 1
+        return read_payload(self._fh, meta, payload_offset, self.dtype)
+
+    def _scan_chunks(self, size: int) -> List[ChunkMeta]:
+        """Crash recovery: walk chunk headers from the front.
+
+        Stops at the first offset without a complete valid chunk — by
+        construction everything before it is intact (payload crcs are
+        still verified lazily on read).
+        """
+        chunks = []
+        offset = self.header["header_size"]
+        while offset < size:
+            try:
+                meta, payload_offset = read_chunk_at(self._fh, offset)
+            except StoreFormatError:
+                break
+            end = payload_offset + meta.comp
+            if end > size:  # payload itself is cut off
+                break
+            chunks.append(meta)
+            offset = end
+        return chunks
+
+
+def read_trace(path: Union[str, Path], **predicates) -> np.ndarray:
+    """One-shot convenience: all matching records of a trace store file."""
+    with TraceReader(path) as reader:
+        return reader.read(**predicates)

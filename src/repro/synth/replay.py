@@ -54,16 +54,34 @@ class ReplayReport:
                 f"maxq={self.max_queue_depth}")
 
 
-def replay_trace(trace: TraceDataset, scheduler: str = "clook",
+def _record_arrays(trace):
+    """Yield the trace's records as one or more structured arrays.
+
+    Accepts a :class:`TraceDataset` (one array), a
+    :class:`~repro.store.TraceReader` or any object with ``iter_arrays``
+    (streamed chunk by chunk — a stored trace replays without ever being
+    materialised whole), or a plain structured array.
+    """
+    if isinstance(trace, TraceDataset):
+        yield trace.records
+    elif hasattr(trace, "iter_arrays"):
+        yield from trace.iter_arrays()
+    else:
+        yield np.asarray(trace)
+
+
+def replay_trace(trace, scheduler: str = "clook",
                  service: Optional[DiskServiceModel] = None,
                  seed: int = 0,
                  time_scale: float = 1.0,
                  drive_cache=None) -> ReplayReport:
     """Replay ``trace`` on a fresh disk; returns the latency report.
 
-    ``time_scale`` < 1 compresses the arrival schedule, raising the load
-    (0.1 presents the same requests ten times as fast) — the standard
-    trace-driven way to probe saturation behaviour.
+    ``trace`` may be a :class:`TraceDataset` or a
+    :class:`~repro.store.TraceReader` — stored traces stream straight
+    from disk.  ``time_scale`` < 1 compresses the arrival schedule,
+    raising the load (0.1 presents the same requests ten times as fast)
+    — the standard trace-driven way to probe saturation behaviour.
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; "
@@ -79,24 +97,24 @@ def replay_trace(trace: TraceDataset, scheduler: str = "clook",
                 rng=np.random.default_rng(seed), cache=drive_cache)
     total_sectors = service.geometry.total_sectors
     latencies = []
-    records = trace.records
 
     def issuer():
         prev_t = 0.0
-        for row in records:
-            arrival = float(row["time"]) * time_scale
-            if arrival > prev_t:
-                yield sim.timeout(arrival - prev_t)
-                prev_t = arrival
-            nsectors = max(1, int(round(float(row["size_kb"]) * 2)))
-            sector = int(row["sector"])
-            if sector + nsectors > total_sectors:
-                sector = total_sectors - nsectors
-            request = IORequest(sector=sector, nsectors=nsectors,
-                                is_write=bool(row["write"]))
-            done = disk.submit(request)
-            done.callbacks.append(
-                lambda _ev, r=request: latencies.append(r.latency))
+        for records in _record_arrays(trace):
+            for row in records:
+                arrival = float(row["time"]) * time_scale
+                if arrival > prev_t:
+                    yield sim.timeout(arrival - prev_t)
+                    prev_t = arrival
+                nsectors = max(1, int(round(float(row["size_kb"]) * 2)))
+                sector = int(row["sector"])
+                if sector + nsectors > total_sectors:
+                    sector = total_sectors - nsectors
+                request = IORequest(sector=sector, nsectors=nsectors,
+                                    is_write=bool(row["write"]))
+                done = disk.submit(request)
+                done.callbacks.append(
+                    lambda _ev, r=request: latencies.append(r.latency))
 
     sim.process(issuer(), name="replayer")
     sim.run()
@@ -114,7 +132,7 @@ def replay_trace(trace: TraceDataset, scheduler: str = "clook",
     )
 
 
-def compare_schedulers(trace: TraceDataset, time_scale: float = 1.0,
+def compare_schedulers(trace, time_scale: float = 1.0,
                        seed: int = 0,
                        service: Optional[DiskServiceModel] = None
                        ) -> dict:

@@ -14,7 +14,6 @@ from repro.apps import (
     PPMApplication,
     PPMParams,
     WaveletApplication,
-    WaveletParams,
 )
 from repro.cluster import BeowulfCluster
 from repro.sim import Simulator

@@ -47,6 +47,17 @@ def test_cli_table_and_csv(tmp_path, capsys):
     assert (tmp_path / "trace_ppm.csv").exists()
 
 
+def test_cli_sink_writes_run_catalog(tmp_path, capsys):
+    root = tmp_path / "runs"
+    rc = main(["baseline", "--nodes", "1", "--duration", "60",
+               "--sink", str(root)])
+    assert rc == 0
+    assert (root / "baseline" / "manifest.json").exists()
+    assert (root / "baseline" / "node_0000.rpt").exists()
+    from repro.store import RunCatalog
+    assert RunCatalog(root).runs() == ["baseline"]
+
+
 def test_cli_parallel_all(tmp_path, capsys):
     rc = main(["all", "--nodes", "1", "--duration", "200", "--parallel",
                "--table", "--figures"])

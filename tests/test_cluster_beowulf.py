@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cluster import BeowulfCluster, PIOUS
-from repro.sim import Simulator
 from tests.conftest import drive
 
 

@@ -10,7 +10,7 @@ from repro.core.queueing import (
     queue_summary,
     validate_disk_against_mg1,
 )
-from repro.disk import Disk, DiskServiceModel, FIFOScheduler, IORequest
+from repro.disk import Disk, FIFOScheduler, IORequest
 from repro.sim import Simulator
 
 

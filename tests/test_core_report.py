@@ -1,7 +1,6 @@
 """Tests for the characterization report generator."""
 
 import numpy as np
-import pytest
 
 from repro.core import TraceDataset, characterize, full_report
 from repro.core.experiments import ExperimentResult

@@ -1,6 +1,5 @@
 """Unit tests for request-size classification."""
 
-import numpy as np
 import pytest
 
 from repro.core import RequestClass, TraceDataset, classify_sizes, size_histogram

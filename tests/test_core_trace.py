@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core import TraceDataset
-from repro.driver import TRACE_DTYPE
 
 
 @pytest.fixture
@@ -86,3 +85,26 @@ def test_csv_roundtrip(tmp_path, ds):
 def test_equality(ds):
     assert ds == TraceDataset(ds.records.copy())
     assert ds != TraceDataset.empty()
+
+
+def test_suffixless_roundtrip(tmp_path, ds):
+    """Regression: save("trace") let np.save append .npy behind the
+    caller's back, and load("trace") then missed the file."""
+    path = tmp_path / "trace"
+    ds.save(path)
+    assert TraceDataset.load(path) == ds
+    # the normalised spelling works too, and no bare file was left
+    assert TraceDataset.load(tmp_path / "trace.npy") == ds
+    assert not path.exists()
+
+
+def test_unknown_suffix_roundtrip(tmp_path, ds):
+    path = tmp_path / "trace.dat"
+    ds.save(path)
+    assert TraceDataset.load(path) == ds
+
+
+def test_rpt_roundtrip(tmp_path, ds):
+    path = tmp_path / "trace.rpt"
+    ds.save(path)
+    assert TraceDataset.load(path) == ds

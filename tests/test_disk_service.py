@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.disk import DiskGeometry, DiskServiceModel, IORequest
+from repro.disk import DiskServiceModel, IORequest
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ import pytest
 from repro.disk import Disk, IORequest
 from repro.driver import InstrumentedIDEDriver, ProcTraceTransport
 from repro.sim import Simulator
-from tests.conftest import drive
 
 
 def rig(error_rate, seed=0, max_retries=4):

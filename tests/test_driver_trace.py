@@ -55,6 +55,38 @@ def test_extend():
     assert len(buf) == 3
 
 
+def test_append_array_bulk():
+    arr = np.zeros(5, dtype=TRACE_DTYPE)
+    arr["time"] = np.arange(5.0)
+    arr["sector"] = np.arange(5) * 100
+    buf = TraceBuffer(initial_capacity=2)  # forces growth
+    buf.append_array(arr)
+    buf.append_array(arr)
+    out = buf.to_array()
+    assert len(out) == 10
+    assert np.array_equal(out[:5], arr)
+    assert np.array_equal(out[5:], arr)
+
+
+def test_append_array_empty_and_wrong_dtype():
+    buf = TraceBuffer()
+    buf.append_array(np.zeros(0, dtype=TRACE_DTYPE))
+    assert len(buf) == 0
+    import pytest
+    with pytest.raises(TypeError):
+        buf.append_array(np.zeros(3, dtype=np.float64))
+
+
+def test_extend_accepts_arrays_and_mixes_with_append():
+    arr = np.zeros(3, dtype=TRACE_DTYPE)
+    arr["sector"] = [7, 8, 9]
+    buf = TraceBuffer()
+    buf.append(TraceRecord(0.0, 1, False, 0, 1.0))
+    buf.extend(arr)
+    buf.extend([TraceRecord(1.0, 10, True, 0, 1.0), (2.0, 11, 0, 0, 1.0, 0)])
+    assert list(buf.to_array()["sector"]) == [1, 7, 8, 9, 10, 11]
+
+
 @given(st.lists(st.tuples(
     st.floats(min_value=0, max_value=1e6, allow_nan=False),
     st.integers(min_value=0, max_value=2**40),

@@ -10,7 +10,7 @@ are asynchronous).
 
 import pytest
 
-from repro.apps import PPMApplication, PPMParams, WaveletApplication
+from repro.apps import PPMApplication, WaveletApplication
 from repro.cluster import BeowulfCluster
 from repro.driver import TraceLevel
 from repro.sim import Simulator

@@ -7,7 +7,6 @@ from repro.disk import Disk
 from repro.driver import InstrumentedIDEDriver, ProcTraceTransport
 from repro.kernel import VirtualMemory
 from repro.sim import Simulator
-from tests.conftest import drive
 
 
 def make_vm(sim, frames=100):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.kernel import NodeKernel, NodeParams
-from repro.sim import RandomStreams, Simulator
+from repro.sim import RandomStreams
 from tests.conftest import drive
 
 

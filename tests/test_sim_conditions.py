@@ -1,6 +1,5 @@
 """Unit tests for AllOf / AnyOf composite events."""
 
-import pytest
 
 from repro.sim import Simulator
 

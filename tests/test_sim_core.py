@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Event, Interrupt, Simulator, SimulationError
+from repro.sim import Interrupt, Simulator, SimulationError
 
 
 def test_timeout_advances_clock():

@@ -14,10 +14,12 @@ def test_gen_api_docs(tmp_path):
     text = out.read_text()
     for symbol in ("Simulator", "Disk", "InstrumentedIDEDriver",
                    "NodeKernel", "BeowulfCluster", "WaveletApplication",
-                   "ExperimentRunner", "WorkloadModel", "TraceDataset"):
+                   "ExperimentRunner", "WorkloadModel", "TraceDataset",
+                   "TraceWriter", "TraceReader", "RunCatalog"):
         assert symbol in text, symbol
     # every subpackage is documented
     for package in ("repro.sim", "repro.disk", "repro.driver",
                     "repro.kernel", "repro.cluster", "repro.apps",
-                    "repro.core", "repro.synth", "repro.viz"):
+                    "repro.core", "repro.synth", "repro.store",
+                    "repro.viz"):
         assert f"## `{package}`" in text, package
