@@ -57,6 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream per-node traces into a run catalog "
                              "at DIR (chunked .rpt files + manifest; "
                              "inspect with repro-trace)")
+    parser.add_argument("--obs", action="store_true",
+                        help="record runtime observability metrics "
+                             "(simulator, disks, caches, trace path) and "
+                             "print the snapshot per experiment")
     parser.add_argument("--width", type=int, default=72,
                         help="plot width in characters")
     parser.add_argument("--parallel", action="store_true",
@@ -69,7 +73,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     runner = ExperimentRunner(nnodes=args.nodes, seed=args.seed,
                               baseline_duration=args.duration or 2000.0,
-                              sink=args.sink)
+                              sink=args.sink, obs=args.obs)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     results = {}
@@ -109,6 +113,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.csv_dir.mkdir(parents=True, exist_ok=True)
             fig.to_csv(args.csv_dir / f"figure{number}.csv")
 
+    if args.obs:
+        from repro.obs import render_snapshot_table
+        for name, result in results.items():
+            if result.obs:
+                print(f"runtime metrics: {name}")
+                print(render_snapshot_table({name: result.obs},
+                                            indent="  "))
+                print()
     if args.report:
         from repro.core import characterize
         for result in results.values():

@@ -25,12 +25,14 @@ class ClusterNode:
     def __init__(self, sim: Simulator, node_id: int, params: NodeParams,
                  streams: RandomStreams, pvm: PVM,
                  housekeeping: bool = True,
-                 housekeeping_message_rate: float = 3.0):
+                 housekeeping_message_rate: float = 3.0,
+                 obs=None):
         self.node_id = node_id
         self.kernel = NodeKernel(
             sim, params=params, streams=streams.spawn(f"node{node_id}"),
             node_id=node_id, housekeeping=housekeeping,
-            housekeeping_message_rate=housekeeping_message_rate)
+            housekeeping_message_rate=housekeeping_message_rate,
+            obs=obs)
         self.mailbox: Mailbox = pvm.register(node_id)
         self.pvm = pvm
 
@@ -44,7 +46,8 @@ class BeowulfCluster:
     def __init__(self, sim: Simulator, nnodes: int = 16,
                  params: Optional[NodeParams] = None, seed: int = 0,
                  housekeeping: bool = True,
-                 housekeeping_message_rate: float = 3.0):
+                 housekeeping_message_rate: float = 3.0,
+                 obs=None):
         if nnodes < 1:
             raise ValueError("cluster needs at least one node")
         self.sim = sim
@@ -55,7 +58,8 @@ class BeowulfCluster:
         self.nodes: List[ClusterNode] = [
             ClusterNode(sim, node_id, self.params, streams, self.pvm,
                         housekeeping=housekeeping,
-                        housekeeping_message_rate=housekeeping_message_rate)
+                        housekeeping_message_rate=housekeeping_message_rate,
+                        obs=obs)
             for node_id in range(nnodes)
         ]
 

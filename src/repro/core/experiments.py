@@ -17,7 +17,8 @@ Experiment protocol (paper section 3.5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Type
 
 from repro.apps import (
     AppStats,
@@ -54,11 +55,15 @@ class ExperimentResult:
     duration: float
     nnodes: int
     app_stats: Dict[str, List[AppStats]] = field(default_factory=dict)
+    #: runtime observability snapshot (None unless run with ``obs=True``)
+    obs: Optional[dict] = None
 
     @property
     def metrics(self) -> WorkloadMetrics:
+        # nnodes is threaded through explicitly: a node that issued zero
+        # requests still divides the per-disk averages (Table 1).
         return compute_metrics(self.trace, label=self.name,
-                               duration=self.duration)
+                               duration=self.duration, nnodes=self.nnodes)
 
     # -- persistence ----------------------------------------------------------
     def save(self, directory) -> None:
@@ -85,6 +90,8 @@ class ExperimentResult:
                 for app, stats_list in self.app_stats.items()
             },
         }
+        if self.obs is not None:
+            meta["obs"] = self.obs
         (directory / "experiment.json").write_text(json.dumps(meta, indent=2))
 
     @classmethod
@@ -103,18 +110,19 @@ class ExperimentResult:
                    trace=TraceDataset.load(directory / "trace.npy"),
                    duration=float(meta["duration"]),
                    nnodes=int(meta["nnodes"]),
-                   app_stats=app_stats)
+                   app_stats=app_stats,
+                   obs=meta.get("obs"))
 
 
 def _run_one_experiment(args) -> "ExperimentResult":
     """Top-level worker for ProcessPoolExecutor (must be picklable)."""
     (name, nnodes, seed, node_params, housekeeping_message_rate,
-     baseline_duration, hard_limit, flush_grace, sink) = args
+     baseline_duration, hard_limit, flush_grace, sink, obs) = args
     runner = ExperimentRunner(
         nnodes=nnodes, seed=seed, node_params=node_params,
         housekeeping_message_rate=housekeeping_message_rate,
         baseline_duration=baseline_duration, hard_limit=hard_limit,
-        flush_grace=flush_grace, sink=sink)
+        flush_grace=flush_grace, sink=sink, obs=obs)
     return runner.run(name)
 
 
@@ -126,6 +134,13 @@ class ExperimentRunner:
     stream to disk *during* the experiment (bounded writer memory) and a
     ``manifest.json`` with config, seed, and summary metrics is written
     at the end.
+
+    With ``obs=True``, each run gets a fresh
+    :class:`~repro.obs.ObsRecorder`: the simulator and disks record live
+    counters/histograms, node and store counters are harvested at the
+    end, and the snapshot lands on ``result.obs`` (and in the catalog
+    manifest when a sink is set).  The last run's recorder stays on
+    ``runner.last_obs``.
     """
 
     def __init__(self, nnodes: int = 4, seed: int = 0,
@@ -134,7 +149,8 @@ class ExperimentRunner:
                  baseline_duration: float = 2000.0,
                  hard_limit: float = 5000.0,
                  flush_grace: float = 10.0,
-                 sink=None):
+                 sink=None,
+                 obs: bool = False):
         self.nnodes = nnodes
         self.seed = seed
         self.node_params = node_params
@@ -143,6 +159,11 @@ class ExperimentRunner:
         self.hard_limit = hard_limit
         self.flush_grace = flush_grace
         self.sink = sink
+        self.obs = obs
+        #: ObsRecorder of the most recent run (None without obs)
+        self.last_obs = None
+        self._recorder = None
+        self._wall_start = 0.0
 
     # -- public API --------------------------------------------------------
     def run(self, name: str) -> ExperimentResult:
@@ -159,22 +180,25 @@ class ExperimentRunner:
                          f"choose from {EXPERIMENTS + ('serial',)}")
 
     def run_all(self, parallel: bool = False,
-                max_workers: Optional[int] = None
+                max_workers: Optional[int] = None,
+                names: Optional[Sequence[str]] = None
                 ) -> Dict[str, ExperimentResult]:
-        """Run the five experiments; ``parallel=True`` uses one process
-        per experiment (they are fully independent simulations)."""
+        """Run the five experiments (or ``names``); ``parallel=True``
+        uses one process per experiment (they are fully independent
+        simulations)."""
+        names = tuple(names) if names is not None else EXPERIMENTS
         if not parallel:
-            return {name: self.run(name) for name in EXPERIMENTS}
+            return {name: self.run(name) for name in names}
         import concurrent.futures
         sink = str(self.sink) if self.sink is not None else None
         args = [(name, self.nnodes, self.seed, self.node_params,
                  self.housekeeping_message_rate, self.baseline_duration,
-                 self.hard_limit, self.flush_grace, sink)
-                for name in EXPERIMENTS]
+                 self.hard_limit, self.flush_grace, sink, bool(self.obs))
+                for name in names]
         with concurrent.futures.ProcessPoolExecutor(
-                max_workers=max_workers or len(EXPERIMENTS)) as pool:
+                max_workers=max_workers or len(names)) as pool:
             results = list(pool.map(_run_one_experiment, args))
-        return dict(zip(EXPERIMENTS, results))
+        return dict(zip(names, results))
 
     def run_baseline(self, duration: Optional[float] = None
                      ) -> ExperimentResult:
@@ -223,11 +247,21 @@ class ExperimentRunner:
 
     # -- internals ------------------------------------------------------------
     def _build(self):
-        sim = Simulator()
+        registry = None
+        self._recorder = None
+        if self.obs:
+            from repro.obs import ObsRecorder
+            self._recorder = self.obs if isinstance(self.obs, ObsRecorder) \
+                else ObsRecorder()
+            registry = self._recorder.registry
+        self.last_obs = self._recorder
+        self._wall_start = perf_counter()
+        sim = Simulator(obs=registry)
         cluster = BeowulfCluster(
             sim, nnodes=self.nnodes, seed=self.seed,
             params=self.node_params,
-            housekeeping_message_rate=self.housekeeping_message_rate)
+            housekeeping_message_rate=self.housekeeping_message_rate,
+            obs=registry)
         #: the most recent cluster, kept for post-experiment inspection
         #: (filesystem checks, kernel statistics)
         self.last_cluster = cluster
@@ -284,9 +318,9 @@ class ExperimentRunner:
                     procs.append(app.kernel.spawn(
                         app.run(), name=f"{app_name}:{app.node_id}"))
         deadline = t0 + self.hard_limit
-        while not all(p.triggered for p in procs) and sim.peek() <= deadline:
-            sim.step()
-        if not all(p.triggered for p in procs):
+        done = sim.all_of(procs)
+        sim.run(until=deadline, stop=done)
+        if not done.triggered:
             raise RuntimeError(
                 f"experiment {name or app_names} exceeded the "
                 f"{self.hard_limit}s hard limit")
@@ -330,11 +364,23 @@ class ExperimentRunner:
 
     def _finish_capture(self, capture, cluster: BeowulfCluster,
                         result: ExperimentResult) -> None:
-        """Close streamed files and write the manifest (traces already
-        fully drained by ``gather_traces``)."""
-        if capture is None:
-            return
-        capture.detach(cluster)
-        capture.finalize(result)
-        #: directory of the last captured run, for callers/tests
-        self.last_run_dir = capture.directory
+        """Seal the run: close streamed files, collect observability,
+        and write the manifest (traces already fully drained by
+        ``gather_traces``)."""
+        if capture is not None:
+            capture.detach(cluster)
+            # spill writer tails *before* harvesting the store counters
+            capture.close_writers()
+        recorder = self._recorder
+        if recorder is not None:
+            recorder.collect_cluster(cluster)
+            if capture is not None:
+                recorder.collect_capture(capture)
+            recorder.collect_run(
+                wall_seconds=perf_counter() - self._wall_start,
+                sim_seconds=result.duration)
+            result.obs = recorder.snapshot()
+        if capture is not None:
+            capture.finalize(result)
+            #: directory of the last captured run, for callers/tests
+            self.last_run_dir = capture.directory

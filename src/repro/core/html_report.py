@@ -96,5 +96,15 @@ def build_html_report(results: Dict[str, ExperimentResult],
     for result in results.values():
         parts.append(f"<pre>{_esc(characterize(result))}</pre>")
 
+    with_obs = {name: result.obs for name, result in results.items()
+                if result.obs}
+    if with_obs:
+        from repro.obs import render_snapshot_table
+        parts.append("<h2>Runtime metrics</h2>")
+        parts.append("<p>Simulator, disk, cache, and trace-path "
+                     "instrumentation recorded with <code>--obs</code>.</p>")
+        parts.append(
+            f"<pre>{_esc(render_snapshot_table(with_obs))}</pre>")
+
     parts.append("</body></html>")
     return "\n".join(parts)

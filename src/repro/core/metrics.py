@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass, fields
 
 import numpy as np
 
@@ -25,6 +25,8 @@ class WorkloadMetrics:
     mean_pending: float
     #: data moved, KB (all nodes)
     kb_moved: float = 0.0
+    #: cluster size behind the per-disk averages (1 when unknown)
+    nnodes: int = 1
 
     @property
     def read_pct(self) -> int:
@@ -37,10 +39,44 @@ class WorkloadMetrics:
     @property
     def throughput_kb_per_s(self) -> float:
         """Per-disk average data rate over the observation window."""
-        nodes = max(round(self.total_requests
-                          / max(self.requests_per_node, 1e-12)), 1) \
-            if self.requests_per_node else 1
+        nodes = max(self.nnodes, 1)
         return self.kb_moved / self.duration / nodes if self.duration else 0.0
+
+    # -- persistence ---------------------------------------------------------
+    def to_dict(self) -> dict:
+        """All fields plus the derived percentages, JSON-ready."""
+        out = asdict(self)
+        out["read_pct"] = self.read_pct
+        out["write_pct"] = self.write_pct
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkloadMetrics":
+        """Rebuild from :meth:`to_dict` output or a legacy manifest dict.
+
+        Legacy manifests (format ``repro-run-v1`` before the ``nnodes``
+        field existed) carry only a subset of the fields; missing ones
+        default to zero, percentages are folded back into fractions, and
+        the node count falls back to the old
+        ``total_requests / requests_per_node`` reconstruction.
+        """
+        data = dict(data)
+        if "read_fraction" not in data and "read_pct" in data:
+            data["read_fraction"] = data["read_pct"] / 100.0
+        if "write_fraction" not in data and "write_pct" in data:
+            data["write_fraction"] = data["write_pct"] / 100.0
+        if "nnodes" not in data:
+            total = data.get("total_requests") or 0
+            per_node = data.get("requests_per_node") or 0.0
+            data["nnodes"] = max(round(total / per_node), 1) \
+                if per_node else 1
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        kwargs.setdefault("label", "")
+        for f in fields(cls):
+            if f.name != "label":
+                kwargs.setdefault(f.name, 0)
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -104,20 +140,31 @@ def estimate_service_times(trace: TraceDataset) -> np.ndarray:
 
 
 def compute_metrics(trace: TraceDataset, label: str = "",
-                    duration: float = 0.0) -> WorkloadMetrics:
-    """Summarise a trace.  ``duration`` defaults to the trace span."""
+                    duration: float = 0.0,
+                    nnodes: "int | None" = None) -> WorkloadMetrics:
+    """Summarise a trace.  ``duration`` defaults to the trace span.
+
+    ``nnodes`` is the true cluster size behind the per-disk averages;
+    pass it explicitly (as :class:`~repro.core.experiments
+    .ExperimentResult` does) so nodes that issued zero requests still
+    count in the denominators.  When unknown it falls back to the number
+    of nodes *observed* in the trace — which silently inflates the
+    per-node figures if a node stayed idle.
+    """
     n = len(trace)
     if duration <= 0:
         duration = max(trace.duration, 1e-9)
+    if nnodes is None:
+        nnodes = len(trace.nodes())
+    nnodes = max(int(nnodes), 1)
     if n == 0:
         return WorkloadMetrics(label=label, total_requests=0,
                                read_fraction=0.0, write_fraction=0.0,
                                requests_per_second=0.0,
                                requests_per_node=0.0,
                                duration=duration, mean_size_kb=0.0,
-                               mean_pending=0.0)
+                               mean_pending=0.0, nnodes=nnodes)
     nreads = int((trace.write == 0).sum())
-    nnodes = max(len(trace.nodes()), 1)
     return WorkloadMetrics(
         label=label,
         total_requests=n,
@@ -129,6 +176,7 @@ def compute_metrics(trace: TraceDataset, label: str = "",
         mean_size_kb=float(np.mean(trace.size_kb)),
         mean_pending=float(np.mean(trace.pending)),
         kb_moved=float(np.sum(trace.size_kb)),
+        nnodes=nnodes,
     )
 
 

@@ -48,7 +48,9 @@ def characterize(result: ExperimentResult,
         f"mean size {m.mean_size_kb:.2f} KB; "
         f"mean queue {m.mean_pending:.2f}")
     from repro.core.metrics import class_throughput
-    nnodes = max(len(trace.nodes()), 1)
+    # Per-disk denominators use the true cluster size (idle nodes
+    # count), not the number of nodes that happened to issue I/O.
+    nnodes = max(m.nnodes, 1)
     throughput = class_throughput(trace, duration=m.duration)
     lines.append(
         f"volume: {m.kb_moved / 1024:.1f} MB moved "
@@ -95,6 +97,12 @@ def characterize(result: ExperimentResult,
     mk = miller_katz_classes(trace)
     lines.append("Miller-Katz: " + ", ".join(
         f"{name} {frac * 100:.1f}%" for name, frac in mk.items()))
+
+    if result.obs:
+        from repro.obs import render_snapshot_table
+        lines.append("runtime metrics:")
+        lines.append(render_snapshot_table({result.name: result.obs},
+                                           indent="  "))
 
     if include_figures:
         for number, exp in sorted(FIGURE_EXPERIMENT.items()):

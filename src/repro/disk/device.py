@@ -41,6 +41,32 @@ class DiskStats:
         return float(np.percentile(self._latencies, q))
 
 
+class _DiskInstruments:
+    """Per-device observability instruments (built only when enabled)."""
+
+    __slots__ = ("queue_depth", "seek_cylinders", "service_time",
+                 "requests", "sectors_per_cylinder")
+
+    def __init__(self, registry, disk_name: str, discipline: str,
+                 sectors_per_cylinder: int = 1):
+        #: cached geometry constant: the server derives the target
+        #: cylinder with one floor division per serviced request
+        #: (requests are range-checked at submit, so no re-validation)
+        self.sectors_per_cylinder = sectors_per_cylinder
+        self.queue_depth = registry.histogram(
+            "disk.queue_depth",
+            "queue depth sampled at each submit").child(disk_name)
+        self.seek_cylinders = registry.histogram(
+            "disk.seek_cylinders",
+            "actuator travel per serviced request").child(disk_name)
+        self.service_time = registry.histogram(
+            "disk.service_seconds",
+            "mechanical service time per request").child(disk_name)
+        self.requests = registry.counter(
+            "disk.scheduled_requests",
+            "requests serviced, by scheduler discipline").child(discipline)
+
+
 class Disk:
     """A disk drive as a simulation process.
 
@@ -48,6 +74,11 @@ class Disk:
     fires when the device has finished transferring it.  The internal server
     process picks requests in scheduler order, advances the actuator, and
     charges seek + rotation + transfer time per the service model.
+
+    ``obs`` takes a :class:`~repro.obs.registry.MetricsRegistry`; when
+    enabled the device records queue-depth, seek-distance, and
+    service-time histograms (children labeled by device name) and a
+    per-scheduler-discipline request counter.
     """
 
     def __init__(self, sim: Simulator,
@@ -56,12 +87,19 @@ class Disk:
                  rng: Optional[np.random.Generator] = None,
                  name: str = "hda",
                  cache=None,
-                 media_error_rate: float = 0.0):
+                 media_error_rate: float = 0.0,
+                 obs=None):
         self.sim = sim
         self.service = service or DiskServiceModel()
         self.scheduler = scheduler if scheduler is not None else CLookScheduler()
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.name = name
+        self._obs: Optional[_DiskInstruments] = None
+        if obs is not None and getattr(obs, "enabled", False):
+            self._obs = _DiskInstruments(
+                obs, name, type(self.scheduler).__name__,
+                sectors_per_cylinder=(
+                    self.service.geometry.sectors_per_cylinder))
         #: optional on-drive segment cache (see repro.disk.cache)
         self.cache = cache
         if not (0.0 <= media_error_rate < 1.0):
@@ -95,8 +133,11 @@ class Disk:
         request.submit_time = self.sim.now
         request.done = self.sim.event()
         self.scheduler.add(request)
-        self.stats.max_queue_depth = max(self.stats.max_queue_depth,
-                                         self.queue_depth)
+        depth = self.queue_depth
+        if depth > self.stats.max_queue_depth:
+            self.stats.max_queue_depth = depth
+        if self._obs is not None:
+            self._obs.queue_depth.observe(depth)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return request.done
@@ -112,7 +153,14 @@ class Disk:
                 self._wakeup = None
                 continue
             self._in_service = request
+            obs = self._obs
+            if obs is not None:
+                target = request.sector // obs.sectors_per_cylinder
+                obs.seek_cylinders.observe(abs(target - self.head_cylinder))
             duration = self._service_duration(request)
+            if obs is not None:
+                obs.service_time.observe(duration)
+                obs.requests.value += 1
             yield sim.timeout(duration)
             self.head_cylinder = self.service.geometry.cylinder_of(
                 request.last_sector)

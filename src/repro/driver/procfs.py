@@ -44,6 +44,8 @@ class ProcTraceTransport:
         #: e.g. :class:`repro.store.TraceWriter`) fed each drained batch
         self.writer = writer
         self.dropped = 0
+        #: lifetime records moved to user space (survives buffer clears)
+        self.records_drained = 0
         self._ring: Deque[TraceRecord] = deque()
         self._running = True
         self._wakeup = None
@@ -78,6 +80,7 @@ class ProcTraceTransport:
         rows = [record.as_tuple() for record in self._ring]
         self._ring.clear()
         batch = np.array(rows, dtype=TRACE_DTYPE)
+        self.records_drained += len(batch)
         self.user_buffer.append_array(batch)
         if self.writer is not None:
             self.writer.append_array(batch)

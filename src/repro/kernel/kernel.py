@@ -35,7 +35,8 @@ class NodeKernel:
     def __init__(self, sim: Simulator, params: Optional[NodeParams] = None,
                  streams: Optional[RandomStreams] = None, node_id: int = 0,
                  housekeeping: bool = True,
-                 housekeeping_message_rate: float = 3.0):
+                 housekeeping_message_rate: float = 3.0,
+                 obs=None):
         self.sim = sim
         self.params = params or NodeParams()
         self.node_id = node_id
@@ -51,7 +52,8 @@ class NodeKernel:
                          # 128 KB on-drive segment buffer, as the era's
                          # IDE drives carried
                          cache=DriveCache(nsegments=4, segment_sectors=64,
-                                          lookahead_sectors=32))
+                                          lookahead_sectors=32),
+                         obs=obs)
         self.transport = ProcTraceTransport(sim, drain_interval=1.0,
                                             sink=self._instrumentation_sink)
         self.driver = InstrumentedIDEDriver(sim, self.disk, node_id=node_id,

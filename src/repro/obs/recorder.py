@@ -1,0 +1,117 @@
+"""Per-run metrics collection: the glue between layers and snapshots.
+
+An :class:`ObsRecorder` owns one :class:`~repro.obs.registry.MetricsRegistry`
+for one experiment run.  Layers with per-event distributions (the
+simulator's event loop, the disk's seek/service histograms) write into the
+registry live; layers that already keep cheap lifetime counters
+(:class:`~repro.disk.device.DiskStats`,
+:class:`~repro.kernel.buffercache.CacheStats`, the ``/proc`` transport, the
+store writers) are *harvested* once at the end of the run — zero overhead
+during the run, identical metric naming in the snapshot.
+
+Metric naming scheme (see ARCHITECTURE.md §10)::
+
+    <layer>.<metric>{<label>}
+
+    sim.events_processed            counter, whole run
+    sim.process_resumes{prefix}     counter per process-name prefix
+    disk.service_seconds{hda0}      histogram per disk
+    cache.hits{0}                   counter per node id
+    store.compressed_bytes{0}       counter per node id
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+
+
+class ObsRecorder:
+    """Collects one run's metrics; :meth:`snapshot` freezes them."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        self.registry = MetricsRegistry() if registry is None else registry
+
+    @property
+    def enabled(self) -> bool:
+        return self.registry.enabled
+
+    # -- harvesting ----------------------------------------------------------
+    def collect_cluster(self, cluster) -> None:
+        """Harvest every node's lifetime counters into the registry."""
+        reg = self.registry
+        for node in cluster.nodes:
+            label = str(node.node_id)
+            kernel = node.kernel
+
+            d = kernel.disk.stats
+            for name, value in (("disk.reads", d.reads),
+                                ("disk.writes", d.writes),
+                                ("disk.sectors_read", d.sectors_read),
+                                ("disk.sectors_written", d.sectors_written),
+                                ("disk.busy_seconds", d.busy_time),
+                                ("disk.media_errors", d.media_errors)):
+                reg.counter(name).child(label).inc(value)
+            reg.gauge("disk.max_queue_depth").child(label).set(
+                d.max_queue_depth)
+            reg.gauge("disk.mean_latency_seconds").child(label).set(
+                d.mean_latency)
+
+            c = kernel.cache.stats
+            for name, value in (("cache.hits", c.hits),
+                                ("cache.misses", c.misses),
+                                ("cache.evictions", c.evictions),
+                                ("cache.writebacks", c.writebacks),
+                                ("cache.writeback_requests",
+                                 c.writeback_requests)):
+                reg.counter(name).child(label).inc(value)
+            reg.gauge("cache.hit_ratio").child(label).set(c.hit_ratio)
+
+            t = kernel.transport
+            reg.counter("trace.records_drained").child(label).inc(
+                t.records_drained)
+            reg.counter("trace.ring_dropped").child(label).inc(t.dropped)
+
+            drv = kernel.driver
+            reg.counter("driver.requests_issued").child(label).inc(
+                drv.requests_issued)
+            reg.counter("driver.retries").child(label).inc(drv.retries)
+
+    def collect_capture(self, capture) -> None:
+        """Harvest the streaming store writers (records, chunks, bytes).
+
+        Call after the writers closed (tail chunks spilled) so the byte
+        counts cover the whole file.
+        """
+        reg = self.registry
+        for node_id, writer in sorted(capture.writers.items()):
+            label = str(node_id)
+            for name, value in (
+                    ("store.records_written", writer.records_written),
+                    ("store.chunks_spilled", writer.chunks_written),
+                    ("store.compressed_bytes", writer.compressed_bytes),
+                    ("store.raw_bytes", writer.raw_bytes)):
+                reg.counter(name).child(label).inc(value)
+
+    def collect_run(self, wall_seconds: float, sim_seconds: float) -> None:
+        """Whole-run totals: the wall-time-per-sim-second speed gauge.
+
+        These are the only non-deterministic metrics in a snapshot;
+        comparisons should mask them (``repro-trace obs`` shows them so
+        regressions in simulator *speed* are visible too).
+        """
+        reg = self.registry
+        reg.gauge("run.wall_seconds").set(wall_seconds)
+        reg.gauge("run.sim_seconds").set(sim_seconds)
+        if wall_seconds > 0:
+            reg.gauge("run.sim_seconds_per_wall_second").set(
+                sim_seconds / wall_seconds)
+
+    # -- output --------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return self.registry.snapshot()
+
+
+#: recorder whose registry is the process-wide no-op (never snapshots)
+NULL_RECORDER = ObsRecorder(registry=NULL_REGISTRY)

@@ -1,0 +1,142 @@
+"""Snapshot rendering: flatten, align, and compare metrics snapshots.
+
+A *snapshot* is the plain-dict output of
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot`.  This module turns
+one or more snapshots into flat ``row-name -> number`` maps and renders
+them as an aligned text table — the format behind ``repro-trace obs``,
+``repro-experiment --obs``, and the report sections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: histogram sub-rows surfaced in flat views, in display order
+_HIST_FIELDS = ("count", "mean", "max")
+
+
+def _hist_rows(name: str, value: dict) -> Dict[str, float]:
+    count = value.get("count", 0)
+    total = value.get("sum", 0)
+    rows = {f"{name}.count": count}
+    if count:
+        rows[f"{name}.mean"] = total / count
+        rows[f"{name}.max"] = value.get("max", 0)
+    return rows
+
+
+def flatten_snapshot(snapshot: dict) -> Dict[str, float]:
+    """Snapshot dict -> flat ``metric[{label}][.field] -> number`` map.
+
+    Counters and gauges contribute one row (their value; gauge
+    high-water marks appear as ``name.max``); histograms contribute
+    ``.count`` / ``.mean`` / ``.max`` rows.  Labeled children expand to
+    one row group per label.
+    """
+    flat: Dict[str, float] = {}
+
+    def emit(name: str, kind: str, value) -> None:
+        if kind == "histogram":
+            flat.update(_hist_rows(name, value))
+        elif isinstance(value, dict):  # gauge with a high-water mark
+            flat[name] = value.get("value", 0)
+            flat[f"{name}.max"] = value.get("max", 0)
+        else:
+            flat[name] = value
+
+    for name, entry in snapshot.items():
+        kind = entry.get("type", "counter")
+        children = entry.get("children")
+        if children:
+            for label, value in children.items():
+                emit(f"{name}{{{label}}}", kind, value)
+            if "value" in entry:
+                emit(name, kind, entry["value"])
+        elif "value" in entry:
+            emit(name, kind, entry["value"])
+    return flat
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.4g}"
+    return f"{int(value):,}"
+
+
+def render_snapshot_table(snapshots: Dict[str, dict],
+                          indent: str = "",
+                          only: Optional[List[str]] = None) -> str:
+    """Aligned table of one or more snapshots, columns in dict order.
+
+    With exactly two snapshots a trailing ``delta%`` column compares the
+    second against the first (the regression-guard view).  ``only``
+    keeps rows whose name starts with any of the given prefixes.
+    """
+    if not snapshots:
+        return indent + "(no metrics)"
+    flats = {title: flatten_snapshot(snap)
+             for title, snap in snapshots.items()}
+    rows: List[str] = []
+    for flat in flats.values():
+        for name in flat:
+            if name not in rows:
+                rows.append(name)
+    rows.sort()
+    if only:
+        rows = [r for r in rows if any(r.startswith(p) for p in only)]
+    titles = list(flats)
+    compare = len(titles) == 2
+
+    name_w = max([len(r) for r in rows] or [6])
+    cells = {(r, t): _fmt(flats[t].get(r)) for r in rows for t in titles}
+    col_w = {t: max([len(t)] + [len(cells[r, t]) for r in rows])
+             for t in titles}
+
+    header = indent + "metric".ljust(name_w)
+    for t in titles:
+        header += "  " + t.rjust(col_w[t])
+    if compare:
+        header += "  " + "delta%".rjust(8)
+    lines = [header]
+    for r in rows:
+        line = indent + r.ljust(name_w)
+        for t in titles:
+            line += "  " + cells[r, t].rjust(col_w[t])
+        if compare:
+            line += "  " + _delta(flats[titles[0]].get(r),
+                                  flats[titles[1]].get(r)).rjust(8)
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def _delta(before, after) -> str:
+    if before is None or after is None:
+        return "-"
+    if before == after:
+        return "0"
+    if not before:
+        return "new"
+    return f"{(after - before) / before * 100:+.1f}"
+
+
+def compare_snapshots(before: dict, after: dict,
+                      rel_tolerance: float = 0.0) -> Dict[str, tuple]:
+    """Rows that differ between two snapshots: ``name -> (before, after)``.
+
+    ``rel_tolerance`` ignores relative drifts up to the given fraction
+    (useful to mask wall-clock metrics when diffing as a regression
+    guard).
+    """
+    a, b = flatten_snapshot(before), flatten_snapshot(after)
+    diffs = {}
+    for name in sorted(set(a) | set(b)):
+        va, vb = a.get(name), b.get(name)
+        if va == vb:
+            continue
+        if (rel_tolerance and va is not None and vb is not None and va
+                and abs(vb - va) / abs(va) <= rel_tolerance):
+            continue
+        diffs[name] = (va, vb)
+    return diffs

@@ -23,6 +23,7 @@ Two capture paths produce identical layouts:
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
@@ -65,6 +66,16 @@ class RunCapture:
                 chunk_records=self._chunk_records)
         return self._writers[node_id]
 
+    @property
+    def writers(self) -> Dict[int, TraceWriter]:
+        """The per-node writers created so far (read-only view)."""
+        return dict(self._writers)
+
+    def close_writers(self) -> None:
+        """Close every writer (spills tails, appends footers); idempotent."""
+        for writer in self._writers.values():
+            writer.close()
+
     def attach(self, cluster) -> None:
         """Point every node's ``/proc`` transport at its writer."""
         for node in cluster.nodes:
@@ -83,8 +94,7 @@ class RunCapture:
         """
         if self.finalized:
             return self.directory / MANIFEST_NAME
-        for writer in self._writers.values():
-            writer.close()
+        self.close_writers()
         manifest = {
             "format": MANIFEST_FORMAT,
             "name": self.name,
@@ -98,19 +108,18 @@ class RunCapture:
                            for w in self._writers.values()),
         }
         if result is not None:
-            m = result.metrics
             manifest["duration"] = result.duration
-            manifest["metrics"] = {
-                "total_requests": m.total_requests,
-                "read_pct": m.read_pct,
-                "write_pct": m.write_pct,
-                "requests_per_second": m.requests_per_second,
-                "duration": m.duration,
-            }
+            manifest["metrics"] = result.metrics.to_dict()
+            if getattr(result, "obs", None):
+                manifest["obs"] = result.obs
         if metrics:
             manifest.setdefault("metrics", {}).update(metrics)
         path = self.directory / MANIFEST_NAME
-        path.write_text(json.dumps(manifest, indent=2))
+        # Write-then-rename so a concurrent reader (or a second writer
+        # racing into the same catalog) never sees a partial manifest.
+        tmp = path.with_name(MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(manifest, indent=2))
+        os.replace(tmp, path)
         self.finalized = True
         return path
 
@@ -126,12 +135,18 @@ class RunCatalog:
                   seed: Optional[int] = None,
                   config: Optional[dict] = None,
                   chunk_records: int = DEFAULT_CHUNK_RECORDS) -> RunCapture:
-        """Begin a streaming capture; the run name is de-duplicated."""
-        run_id = self._unique_id(name)
-        directory = self.root / run_id
-        directory.mkdir(parents=True)
-        return RunCapture(directory, name=run_id, nnodes=nnodes, seed=seed,
-                          config=config, chunk_records=chunk_records)
+        """Begin a streaming capture; the run name is de-duplicated.
+
+        Concurrency-safe: the run directory is *claimed* with an
+        exclusive ``mkdir``, so several writers (e.g.
+        ``ExperimentRunner.run_all(parallel=True, sink=...)``) racing
+        into one catalog each get a distinct directory instead of
+        interleaving files.
+        """
+        directory = self._claim_dir(name)
+        return RunCapture(directory, name=directory.name, nnodes=nnodes,
+                          seed=seed, config=config,
+                          chunk_records=chunk_records)
 
     def save(self, result, seed: Optional[int] = None,
              config: Optional[dict] = None,
@@ -164,6 +179,26 @@ class RunCatalog:
             raise ValueError(f"{path} is not a {MANIFEST_FORMAT} manifest")
         return manifest
 
+    def metrics(self, run_id: str):
+        """The stored summary as a :class:`WorkloadMetrics`.
+
+        Round-trips through :meth:`WorkloadMetrics.from_dict`, which
+        also understands legacy manifests that predate the ``nnodes``
+        field.
+        """
+        from repro.core.metrics import WorkloadMetrics
+        manifest = self.manifest(run_id)
+        data = dict(manifest.get("metrics", {}))
+        data.setdefault("label", manifest.get("name", run_id))
+        data.setdefault("nnodes", manifest.get("nnodes", 0) or None)
+        if data["nnodes"] is None:
+            del data["nnodes"]
+        return WorkloadMetrics.from_dict(data)
+
+    def obs_snapshot(self, run_id: str) -> Optional[dict]:
+        """The run's observability snapshot, or None if not recorded."""
+        return self.manifest(run_id).get("obs")
+
     def trace_paths(self, run_id: str) -> Dict[int, Path]:
         manifest = self.manifest(run_id)
         return {int(nid): self.root / run_id / fname
@@ -188,10 +223,21 @@ class RunCatalog:
         return TraceDataset(merged)
 
     # -- internals ------------------------------------------------------------
-    def _unique_id(self, name: str) -> str:
-        if not (self.root / name).exists():
-            return name
-        n = 2
-        while (self.root / f"{name}-{n}").exists():
-            n += 1
-        return f"{name}-{n}"
+    def _claim_dir(self, name: str) -> Path:
+        """Atomically claim a unique run directory ``name[-N]``.
+
+        ``mkdir`` is the atomic primitive: whichever process creates the
+        directory first owns that run id; losers move on to the next
+        suffix.  (An exists-then-mkdir check would race.)
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        candidate = name
+        n = 1
+        while True:
+            directory = self.root / candidate
+            try:
+                directory.mkdir()
+                return directory
+            except FileExistsError:
+                n += 1
+                candidate = f"{name}-{n}"

@@ -7,6 +7,7 @@ Subcommands::
     repro-trace convert SRC DST          # between .rpt / .npy / .csv
     repro-trace merge OUT SRC...         # time-ordered k-way merge
     repro-trace ls    DIR                # list a run catalog
+    repro-trace obs   RUN [RUN]          # dump/compare runtime metrics
 
 ``cat``/``convert``/``merge`` stream chunk by chunk — a multi-gigabyte
 trace never has to fit in memory.  Filters (``--t0/--t1/--node/--reads/
@@ -26,7 +27,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.driver import TRACE_DTYPE
-from repro.store.catalog import RunCatalog
+from repro.store.catalog import MANIFEST_NAME, RunCatalog
 from repro.store.format import StoreFormatError
 from repro.store.reader import TraceReader
 from repro.store.writer import TraceWriter
@@ -67,6 +68,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ls = sub.add_parser("ls", help="list the runs of a catalog directory")
     p_ls.add_argument("root", type=Path, nargs="?", default=Path("runs"))
+
+    p_obs = sub.add_parser(
+        "obs", help="dump or compare run observability snapshots")
+    p_obs.add_argument("paths", nargs="+", type=Path,
+                       help="run directories (manifest.json), experiment "
+                            "directories (experiment.json), or raw "
+                            "snapshot .json files; two paths print a "
+                            "delta column")
+    p_obs.add_argument("--json", action="store_true",
+                       help="emit the snapshots as one JSON object "
+                            "instead of a table")
+    p_obs.add_argument("--only", metavar="PREFIX", default=None,
+                       help="restrict to metrics whose name starts with "
+                            "PREFIX (e.g. disk. or sim.)")
     return parser
 
 
@@ -249,10 +264,55 @@ def cmd_ls(args) -> int:
     return 0
 
 
+def _load_snapshot(path: Path) -> dict:
+    """An obs snapshot from a run dir, experiment dir, or JSON file."""
+    import json
+    if path.is_dir():
+        for meta_name, kind in ((MANIFEST_NAME, "run"),
+                                ("experiment.json", "experiment")):
+            meta_path = path / meta_name
+            if meta_path.is_file():
+                obs = json.loads(meta_path.read_text()).get("obs")
+                if not obs:
+                    raise ValueError(
+                        f"{kind} was recorded without --obs")
+                return obs
+        raise FileNotFoundError(str(path / MANIFEST_NAME))
+    data = json.loads(path.read_text())
+    if isinstance(data.get("obs"), dict):
+        return data["obs"]
+    return data
+
+
+def cmd_obs(args) -> int:
+    from repro.obs import render_snapshot_table
+    snapshots = {}
+    status = 0
+    for path in args.paths:
+        label = path.name or str(path)
+        if label in snapshots:
+            label = str(path)
+        try:
+            snapshots[label] = _load_snapshot(path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            status = 1
+    if not snapshots:
+        return status or 1
+    if args.json:
+        import json
+        json.dump(snapshots, sys.stdout, indent=2)
+        print()
+    else:
+        only = [args.only] if args.only else None
+        print(render_snapshot_table(snapshots, only=only))
+    return status
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"info": cmd_info, "cat": cmd_cat, "convert": cmd_convert,
-               "merge": cmd_merge, "ls": cmd_ls}[args.command]
+               "merge": cmd_merge, "ls": cmd_ls, "obs": cmd_obs}[args.command]
     try:
         return handler(args)
     except BrokenPipeError:  # e.g. `repro-trace cat ... | head`

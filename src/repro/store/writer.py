@@ -58,6 +58,16 @@ class TraceWriter:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def compressed_bytes(self) -> int:
+        """Compressed payload bytes of all spilled chunks."""
+        return sum(meta.comp for meta in self.chunks)
+
+    @property
+    def raw_bytes(self) -> int:
+        """Uncompressed record bytes of all spilled chunks."""
+        return sum(meta.raw for meta in self.chunks)
+
     # -- appending ----------------------------------------------------------
     def append(self, record) -> None:
         """Add one record (a :class:`TraceRecord` or a field tuple)."""

@@ -247,3 +247,68 @@ def test_schedule_callback_runs_at_delay():
     sim.schedule_callback(2.0, lambda: hits.append(sim.now))
     sim.run()
     assert hits == [2.0]
+
+
+def test_interrupt_while_waiting_on_already_triggered_event():
+    """Interrupting between an event's trigger and its firing must win.
+
+    The waiter detaches from the (already scheduled) event, receives the
+    Interrupt, and the event itself still fires later to no effect.
+    """
+    sim = Simulator()
+    ev = sim.event()
+    log = []
+
+    def waiter(sim):
+        try:
+            value = yield ev
+            log.append(("value", value))
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause))
+
+    proc = sim.process(waiter(sim))
+
+    def controller(sim):
+        yield sim.timeout(1.0)        # waiter is now parked on ev
+        ev.succeed("late")            # triggered, callbacks not yet fired
+        proc.interrupt("cancel")
+
+    sim.process(controller(sim))
+    sim.run()
+    assert log == [("interrupted", "cancel")]
+    assert ev.processed               # fired anyway, with no waiter left
+    assert ev.value == "late"
+
+
+def test_urgent_resumption_beats_same_time_callback():
+    """Yielding an already-processed event resumes URGENTly — before a
+    NORMAL-priority callback that entered the heap first."""
+    sim = Simulator()
+    order = []
+
+    def noop(sim):
+        yield sim.timeout(0.0)
+
+    def parent(sim):
+        child = sim.process(noop(sim))
+        yield sim.timeout(1.0)        # child finished long ago
+        sim.schedule_callback(0.0, lambda: order.append("callback"))
+        yield child                   # already processed: urgent resume
+        order.append("resumed")
+
+    sim.process(parent(sim))
+    sim.run()
+    assert order == ["resumed", "callback"]
+
+
+def test_run_until_exactly_on_event_timestamp_processes_it():
+    """run(until=t) includes events scheduled at exactly t."""
+    sim = Simulator()
+    hits = []
+    sim.schedule_callback(5.0, lambda: hits.append(sim.now))
+    sim.schedule_callback(7.0, lambda: hits.append(sim.now))
+    sim.run(until=5.0)
+    assert hits == [5.0]
+    assert sim.now == 5.0
+    sim.run()                         # the rest still runs to completion
+    assert hits == [5.0, 7.0]

@@ -109,3 +109,74 @@ def test_missing_run_raises(tmp_path):
     catalog = RunCatalog(tmp_path)
     with pytest.raises(FileNotFoundError):
         catalog.manifest("nope")
+
+
+def test_concurrent_writers_claim_distinct_runs(tmp_path):
+    """Regression: two writers racing into one catalog must not collide.
+
+    The old exists-then-pick-a-name scheme let both sides choose the
+    same directory and interleave files; mkdir-based claiming gives each
+    a distinct run id and the tmp+rename manifest write keeps every
+    manifest whole.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    catalog = RunCatalog(tmp_path / "runs")
+    nwriters = 8
+
+    def one_run(seed):
+        arr = np.zeros(6, dtype=TraceDataset.empty().records.dtype)
+        arr["time"] = np.arange(6, dtype=float)
+        arr["node"] = [0, 1] * 3
+        arr["sector"] = seed  # distinguishable payloads
+        capture = catalog.start_run("combined", nnodes=2, seed=seed)
+        for node_id in (0, 1):
+            capture.writer_for(node_id).append_array(
+                arr[arr["node"] == node_id])
+        capture.finalize()
+        return capture.directory
+
+    with ThreadPoolExecutor(max_workers=nwriters) as pool:
+        directories = list(pool.map(one_run, range(nwriters)))
+
+    assert len({d.name for d in directories}) == nwriters
+    runs = catalog.runs()
+    assert len(runs) == nwriters
+    seeds_seen = set()
+    for run_id in runs:
+        manifest = catalog.manifest(run_id)   # valid, complete JSON
+        assert manifest["records"] == 6
+        assert set(manifest["traces"]) == {"0", "1"}
+        seeds_seen.add(manifest["seed"])
+        dataset = catalog.load_dataset(run_id)
+        assert len(dataset) == 6
+        assert set(dataset.records["sector"]) == {manifest["seed"]}
+    assert seeds_seen == set(range(nwriters))
+
+
+def test_parallel_run_all_with_sink_keeps_catalog_consistent(tmp_path):
+    """run_all(parallel=True, sink=...) writes every run exactly once."""
+    root = tmp_path / "runs"
+    runner = ExperimentRunner(nnodes=1, seed=4, baseline_duration=60.0,
+                              sink=root)
+    results = runner.run_all(names=["nbody", "wavelet"], parallel=True)
+    catalog = RunCatalog(root)
+    assert sorted(results) == ["nbody", "wavelet"]
+    assert catalog.runs() == ["nbody", "wavelet"]
+    for name, result in results.items():
+        manifest = catalog.manifest(name)
+        assert manifest["records"] >= len(result.trace)
+
+
+def test_finalize_writes_manifest_atomically(tmp_path):
+    """No manifest.json.tmp debris and finalize is idempotent."""
+    catalog = RunCatalog(tmp_path / "runs")
+    capture = catalog.start_run("atomic", nnodes=1, seed=0)
+    capture.writer_for(0)
+    path = capture.finalize()
+    assert path.name == "manifest.json"
+    assert capture.finalize() == path   # idempotent
+    leftovers = list((tmp_path / "runs").rglob("*.tmp"))
+    assert leftovers == []
+    manifest = catalog.manifest("atomic")
+    assert manifest["records"] == 0
