@@ -18,7 +18,7 @@ from conftest import BENCH_NODES, BENCH_SEED, run_experiment
 def run_wavelet_with(params):
     runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED,
                               node_params=params)
-    return runner.run_single("wavelet")
+    return runner.run("wavelet")
 
 
 def test_readahead_off_removes_cache_class(benchmark):
@@ -89,7 +89,7 @@ def test_writeback_clustering_creates_small_multiples(benchmark):
         runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED,
                                   node_params=params,
                                   baseline_duration=600.0)
-        return runner.run_baseline()
+        return runner.run("baseline")
 
     result = benchmark.pedantic(run_baseline_with, args=(params,),
                                 rounds=1, iterations=1)

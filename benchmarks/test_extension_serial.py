@@ -20,7 +20,7 @@ from conftest import BENCH_NODES, BENCH_SEED, run_experiment
 def run_serial():
     runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED,
                               hard_limit=8000.0)
-    return runner.run_serial()
+    return runner.run("serial")
 
 
 def test_serial_vs_combined(benchmark):

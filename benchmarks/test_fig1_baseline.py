@@ -17,7 +17,7 @@ from conftest import BENCH_NODES, BENCH_SEED
 def run_baseline():
     runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED,
                               baseline_duration=2000.0)
-    return runner.run_baseline()
+    return runner.run("baseline")
 
 
 def test_figure1_baseline(benchmark):

@@ -14,7 +14,7 @@ from conftest import BENCH_NODES, BENCH_SEED
 
 def run_ppm():
     runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
-    return runner.run_single("ppm")
+    return runner.run("ppm")
 
 
 def test_figure2_ppm(benchmark):

@@ -15,7 +15,7 @@ from conftest import BENCH_NODES, BENCH_SEED
 
 def run_wavelet():
     runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
-    return runner.run_single("wavelet")
+    return runner.run("wavelet")
 
 
 def test_figure3_wavelet(benchmark):

@@ -13,7 +13,7 @@ from conftest import BENCH_NODES, BENCH_SEED, run_experiment
 
 def run_nbody():
     runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
-    return runner.run_single("nbody")
+    return runner.run("nbody")
 
 
 def test_figure4_nbody(benchmark):

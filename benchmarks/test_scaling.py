@@ -20,7 +20,7 @@ def sweep(node_counts=(1, 2, 4)):
     for nnodes in node_counts:
         t0 = time.time()
         runner = ExperimentRunner(nnodes=nnodes, seed=BENCH_SEED)
-        result = runner.run_single("wavelet")
+        result = runner.run("wavelet")
         m = result.metrics
         rows.append({
             "nnodes": nnodes,

@@ -19,7 +19,7 @@ from conftest import BENCH_SEED
 
 def wavelet_with(params):
     runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED, node_params=params)
-    return runner.run_single("wavelet")
+    return runner.run("wavelet")
 
 
 def test_readahead_ceiling_bounds_read_sizes(benchmark):
@@ -71,7 +71,7 @@ def test_bdflush_interval_shapes_write_burstiness(benchmark):
             runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED,
                                       node_params=params,
                                       baseline_duration=600.0)
-            result = runner.run_baseline()
+            result = runner.run("baseline")
             writes = result.trace.writes()
             # fixed observation window so the IDCs are comparable
             out[interval] = arrival_structure(writes, window=10.0).idc

@@ -23,7 +23,7 @@ from repro.synth.replay import compare_schedulers
 def main():
     print("running the combined experiment to fit the parameter set ...")
     runner = ExperimentRunner(nnodes=2, seed=0)
-    combined = runner.run_combined()
+    combined = runner.run("combined")
 
     # Fit on one node's trace: the replay target is a single disk.
     model = fit_workload_model(combined.trace.node(0))

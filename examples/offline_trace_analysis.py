@@ -29,7 +29,7 @@ from repro.synth import fit_workload_model
 def produce_trace(path: Path):
     print(f"(no trace supplied; producing one at {path})")
     runner = ExperimentRunner(nnodes=2, seed=0)
-    result = runner.run_single("nbody")
+    result = runner.run("nbody")
     result.trace.save(path)
 
 

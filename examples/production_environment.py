@@ -22,7 +22,7 @@ from repro.core.sizes import size_histogram
 def main(outdir: Path):
     runner = ExperimentRunner(nnodes=2, seed=0)
     print("running the combined multiprogramming experiment ...")
-    result = runner.run_combined()
+    result = runner.run("combined")
     m = result.metrics
     print(f"  {m.total_requests} requests over {m.duration:.0f} s "
           f"({m.requests_per_second:.1f} req/s per disk), "

@@ -13,10 +13,10 @@ def main():
     runner = ExperimentRunner(nnodes=2, seed=0, baseline_duration=600.0)
 
     print("running the baseline (quiescent system) ...")
-    results = {"baseline": runner.run_baseline()}
+    results = {"baseline": runner.run("baseline")}
 
     print("running the wavelet decomposition experiment ...")
-    results["wavelet"] = runner.run_single("wavelet")
+    results["wavelet"] = runner.run("wavelet")
 
     print()
     print(render_table1(results))

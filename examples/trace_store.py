@@ -22,7 +22,7 @@ from repro.synth.replay import replay_trace
 def main(root: Path) -> None:
     print(f"== streaming a combined run into {root}/ ==")
     runner = ExperimentRunner(nnodes=2, seed=0, sink=root)
-    result = runner.run_combined()
+    result = runner.run("combined")
     print(f"simulated {len(result.trace)} requests over "
           f"{result.duration:.0f} s; streamed to {runner.last_run_dir}")
 

@@ -1,0 +1,88 @@
+"""Streaming, parallel, cached analysis over the chunked trace store.
+
+The paper's characterizations — Table-1 workload metrics, the
+request-size distribution, Figure-7 spatial locality, inter-arrival
+structure — re-expressed as :class:`Accumulator` folds over
+:class:`~repro.store.TraceReader` chunk batches.  Accumulators
+``merge()`` across chunks, nodes, and processes, so the
+:class:`AnalysisEngine` can map :class:`Pipeline` bundles over a whole
+:class:`~repro.store.RunCatalog` with ``multiprocessing`` fan-out,
+index-driven chunk skipping, and JSON result caching — without ever
+materialising a full trace.
+
+The in-memory entry points (``compute_metrics``, ``size_histogram``,
+``class_fractions``, ``spatial_locality``) are thin adapters over the
+same pipelines, which keeps streaming and in-memory results
+bit-identical.
+"""
+
+from repro.analysis.accumulators import (
+    Accumulator,
+    BandCounts,
+    BinnedCounts,
+    Count,
+    GapStats,
+    Log2Histogram,
+    MeanVar,
+    MinMax,
+    ReservoirSample,
+    Sum,
+    TopK,
+    ValueCounts,
+)
+from repro.analysis.engine import (
+    AnalysisEngine,
+    FileInfo,
+    merged_time_blocks,
+    run_signature,
+    scan_file,
+)
+from repro.analysis.pipelines import (
+    DEFAULT_PIPELINES,
+    PIPELINES,
+    ArrivalPipeline,
+    HotSectors,
+    HotSectorsPipeline,
+    MetricsPipeline,
+    Pipeline,
+    RunContext,
+    SizeDistribution,
+    SizeHistogramPipeline,
+    SpatialLocalityPipeline,
+    make_pipelines,
+)
+
+__all__ = [
+    # accumulators
+    "Accumulator",
+    "Count",
+    "Sum",
+    "MinMax",
+    "MeanVar",
+    "ValueCounts",
+    "TopK",
+    "Log2Histogram",
+    "BinnedCounts",
+    "BandCounts",
+    "ReservoirSample",
+    "GapStats",
+    # pipelines
+    "Pipeline",
+    "RunContext",
+    "MetricsPipeline",
+    "SizeDistribution",
+    "SizeHistogramPipeline",
+    "SpatialLocalityPipeline",
+    "ArrivalPipeline",
+    "HotSectors",
+    "HotSectorsPipeline",
+    "DEFAULT_PIPELINES",
+    "PIPELINES",
+    "make_pipelines",
+    # engine
+    "AnalysisEngine",
+    "FileInfo",
+    "scan_file",
+    "run_signature",
+    "merged_time_blocks",
+]

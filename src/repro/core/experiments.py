@@ -17,6 +17,7 @@ Experiment protocol (paper section 3.5):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Type
 
@@ -60,16 +61,29 @@ class ExperimentResult:
 
     @property
     def metrics(self) -> WorkloadMetrics:
+        """Table-1 metrics, via the streaming ``metrics`` pipeline.
+
+        ``compute_metrics`` is an adapter over
+        :class:`~repro.analysis.MetricsPipeline`, so this equals what
+        :class:`~repro.analysis.AnalysisEngine` reports for the same
+        run, bit for bit.
+        """
         # nnodes is threaded through explicitly: a node that issued zero
         # requests still divides the per-disk averages (Table 1).
         return compute_metrics(self.trace, label=self.name,
                                duration=self.duration, nnodes=self.nnodes)
 
     # -- persistence ----------------------------------------------------------
-    def save(self, directory) -> None:
-        """Persist to ``directory`` (trace as .npy + metadata as JSON)."""
+    def save(self, directory: "str | Path") -> "Path":
+        """Persist to ``directory``; returns the directory written.
+
+        Experiment results are *directories* (``experiment.json``
+        metadata next to a ``trace.npy``), unlike
+        :meth:`TraceDataset.save`, which writes a single file.  The
+        directory is created if needed; ``str`` and
+        :class:`~pathlib.Path` are both accepted.
+        """
         import json
-        from pathlib import Path
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         self.trace.save(directory / "trace.npy")
@@ -93,11 +107,16 @@ class ExperimentResult:
         if self.obs is not None:
             meta["obs"] = self.obs
         (directory / "experiment.json").write_text(json.dumps(meta, indent=2))
+        return directory
 
     @classmethod
-    def load(cls, directory) -> "ExperimentResult":
+    def load(cls, directory: "str | Path") -> "ExperimentResult":
+        """Load a result saved by :meth:`save`.
+
+        ``directory`` (``str`` or :class:`~pathlib.Path`) is the
+        experiment *directory*, not a file inside it.
+        """
         import json
-        from pathlib import Path
         directory = Path(directory)
         meta = json.loads((directory / "experiment.json").read_text())
         if meta.get("format") != "repro-experiment-v1":
@@ -112,6 +131,13 @@ class ExperimentResult:
                    nnodes=int(meta["nnodes"]),
                    app_stats=app_stats,
                    obs=meta.get("obs"))
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    import warnings
+    warnings.warn(f"ExperimentRunner.{old}() is deprecated; "
+                  f"use ExperimentRunner.{new}", DeprecationWarning,
+                  stacklevel=3)
 
 
 def _run_one_experiment(args) -> "ExperimentResult":
@@ -166,16 +192,33 @@ class ExperimentRunner:
         self._wall_start = 0.0
 
     # -- public API --------------------------------------------------------
-    def run(self, name: str) -> ExperimentResult:
-        """Run one experiment by name."""
+    def run(self, name: str, *,
+            duration: Optional[float] = None) -> ExperimentResult:
+        """Run one experiment by name — the single entry point.
+
+        ``name`` is one of :data:`EXPERIMENTS` or ``"serial"``.
+        ``duration`` sets the baseline observation window (default
+        ``baseline_duration``); application experiments run until their
+        applications finish, so passing a duration for them is an error.
+        """
         if name == "baseline":
-            return self.run_baseline()
+            return self._run_baseline(duration)
+        if duration is not None:
+            raise ValueError(
+                "duration= only applies to the baseline experiment; "
+                "application runs end when the applications do")
         if name == "combined":
-            return self.run_combined()
+            return self._run_apps(["ppm", "wavelet", "nbody"],
+                                  name="combined")
         if name == "serial":
-            return self.run_serial()
+            # Extension: the same three applications back to back — a
+            # batch-queue counterfactual to ``combined`` (identical work,
+            # no multiprogramming) that isolates what concurrency itself
+            # does to the I/O.
+            return self._run_apps(["ppm", "wavelet", "nbody"],
+                                  name="serial", serial=True)
         if name in _APP_CLASSES:
-            return self.run_single(name)
+            return self._run_apps([name])
         raise ValueError(f"unknown experiment {name!r}; "
                          f"choose from {EXPERIMENTS + ('serial',)}")
 
@@ -200,38 +243,27 @@ class ExperimentRunner:
             results = list(pool.map(_run_one_experiment, args))
         return dict(zip(names, results))
 
+    # -- deprecated entry points (use run(name) instead) --------------------
     def run_baseline(self, duration: Optional[float] = None
                      ) -> ExperimentResult:
-        """Quiescent system: only kernel housekeeping and logging run."""
-        duration = duration or self.baseline_duration
-        sim, cluster = self._build()
-        self._settle(sim, cluster)
-        capture = self._start_capture("baseline", cluster)
-        sim.run(until=sim.now + duration)
-        trace = TraceDataset(cluster.gather_traces()).between(0, duration)
-        result = ExperimentResult(name="baseline", trace=trace,
-                                  duration=duration, nnodes=self.nnodes)
-        self._finish_capture(capture, cluster, result)
-        return result
+        """Deprecated: use ``run("baseline", duration=...)``."""
+        _warn_deprecated("run_baseline", 'run("baseline")')
+        return self.run("baseline", duration=duration)
 
     def run_single(self, app_name: str) -> ExperimentResult:
-        """One application on every node of the cluster."""
-        return self._run_apps([app_name])
+        """Deprecated: use ``run(app_name)``."""
+        _warn_deprecated("run_single", "run(app_name)")
+        return self.run(app_name)
 
     def run_combined(self) -> ExperimentResult:
-        """All three applications simultaneously on every node."""
-        return self._run_apps(["ppm", "wavelet", "nbody"], name="combined")
+        """Deprecated: use ``run("combined")``."""
+        _warn_deprecated("run_combined", 'run("combined")')
+        return self.run("combined")
 
     def run_serial(self) -> ExperimentResult:
-        """Extension: the same three applications, one after another.
-
-        A batch-queue counterfactual to the combined experiment: identical
-        work, no multiprogramming.  Comparing the two isolates what
-        concurrency itself does to the I/O (the 32 KB buffer scaling, the
-        cross-application paging pressure).
-        """
-        return self._run_apps(["ppm", "wavelet", "nbody"], name="serial",
-                              serial=True)
+        """Deprecated: use ``run("serial")``."""
+        _warn_deprecated("run_serial", 'run("serial")')
+        return self.run("serial")
 
     # -- workload assembly ---------------------------------------------------
     def make_app(self, app_name: str, node) -> ESSApplication:
@@ -283,6 +315,19 @@ class ExperimentRunner:
                         name=f"sync:{node.node_id}")
         sim.run(until=sim.now + 30.0)
         cluster.reset_trace_clocks()
+
+    def _run_baseline(self, duration: Optional[float]) -> ExperimentResult:
+        """Quiescent system: only kernel housekeeping and logging run."""
+        duration = duration or self.baseline_duration
+        sim, cluster = self._build()
+        self._settle(sim, cluster)
+        capture = self._start_capture("baseline", cluster)
+        sim.run(until=sim.now + duration)
+        trace = TraceDataset(cluster.gather_traces()).between(0, duration)
+        result = ExperimentResult(name="baseline", trace=trace,
+                                  duration=duration, nnodes=self.nnodes)
+        self._finish_capture(capture, cluster, result)
+        return result
 
     def _run_apps(self, app_names: List[str],
                   name: Optional[str] = None,

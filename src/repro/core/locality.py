@@ -46,7 +46,12 @@ class SpatialLocality:
 
 def spatial_locality(trace: TraceDataset, band_sectors: int = BAND_SECTORS,
                      total_sectors: int = 1_024_128) -> SpatialLocality:
-    """Figure 7's analysis: request share per 100K-sector band."""
+    """Figure 7's analysis: request share per 100K-sector band.
+
+    Thin adapter over the streaming band counts: the whole trace is one
+    batch, so results are bit-identical to the chunk-streaming
+    :class:`~repro.analysis.SpatialLocalityPipeline`.
+    """
     if band_sectors < 1:
         raise ValueError("band size must be >= 1")
     if len(trace) == 0:
@@ -54,6 +59,21 @@ def spatial_locality(trace: TraceDataset, band_sectors: int = BAND_SECTORS,
     nbands = -(-total_sectors // band_sectors)
     band_of = np.minimum(trace.sector // band_sectors, nbands - 1)
     counts = np.bincount(band_of.astype(np.int64), minlength=nbands)
+    return spatial_from_band_counts(counts, band_sectors)
+
+
+def spatial_from_band_counts(counts: np.ndarray,
+                             band_sectors: int) -> SpatialLocality:
+    """Finish the Figure 7 analysis from per-band request counts.
+
+    The streaming analysis engine accumulates the band histogram chunk
+    by chunk and across nodes, then calls this — the single shared
+    finalisation — so streaming and in-memory results agree bitwise.
+    """
+    counts = np.asarray(counts, dtype=np.int64)
+    if counts.sum() == 0:
+        raise ValueError("empty trace")
+    nbands = len(counts)
     fraction = counts / counts.sum()
     starts = np.arange(nbands) * band_sectors
 

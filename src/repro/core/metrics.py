@@ -34,7 +34,14 @@ class WorkloadMetrics:
 
     @property
     def write_pct(self) -> int:
-        return round(self.write_fraction * 100)
+        """Derived as ``100 - read_pct`` so the split always sums to 100.
+
+        Rounding each fraction independently could report e.g. 42 % + 57 %
+        (both halves rounding down).  An empty trace reports 0 / 0.
+        """
+        if self.total_requests == 0:
+            return 0
+        return 100 - self.read_pct
 
     @property
     def throughput_kb_per_s(self) -> float:
@@ -150,34 +157,17 @@ def compute_metrics(trace: TraceDataset, label: str = "",
     count in the denominators.  When unknown it falls back to the number
     of nodes *observed* in the trace — which silently inflates the
     per-node figures if a node stayed idle.
+
+    Thin adapter over the streaming
+    :class:`~repro.analysis.MetricsPipeline` (the whole trace folded as
+    one batch), so results are bit-identical to what the analysis
+    engine computes chunk by chunk over the trace store.
     """
-    n = len(trace)
-    if duration <= 0:
-        duration = max(trace.duration, 1e-9)
-    if nnodes is None:
-        nnodes = len(trace.nodes())
-    nnodes = max(int(nnodes), 1)
-    if n == 0:
-        return WorkloadMetrics(label=label, total_requests=0,
-                               read_fraction=0.0, write_fraction=0.0,
-                               requests_per_second=0.0,
-                               requests_per_node=0.0,
-                               duration=duration, mean_size_kb=0.0,
-                               mean_pending=0.0, nnodes=nnodes)
-    nreads = int((trace.write == 0).sum())
-    return WorkloadMetrics(
-        label=label,
-        total_requests=n,
-        read_fraction=nreads / n,
-        write_fraction=1.0 - nreads / n,
-        requests_per_second=n / duration / nnodes,
-        requests_per_node=n / nnodes,
-        duration=duration,
-        mean_size_kb=float(np.mean(trace.size_kb)),
-        mean_pending=float(np.mean(trace.pending)),
-        kb_moved=float(np.sum(trace.size_kb)),
-        nnodes=nnodes,
-    )
+    from repro.analysis.pipelines import MetricsPipeline, RunContext
+    ctx = RunContext.for_dataset(trace, label=label,
+                                 duration=duration if duration > 0 else None,
+                                 nnodes=nnodes)
+    return MetricsPipeline().run_over([trace.records], ctx)
 
 
 def class_throughput(trace: TraceDataset, duration: float = 0.0,

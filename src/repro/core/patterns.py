@@ -106,22 +106,23 @@ class ArrivalReport:
 
 def arrival_structure(trace: TraceDataset,
                       window: float = 10.0) -> ArrivalReport:
-    """Gap statistics plus the index of dispersion for counts."""
+    """Gap statistics plus the index of dispersion for counts.
+
+    Adapter over the streaming :class:`~repro.analysis.ArrivalPipeline`:
+    the sorted timestamps folded as one ordered batch, so the result
+    matches the analysis engine's k-way merged stream (exactly here; to
+    floating round-off when the engine folds many chunks).
+    """
     if len(trace) < 2:
         raise ValueError("need at least 2 records")
-    if window <= 0:
-        raise ValueError("window must be positive")
+    from repro.analysis.pipelines import ArrivalPipeline, RunContext
+    pipeline = ArrivalPipeline(window=window)
+    ctx = RunContext.for_dataset(trace)
+    accs = pipeline.accumulators(ctx)
     times = np.sort(trace.time)
-    gaps = np.diff(times)
-    mean_gap = float(gaps.mean())
-    cv = float(gaps.std() / mean_gap) if mean_gap > 0 else 0.0
-    duration = times[-1] - times[0]
-    nbins = max(int(duration / window), 1)
-    counts = np.histogram(times, bins=nbins)[0]
-    mean_count = counts.mean()
-    idc = float(counts.var() / mean_count) if mean_count > 0 else 0.0
-    return ArrivalReport(total=len(trace), mean_gap=mean_gap, cv_gap=cv,
-                         idc=idc, window=window)
+    for acc in accs.values():
+        acc.update_values(times)
+    return pipeline.finalize(accs, ctx)
 
 
 @dataclass(frozen=True)

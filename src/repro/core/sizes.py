@@ -43,18 +43,31 @@ def classify_sizes(trace: TraceDataset, page_kb: float = 4.0) -> np.ndarray:
 
 def class_fractions(trace: TraceDataset,
                     page_kb: float = 4.0) -> Dict[RequestClass, float]:
-    """Fraction of requests in each class (zeros for an empty trace)."""
-    if len(trace) == 0:
-        return {cls: 0.0 for cls in RequestClass}
-    classes = classify_sizes(trace, page_kb)
-    n = len(classes)
-    return {cls: float(np.sum(classes == cls)) / n for cls in RequestClass}
+    """Fraction of requests in each class (zeros for an empty trace).
+
+    Adapter over the streaming
+    :class:`~repro.analysis.SizeHistogramPipeline` — identical to the
+    analysis engine's chunked result.
+    """
+    return _size_distribution(trace, page_kb).fractions
 
 
 def size_histogram(trace: TraceDataset) -> Dict[float, int]:
-    """Count of requests per exact size in KB, sorted by size."""
-    sizes, counts = np.unique(trace.size_kb, return_counts=True)
-    return {float(s): int(c) for s, c in zip(sizes, counts)}
+    """Count of requests per exact size in KB, sorted by size.
+
+    Adapter over the streaming
+    :class:`~repro.analysis.SizeHistogramPipeline` — identical to the
+    analysis engine's chunked result.
+    """
+    return _size_distribution(trace).histogram
+
+
+def _size_distribution(trace: TraceDataset, page_kb: float = 4.0):
+    """The whole trace through the size pipeline as a single batch."""
+    from repro.analysis.pipelines import RunContext, SizeHistogramPipeline
+    ctx = RunContext.for_dataset(trace)
+    return SizeHistogramPipeline(page_kb=page_kb).run_over(
+        [trace.records], ctx)
 
 
 def size_time_series(trace: TraceDataset) -> Tuple[np.ndarray, np.ndarray]:
@@ -63,11 +76,10 @@ def size_time_series(trace: TraceDataset) -> Tuple[np.ndarray, np.ndarray]:
 
 
 def dominant_size(trace: TraceDataset) -> float:
-    """The most frequent request size in KB."""
+    """The most frequent request size in KB (smallest wins ties)."""
     if len(trace) == 0:
         raise ValueError("empty trace")
-    sizes, counts = np.unique(trace.size_kb, return_counts=True)
-    return float(sizes[np.argmax(counts)])
+    return float(_size_distribution(trace).dominant_size)
 
 
 def max_size_kb(trace: TraceDataset) -> float:

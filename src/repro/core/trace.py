@@ -90,14 +90,18 @@ class TraceDataset:
         return TraceDataset(merged)
 
     # -- persistence ----------------------------------------------------------
-    def save(self, path: Union[str, Path]) -> None:
+    def save(self, path: Union[str, Path]) -> Path:
         """Write by suffix: ``.csv`` (interoperable), ``.rpt`` (chunked
         compressed store), anything else as ``.npy``.
 
-        A suffix-less path is normalised to ``.npy`` so that
-        ``save(p)`` / ``load(p)`` always round-trip on the same string
-        (``np.save`` would silently append the suffix that a symmetric
-        ``np.load`` then misses).
+        A trace saves to a single *file* (unlike
+        :meth:`~repro.core.experiments.ExperimentResult.save`, which
+        writes a directory).  ``path`` may be ``str`` or
+        :class:`~pathlib.Path`; the actual path written is returned — a
+        suffix-less path is normalised to ``.npy`` so that ``save(p)`` /
+        ``load(p)`` always round-trip on the same string (``np.save``
+        would silently append the suffix that a symmetric ``np.load``
+        then misses).
         """
         path = Path(path)
         if path.suffix == ".csv":
@@ -114,10 +118,16 @@ class TraceDataset:
                 path = path.with_name(path.name + ".npy")
             with path.open("wb") as fh:
                 np.save(fh, self._records)
+        return path
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "TraceDataset":
-        """Read back a file written by :meth:`save` (suffix-driven)."""
+        """Read back a file written by :meth:`save` (suffix-driven).
+
+        ``path`` (``str`` or :class:`~pathlib.Path`) is the trace
+        *file*; a suffix-less spelling finds the ``.npy`` that
+        :meth:`save` normalised it to.
+        """
         path = Path(path)
         if path.suffix == ".csv":
             rows = []

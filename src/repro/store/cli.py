@@ -7,6 +7,7 @@ Subcommands::
     repro-trace convert SRC DST          # between .rpt / .npy / .csv
     repro-trace merge OUT SRC...         # time-ordered k-way merge
     repro-trace ls    DIR                # list a run catalog
+    repro-trace analyze DIR [RUN...]     # streaming characterization
     repro-trace obs   RUN [RUN]          # dump/compare runtime metrics
 
 ``cat``/``convert``/``merge`` stream chunk by chunk — a multi-gigabyte
@@ -68,6 +69,29 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_ls = sub.add_parser("ls", help="list the runs of a catalog directory")
     p_ls.add_argument("root", type=Path, nargs="?", default=Path("runs"))
+
+    p_an = sub.add_parser(
+        "analyze",
+        help="run streaming characterization pipelines over stored runs")
+    p_an.add_argument("root", type=Path,
+                      help="run catalog directory (see `repro-trace ls`)")
+    p_an.add_argument("runs", nargs="*",
+                      help="run ids to analyze (default: every run)")
+    p_an.add_argument("--pipelines", default=None, metavar="NAMES",
+                      help="comma-separated pipeline names "
+                           "(default: metrics,sizes,spatial,arrival)")
+    p_an.add_argument("--workers", type=int, default=1,
+                      help="process count for per-node fan-out")
+    p_an.add_argument("--refresh", action="store_true",
+                      help="recompute even when a cached summary is valid")
+    p_an.add_argument("--no-cache", action="store_true",
+                      help="neither read nor write analysis.json caches")
+    p_an.add_argument("--json", action="store_true",
+                      help="emit results as one JSON object")
+    p_an.add_argument("--stats", action="store_true",
+                      help="print engine counters (chunks scanned/skipped, "
+                           "cache hits) to stderr")
+    _add_filters(p_an)
 
     p_obs = sub.add_parser(
         "obs", help="dump or compare run observability snapshots")
@@ -264,6 +288,90 @@ def cmd_ls(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    import json
+
+    from repro.analysis import AnalysisEngine, make_pipelines
+    from repro.obs import MetricsRegistry
+
+    catalog = RunCatalog(args.root)
+    run_ids = list(args.runs) or catalog.runs()
+    if not run_ids:
+        print(f"no runs under {args.root}", file=sys.stderr)
+        return 1
+    names = [n.strip() for n in args.pipelines.split(",")] \
+        if args.pipelines else None
+    pipes = {p.name: p for p in make_pipelines(names)}
+    registry = MetricsRegistry()
+    engine = AnalysisEngine(catalog, workers=args.workers,
+                            cache=not args.no_cache, obs=registry)
+    predicates = dict(t0=args.t0, t1=args.t1, node=args.node,
+                      write=_write_filter(args))
+    filtered = any(v is not None for v in predicates.values())
+
+    results = {}
+    status = 0
+    for run_id in run_ids:
+        try:
+            results[run_id] = engine.analyze(
+                run_id, list(pipes.values()), refresh=args.refresh,
+                **predicates)
+        except FileNotFoundError:
+            print(f"{args.root}: no run {run_id!r}", file=sys.stderr)
+            status = 1
+    if args.json:
+        payload = {run_id: {name: None if result is None
+                            else pipes[name].to_json(result)
+                            for name, result in out.items()}
+                   for run_id, out in results.items()}
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        for run_id, out in results.items():
+            _print_analysis(run_id, out, filtered)
+    if args.stats:
+        def count(name: str) -> float:
+            return registry.counter(f"analysis.{name}").value
+        print(f"engine: {count('chunks_scanned'):,.0f} chunks scanned, "
+              f"{count('chunks_skipped'):,.0f} skipped, "
+              f"{count('cache_hits'):,.0f} cache hits, "
+              f"{count('cache_misses'):,.0f} misses", file=sys.stderr)
+    return status
+
+
+def _print_analysis(run_id: str, out: dict, filtered: bool) -> None:
+    note = " (filtered)" if filtered else ""
+    print(f"{run_id}{note}")
+    metrics = out.get("metrics")
+    if metrics is not None:
+        print(f"  requests  {metrics.total_requests:>10,}  "
+              f"({metrics.read_pct}% read / {metrics.write_pct}% write), "
+              f"{metrics.requests_per_second:.2f} req/s/node")
+        print(f"  moved     {metrics.kb_moved:>10,.0f} KB over "
+              f"{metrics.duration:.0f} s on {metrics.nnodes} node(s), "
+              f"mean {metrics.mean_size_kb:.2f} KB")
+    sizes = out.get("sizes")
+    if sizes is not None and sizes.histogram:
+        top = sorted(sizes.histogram.items(),
+                     key=lambda kv: (-kv[1], kv[0]))[:4]
+        split = ", ".join(f"{size:g} KB x {count:,}" for size, count in top)
+        print(f"  sizes     {split}")
+    spatial = out.get("spatial")
+    if spatial is not None:
+        print(f"  spatial   top-20% bands carry "
+              f"{spatial.top_20pct_share:.0%} of requests "
+              f"(gini {spatial.gini:.2f})")
+    arrival = out.get("arrival")
+    if arrival is not None:
+        burst = "bursty" if arrival.is_bursty else "smooth"
+        print(f"  arrival   mean gap {arrival.mean_gap * 1e3:.1f} ms, "
+              f"cv {arrival.cv_gap:.2f}, idc {arrival.idc:.2f} ({burst})")
+    hotspots = out.get("hotspots")
+    if hotspots is not None and hotspots.spots:
+        sector, count, _ = hotspots.spots[0]
+        print(f"  hottest   sector {sector:,} ({count:,} accesses)")
+
+
 def _load_snapshot(path: Path) -> dict:
     """An obs snapshot from a run dir, experiment dir, or JSON file."""
     import json
@@ -312,7 +420,8 @@ def cmd_obs(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"info": cmd_info, "cat": cmd_cat, "convert": cmd_convert,
-               "merge": cmd_merge, "ls": cmd_ls, "obs": cmd_obs}[args.command]
+               "merge": cmd_merge, "ls": cmd_ls, "obs": cmd_obs,
+               "analyze": cmd_analyze}[args.command]
     try:
         return handler(args)
     except BrokenPipeError:  # e.g. `repro-trace cat ... | head`

@@ -209,8 +209,8 @@ def test_multinode_apps_communicate():
     """With nnodes > 1 the parallel codes exchange PVM messages."""
     from repro.core import ExperimentRunner
     runner = ExperimentRunner(nnodes=2, seed=8)
-    result = runner.run_single("ppm")
+    result = runner.run("ppm")
     sent = sum(s.messages_sent for s in result.app_stats["ppm"])
     assert sent > 0
-    nb = runner.run_single("nbody")
+    nb = runner.run("nbody")
     assert sum(s.messages_sent for s in nb.app_stats["nbody"]) > 0

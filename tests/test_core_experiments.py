@@ -14,12 +14,12 @@ def runner():
 
 @pytest.fixture(scope="module")
 def baseline(runner):
-    return runner.run_baseline()
+    return runner.run("baseline")
 
 
 @pytest.fixture(scope="module")
 def combined(runner):
-    return runner.run_combined()
+    return runner.run("combined")
 
 
 def test_experiment_names_complete():
@@ -44,7 +44,7 @@ def test_baseline_trace_cut_to_duration(baseline):
 
 
 def test_single_app_result_has_stats(runner):
-    result = runner.run_single("ppm")
+    result = runner.run("ppm")
     assert result.name == "ppm"
     assert len(result.app_stats["ppm"]) == 2      # one per node
     for stats in result.app_stats["ppm"]:
@@ -68,7 +68,7 @@ def test_combined_has_32kb_requests(combined):
 
 
 def test_combined_busier_than_any_single(runner, combined):
-    single = runner.run_single("wavelet")
+    single = runner.run("wavelet")
     assert combined.metrics.requests_per_node > \
         single.metrics.requests_per_node
 
@@ -78,8 +78,8 @@ def test_both_nodes_traced(combined):
 
 
 def test_runner_reproducible():
-    a = ExperimentRunner(nnodes=1, seed=9, baseline_duration=200).run_baseline()
-    b = ExperimentRunner(nnodes=1, seed=9, baseline_duration=200).run_baseline()
+    a = ExperimentRunner(nnodes=1, seed=9, baseline_duration=200).run("baseline")
+    b = ExperimentRunner(nnodes=1, seed=9, baseline_duration=200).run("baseline")
     assert len(a.trace) == len(b.trace)
     assert np.allclose(a.trace.time, b.trace.time)
     assert np.array_equal(a.trace.sector, b.trace.sector)
@@ -88,12 +88,50 @@ def test_runner_reproducible():
 def test_hard_limit_enforced():
     runner = ExperimentRunner(nnodes=1, seed=1, hard_limit=5.0)
     with pytest.raises(RuntimeError, match="hard limit"):
-        runner.run_single("ppm")
+        runner.run("ppm")
+
+
+def test_run_rejects_duration_for_app_experiments(runner):
+    for name in ("ppm", "wavelet", "nbody", "combined", "serial"):
+        with pytest.raises(ValueError, match="duration"):
+            runner.run(name, duration=100.0)
+
+
+def test_run_baseline_duration_keyword():
+    runner = ExperimentRunner(nnodes=1, seed=3, baseline_duration=500.0)
+    result = runner.run("baseline", duration=60.0)
+    assert result.duration == 60.0
+    assert result.trace.duration <= 60.0
+
+
+def test_deprecated_shims_warn_and_delegate(monkeypatch):
+    runner = ExperimentRunner(nnodes=1, seed=1)
+    calls = []
+    monkeypatch.setattr(
+        runner, "run",
+        lambda name, duration=None: calls.append((name, duration)))
+    for invoke, expected in (
+            (lambda: runner.run_baseline(duration=42.0), ("baseline", 42.0)),
+            (lambda: runner.run_single("ppm"), ("ppm", None)),
+            (lambda: runner.run_combined(), ("combined", None)),
+            (lambda: runner.run_serial(), ("serial", None))):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            invoke()
+        assert calls[-1] == expected
+
+
+def test_deprecated_baseline_shim_still_runs():
+    runner = ExperimentRunner(nnodes=1, seed=2)
+    with pytest.warns(DeprecationWarning):
+        result = runner.run_baseline(duration=40.0)
+    assert result.name == "baseline"
+    assert result.duration == 40.0
 
 
 def test_experiment_result_persistence_roundtrip(tmp_path, runner):
-    result = runner.run_single("ppm")
-    result.save(tmp_path / "ppm_run")
+    result = runner.run("ppm")
+    written = result.save(str(tmp_path / "ppm_run"))   # str path accepted
+    assert written == tmp_path / "ppm_run"
     loaded = type(result).load(tmp_path / "ppm_run")
     assert loaded.name == "ppm"
     assert loaded.duration == result.duration

@@ -68,6 +68,51 @@ def test_figure_csv_export(tmp_path):
     assert lines[0].startswith("time")
 
 
+def test_figure_csv_roundtrip(tmp_path):
+    """The written CSV parses back to the exact series."""
+    import csv
+    for number, exp in ((2, "ppm"), (7, "combined")):
+        fig = make_figure(number, result(exp))
+        out = tmp_path / f"fig{number}.csv"
+        fig.to_csv(out)
+        with out.open(newline="") as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == [fig.xlabel, fig.ylabel]
+        xs = np.array([float(r[0]) for r in rows[1:]])
+        ys = np.array([float(r[1]) for r in rows[1:]])
+        assert np.array_equal(xs, fig.x.astype(np.float64))
+        assert np.allclose(ys, fig.y, rtol=0, atol=0)
+
+
+def test_figure_svg_well_formed(tmp_path):
+    """to_svg writes parseable XML with a proper svg root and points."""
+    import xml.etree.ElementTree as ET
+    for number, exp in ((1, "baseline"), (7, "combined")):
+        fig = make_figure(number, result(exp))
+        out = tmp_path / f"fig{number}.svg"
+        fig.to_svg(out)
+        root = ET.parse(out).getroot()
+        assert root.tag.endswith("svg")
+        assert root.get("width") is not None
+        texts = [el.text for el in root.iter() if el.text]
+        assert any(fig.title in t for t in texts)
+
+
+def test_make_figure_empty_trace():
+    """Scatter figures survive an empty trace; locality figures, whose
+    statistics are undefined on no data, raise ValueError."""
+    for number, exp in FIGURE_EXPERIMENT.items():
+        empty = ExperimentResult(name=exp, trace=TraceDataset.empty(),
+                                 duration=10.0, nnodes=1)
+        if number in (7, 8):
+            with pytest.raises(ValueError, match="empty"):
+                make_figure(number, empty)
+        else:
+            fig = make_figure(number, empty)
+            assert len(fig.x) == 0
+            assert "(no data)" in fig.render()
+
+
 # -- ASCII renderer ------------------------------------------------------------
 
 def test_scatter_renders_axes_and_points():

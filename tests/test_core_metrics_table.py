@@ -37,6 +37,26 @@ def test_metrics_empty_trace():
     assert m.total_requests == 0
     assert m.read_fraction == 0.0
     assert m.requests_per_second == 0.0
+    assert m.read_pct == 0 and m.write_pct == 0
+
+
+def test_pct_split_always_sums_to_100():
+    """Regression: rounding both fractions independently could lose a
+    point — 17 reads in 40 requests rounded to 42% + 57%."""
+    from repro.core.metrics import WorkloadMetrics
+
+    def with_read_fraction(f):
+        return WorkloadMetrics(label="x", total_requests=40,
+                               read_fraction=f, write_fraction=1.0 - f,
+                               requests_per_second=1.0,
+                               requests_per_node=1.0, duration=1.0,
+                               mean_size_kb=1.0, mean_pending=1.0)
+
+    m = with_read_fraction(17 / 40)
+    assert (m.read_pct, m.write_pct) == (42, 58)
+    for reads in range(41):
+        m = with_read_fraction(reads / 40)
+        assert m.read_pct + m.write_pct == 100
 
 
 def result_for(name):

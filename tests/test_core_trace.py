@@ -108,3 +108,17 @@ def test_rpt_roundtrip(tmp_path, ds):
     path = tmp_path / "trace.rpt"
     ds.save(path)
     assert TraceDataset.load(path) == ds
+
+
+def test_save_returns_written_path(tmp_path, ds):
+    assert ds.save(tmp_path / "t.npy") == tmp_path / "t.npy"
+    assert ds.save(tmp_path / "t.csv") == tmp_path / "t.csv"
+    assert ds.save(tmp_path / "t.rpt") == tmp_path / "t.rpt"
+    # suffix-less spellings report the .npy they were normalised to
+    assert ds.save(tmp_path / "bare") == tmp_path / "bare.npy"
+
+
+def test_save_load_accept_str_paths(tmp_path, ds):
+    written = ds.save(str(tmp_path / "t.npy"))
+    assert written == tmp_path / "t.npy"
+    assert TraceDataset.load(str(written)) == ds

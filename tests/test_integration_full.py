@@ -10,21 +10,21 @@ from repro.core.sizes import class_fractions, RequestClass
 
 def test_filesystems_consistent_after_combined_run():
     runner = ExperimentRunner(nnodes=2, seed=3)
-    runner.run_combined()
+    runner.run("combined")
     for node in runner.last_cluster.nodes:
         assert node.kernel.fs.fsck() == []
 
 
 def test_filesystems_consistent_after_baseline():
     runner = ExperimentRunner(nnodes=1, seed=3, baseline_duration=400.0)
-    runner.run_baseline()
+    runner.run("baseline")
     for node in runner.last_cluster.nodes:
         assert node.kernel.fs.fsck() == []
 
 
 def test_no_swap_leak_after_apps_exit():
     runner = ExperimentRunner(nnodes=1, seed=2)
-    runner.run_single("wavelet")
+    runner.run("wavelet")
     vm = runner.last_cluster.nodes[0].kernel.vm
     # all address spaces destroyed -> no frames held
     assert vm.frames_used == 0
@@ -34,7 +34,7 @@ def test_per_node_characteristics_invariant_in_cluster_size():
     """The paper's per-disk observations should not depend on node count."""
     def fractions(nnodes):
         runner = ExperimentRunner(nnodes=nnodes, seed=1)
-        result = runner.run_single("nbody")
+        result = runner.run("nbody")
         return (result.metrics.read_fraction,
                 class_fractions(result.trace)[RequestClass.BLOCK],
                 result.metrics.requests_per_node)
@@ -51,8 +51,8 @@ def test_different_seeds_same_shape():
     for seed in (11, 29):
         runner = ExperimentRunner(nnodes=1, seed=seed,
                                   baseline_duration=800.0)
-        results = {"baseline": runner.run_baseline(),
-                   "wavelet": runner.run_single("wavelet")}
+        results = {"baseline": runner.run("baseline"),
+                   "wavelet": runner.run("wavelet")}
         outcomes = [o for o in evaluate_claims(results)
                     if o.passed is not None]
         failing = [o.claim.id for o in outcomes if not o.passed]
@@ -61,7 +61,7 @@ def test_different_seeds_same_shape():
 
 def test_trace_pending_counts_sane_under_load():
     runner = ExperimentRunner(nnodes=1, seed=4)
-    result = runner.run_single("wavelet")
+    result = runner.run("wavelet")
     pending = result.trace.pending
     assert pending.min() >= 1                 # includes the logged request
     assert pending.max() < 200                # queue never explodes
@@ -80,7 +80,7 @@ def test_reproducible_across_hash_seeds():
 
     code = ("from repro.core import ExperimentRunner;"
             "m = ExperimentRunner(nnodes=1, seed=1)"
-            ".run_single('nbody').metrics;"
+            ".run('nbody').metrics;"
             "print(m.total_requests, m.read_pct)")
     outputs = set()
     for hash_seed in ("1", "7777"):

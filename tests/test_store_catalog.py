@@ -16,7 +16,7 @@ def sunk_run(tmp_path_factory):
     """One small baseline experiment streamed into a catalog."""
     root = tmp_path_factory.mktemp("catalog") / "runs"
     runner = ExperimentRunner(nnodes=2, seed=3, sink=root)
-    result = runner.run_baseline(duration=120.0)
+    result = runner.run("baseline", duration=120.0)
     return root, runner, result
 
 
@@ -96,7 +96,7 @@ def test_run_names_deduplicate(tmp_path):
 
 def test_save_splits_per_node(tmp_path):
     runner = ExperimentRunner(nnodes=2, seed=0)
-    result = runner.run_baseline(duration=80.0)
+    result = runner.run("baseline", duration=80.0)
     catalog = RunCatalog(tmp_path / "runs")
     directory = catalog.save(result, seed=0)
     manifest = json.loads((directory / "manifest.json").read_text())

@@ -120,8 +120,57 @@ def test_ls_empty_and_populated(tmp_path, capsys):
     from repro.core import ExperimentRunner
     root = tmp_path / "runs"
     runner = ExperimentRunner(nnodes=1, seed=0, sink=root)
-    runner.run_baseline(duration=60.0)
+    runner.run("baseline", duration=60.0)
     assert main(["ls", str(root)]) == 0
     out = capsys.readouterr().out
     assert "baseline" in out
     assert "req/s/node" in out
+
+
+@pytest.fixture()
+def captured_run(tmp_path):
+    from repro.core import ExperimentRunner
+    root = tmp_path / "runs"
+    runner = ExperimentRunner(nnodes=2, seed=4, sink=root)
+    result = runner.run("baseline", duration=100.0)
+    return root, result
+
+
+def test_analyze_human_output(captured_run, capsys):
+    root, result = captured_run
+    assert main(["analyze", str(root), "--stats"]) == 0
+    captured = capsys.readouterr()
+    assert "baseline" in captured.out
+    assert "requests" in captured.out
+    assert "chunks scanned" in captured.err
+    # second invocation is served from the analysis.json cache
+    assert main(["analyze", str(root), "--stats"]) == 0
+    assert "0 chunks scanned" in capsys.readouterr().err
+    assert (root / "baseline" / "analysis.json").is_file()
+
+
+def test_analyze_json_matches_in_memory(captured_run, capsys):
+    import json
+    root, result = captured_run
+    assert main(["analyze", str(root), "baseline", "--json", "--no-cache",
+                 "--pipelines", "metrics,sizes",
+                 "--t0", "0", "--t1", str(result.duration)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    metrics = payload["baseline"]["metrics"]
+    assert metrics["total_requests"] == len(result.trace)
+    histogram = {float(s): c
+                 for s, c in payload["baseline"]["sizes"]["histogram"]}
+    from repro.core.sizes import size_histogram
+    assert histogram == size_histogram(result.trace)
+    assert not (root / "baseline" / "analysis.json").exists()
+
+
+def test_analyze_missing_run_and_empty_catalog(tmp_path, capsys):
+    assert main(["analyze", str(tmp_path / "none")]) == 1
+    assert "no runs" in capsys.readouterr().err
+
+
+def test_analyze_unknown_run_errors(captured_run, capsys):
+    root, _ = captured_run
+    assert main(["analyze", str(root), "nope"]) == 1
+    assert "no run" in capsys.readouterr().err
