@@ -6,12 +6,18 @@ the full simulation.  The cluster is scaled to BENCH_NODES nodes (the
 paper used 16; the per-node behaviour the figures show is node-count
 independent, and 2 nodes keeps the harness fast).  Set REPRO_BENCH_NODES
 to run at full scale.
+
+Parameter-varying benchmarks build their configurations through the
+scenario layer: ``bench_scenario(**overrides)`` starts from the
+benchmark base and applies dotted-path overrides, and
+``run_scenario(scenario, name)`` executes one experiment on it.
 """
 
 import os
 
 import pytest
 
+from repro.config import Scenario
 from repro.core import ExperimentRunner
 
 BENCH_NODES = int(os.environ.get("REPRO_BENCH_NODES", "2"))
@@ -20,11 +26,30 @@ BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 _cache = {}
 
 
+def bench_scenario(nnodes=BENCH_NODES, **overrides):
+    """The benchmark-harness scenario, with dotted-path overrides.
+
+    Underscores double as dots so overrides can be passed as keywords:
+    ``bench_scenario(node__max_readahead_kb=4)``.
+    """
+    base = Scenario().with_overrides({"cluster.nnodes": nnodes,
+                                      "seed": BENCH_SEED})
+    if overrides:
+        base = base.with_overrides(
+            {key.replace("__", "."): value
+             for key, value in overrides.items()})
+    return base
+
+
+def run_scenario(scenario, name, duration=None):
+    """Run one experiment on an explicit scenario (no memoization)."""
+    return ExperimentRunner(scenario=scenario).run(name, duration=duration)
+
+
 def run_experiment(name):
     """Memoized experiment execution at the benchmark configuration."""
     if name not in _cache:
-        runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED)
-        _cache[name] = runner.run(name)
+        _cache[name] = run_scenario(bench_scenario(), name)
     return _cache[name]
 
 

@@ -2,29 +2,21 @@
 
 DESIGN.md E10: the paper *infers* that 1 KB requests come from block I/O,
 4 KB from paging, and ~16 KB from cache-bounded read-ahead.  Because our
-substrate implements those mechanisms, we can switch each one off and
-watch its class disappear — a causal confirmation of the paper's
-attribution.
+substrate implements those mechanisms, we can switch each one off — a
+one-line scenario override — and watch its class disappear: a causal
+confirmation of the paper's attribution.
 """
 
 
-from repro.core import ExperimentRunner
 from repro.core.sizes import size_histogram
-from repro.kernel import NodeParams
 
-from conftest import BENCH_NODES, BENCH_SEED, run_experiment
-
-
-def run_wavelet_with(params):
-    runner = ExperimentRunner(nnodes=BENCH_NODES, seed=BENCH_SEED,
-                              node_params=params)
-    return runner.run("wavelet")
+from conftest import bench_scenario, run_experiment, run_scenario
 
 
 def test_readahead_off_removes_cache_class(benchmark):
     """Without read-ahead, the >= 8 KB class disappears from wavelet."""
-    params = NodeParams(max_readahead_kb=1)
-    result = benchmark.pedantic(run_wavelet_with, args=(params,),
+    scenario = bench_scenario(node__max_readahead_kb=1)
+    result = benchmark.pedantic(run_scenario, args=(scenario, "wavelet"),
                                 rounds=1, iterations=1)
     hist = size_histogram(result.trace)
     print()
@@ -39,8 +31,8 @@ def test_readahead_off_removes_cache_class(benchmark):
 
 def test_ample_memory_removes_page_class(benchmark):
     """With 64 MB nodes nothing swaps: 4 KB shrinks to demand-loads only."""
-    params = NodeParams(ram_mb=64)
-    result = benchmark.pedantic(run_wavelet_with, args=(params,),
+    scenario = bench_scenario(node__vm__ram_mb=64)
+    result = benchmark.pedantic(run_scenario, args=(scenario, "wavelet"),
                                 rounds=1, iterations=1)
     hist = size_histogram(result.trace)
     print()
@@ -49,7 +41,7 @@ def test_ample_memory_removes_page_class(benchmark):
     # paging requests collapse by an order of magnitude
     assert hist.get(4.0, 0) < 0.2 * default_hist.get(4.0, 0)
     # and the swap region sees no traffic at all
-    layout = params.disk_layout
+    layout = scenario.node_params().disk_layout
     swap = result.trace.sector_range(layout.swap_start,
                                      layout.swap_start + layout.swap_sectors)
     assert len(swap) == 0
@@ -83,15 +75,12 @@ def test_drive_cache_accelerates_replay(benchmark):
 
 def test_writeback_clustering_creates_small_multiples(benchmark):
     """Cluster limit 1 removes the 2 KB 'small multiples of 1 KB'."""
-    params = NodeParams(writeback_cluster_blocks=1)
+    scenario = bench_scenario(nnodes=1, node__writeback_cluster_blocks=1)
 
-    def run_baseline_with(params):
-        runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED,
-                                  node_params=params,
-                                  baseline_duration=600.0)
-        return runner.run("baseline")
+    def run_baseline(scenario):
+        return run_scenario(scenario, "baseline", duration=600.0)
 
-    result = benchmark.pedantic(run_baseline_with, args=(params,),
+    result = benchmark.pedantic(run_baseline, args=(scenario,),
                                 rounds=1, iterations=1)
     hist = size_histogram(result.trace)
     print()

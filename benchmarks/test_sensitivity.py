@@ -1,8 +1,9 @@
 """Sensitivity sweeps — design-space exploration on the kernel tunables.
 
 The design-tuning use case of the paper's parameter set, run directly on
-the mechanistic substrate: sweep one kernel knob at a time and verify
-the workload responds the way the mechanism predicts.
+the mechanistic substrate: sweep one kernel knob at a time (as a
+``repro.config`` grid over the benchmark scenario) and verify the
+workload responds the way the mechanism predicts.
 
 * read-ahead ceiling bounds the largest observed read;
 * buffer-cache size trades hit ratio against disk reads;
@@ -10,26 +11,29 @@ the workload responds the way the mechanism predicts.
 """
 
 
-from repro.core import ExperimentRunner
+from repro.config import expand_grid, parse_axis_spec
 from repro.core.patterns import arrival_structure
-from repro.kernel import NodeParams
 
-from conftest import BENCH_SEED
+from conftest import bench_scenario, run_scenario
 
 
-def wavelet_with(params):
-    runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED, node_params=params)
-    return runner.run("wavelet")
+def sweep_traces(axis_spec, experiment, duration=None):
+    """Expand one grid axis over the 1-node bench scenario and run it,
+    returning {axis value: ExperimentResult} (full traces, unlike
+    ``run_sweep``'s summary metrics)."""
+    axis = parse_axis_spec(axis_spec)
+    points = expand_grid(bench_scenario(nnodes=1), [axis])
+    return {value: run_scenario(point.scenario, experiment,
+                                duration=duration)
+            for (_, value), point in
+            ((point.overrides[0], point) for point in points)}
 
 
 def test_readahead_ceiling_bounds_read_sizes(benchmark):
     def sweep():
-        out = {}
-        for ceiling in (4, 8, 16, 32):
-            result = wavelet_with(NodeParams(max_readahead_kb=ceiling))
-            reads = result.trace.reads()
-            out[ceiling] = float(reads.size_kb.max())
-        return out
+        results = sweep_traces("readahead_kb=4,8,16,32", "wavelet")
+        return {int(ceiling): float(result.trace.reads().size_kb.max())
+                for ceiling, result in results.items()}
 
     tops = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -47,14 +51,10 @@ def test_readahead_ceiling_bounds_read_sizes(benchmark):
 
 def test_buffer_cache_size_trades_reads(benchmark):
     def sweep():
-        out = {}
-        for cache_kb in (256, 1024, 4096):
-            result = wavelet_with(NodeParams(buffer_cache_kb=cache_kb))
-            # block-class reads = misses that reached the disk
-            reads = result.trace.reads()
-            block_reads = int((reads.size_kb < 4.0).sum())
-            out[cache_kb] = block_reads
-        return out
+        results = sweep_traces("buffer_cache_kb=256,1024,4096", "wavelet")
+        # block-class reads = misses that reached the disk
+        return {int(kb): int((result.trace.reads().size_kb < 4.0).sum())
+                for kb, result in results.items()}
 
     reads_by_cache = benchmark.pedantic(sweep, rounds=1, iterations=1)
     print()
@@ -66,12 +66,11 @@ def test_bdflush_interval_shapes_write_burstiness(benchmark):
     def sweep():
         out = {}
         for interval in (2.0, 30.0):
-            params = NodeParams(bdflush_interval=interval,
-                                bdflush_age=interval)
-            runner = ExperimentRunner(nnodes=1, seed=BENCH_SEED,
-                                      node_params=params,
-                                      baseline_duration=600.0)
-            result = runner.run("baseline")
+            scenario = bench_scenario(
+                nnodes=1,
+                node__bdflush_interval=interval,
+                node__bdflush_age=interval)
+            result = run_scenario(scenario, "baseline", duration=600.0)
             writes = result.trace.writes()
             # fixed observation window so the IDCs are comparable
             out[interval] = arrival_structure(writes, window=10.0).idc

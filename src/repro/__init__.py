@@ -7,6 +7,8 @@ discrete-event simulation.
 
 Subpackages (bottom-up):
 
+* :mod:`repro.config` — declarative :class:`~repro.config.Scenario`
+  tree configuring the whole stack, component registries, grid sweeps;
 * :mod:`repro.sim` — discrete-event engine;
 * :mod:`repro.disk` — disk geometry / mechanics / scheduling / cache;
 * :mod:`repro.driver` — the instrumented IDE driver (the measurement

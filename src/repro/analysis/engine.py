@@ -254,6 +254,17 @@ class AnalysisEngine:
                  sorted(self.catalog.trace_paths(run_id).items())]
         infos = [scan_file(path) for path in paths]
         signature = run_signature(infos)
+        # Fold in the scenario the run was configured with: same trace
+        # bytes under a different declared stack must not share cache
+        # entries.  Legacy (v1) manifests have no scenario block and keep
+        # their bare signatures, so existing caches stay valid.
+        scenario = manifest.get("scenario")
+        if scenario is not None:
+            canonical = json.dumps(
+                {k: v for k, v in scenario.items()
+                 if k not in ("name", "seed")},
+                sort_keys=True, separators=(",", ":"))
+            signature += f"|scn:{zlib.crc32(canonical.encode()):08x}"
         ctx = self._context(manifest, infos)
         pred_key = _predicate_key(predicates)
 

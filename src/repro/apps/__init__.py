@@ -7,10 +7,30 @@ appends, and final output — while charging compute time derived from the
 real algorithms' operation counts (see :mod:`repro.apps.kernels`).
 """
 
+from typing import NamedTuple, Type
+
 from repro.apps.base import AppStats, ESSApplication
 from repro.apps.ppm import PPMApplication, PPMParams
 from repro.apps.wavelet import WaveletApplication, WaveletParams
 from repro.apps.nbody import NBodyApplication, NBodyParams
+from repro.registry import Registry
+
+
+class WorkloadEntry(NamedTuple):
+    """One registered application workload: model class + params class."""
+
+    app_cls: Type[ESSApplication]
+    params_cls: type
+
+
+#: plugin registry of application workloads, selected by name in
+#: scenario workload mixes; register new entries as
+#: ``WORKLOADS.register("myapp", WorkloadEntry(MyApp, MyParams))``
+WORKLOADS = Registry("workload")
+WORKLOADS.register("ppm", WorkloadEntry(PPMApplication, PPMParams))
+WORKLOADS.register("wavelet", WorkloadEntry(WaveletApplication,
+                                            WaveletParams))
+WORKLOADS.register("nbody", WorkloadEntry(NBodyApplication, NBodyParams))
 
 __all__ = [
     "AppStats",
@@ -19,6 +39,8 @@ __all__ = [
     "NBodyParams",
     "PPMApplication",
     "PPMParams",
+    "WORKLOADS",
     "WaveletApplication",
     "WaveletParams",
+    "WorkloadEntry",
 ]

@@ -5,6 +5,9 @@ Examples::
     repro-experiment baseline --nodes 4 --duration 500
     repro-experiment combined --figures 5 6 7 8 --csv-dir out/
     repro-experiment all --table
+    repro-experiment wavelet --scenario myscenario.toml
+    repro-experiment sweep --on baseline --duration 120 \
+        --grid scheduler=clook,fifo --grid drive_cache_segments=0,4
 """
 
 from __future__ import annotations
@@ -25,14 +28,32 @@ def build_parser() -> argparse.ArgumentParser:
                     "Berry & El-Ghazawi (IPPS 1996) on a simulated "
                     "Beowulf cluster.")
     parser.add_argument("experiment",
-                        choices=list(EXPERIMENTS) + ["all"],
-                        help="which experiment to run")
-    parser.add_argument("--nodes", type=int, default=4,
-                        help="cluster size (paper: 16; default 4)")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="root random seed")
+                        choices=list(EXPERIMENTS) + ["all", "sweep"],
+                        help="which experiment to run ('sweep' expands "
+                             "--grid axes over the base scenario)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="cluster size (paper: 16; default 4, or the "
+                             "scenario file's value)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="root random seed (default 0)")
     parser.add_argument("--duration", type=float, default=None,
                         help="baseline duration in seconds (default 2000)")
+    parser.add_argument("--scenario", type=Path, default=None,
+                        metavar="FILE",
+                        help="base scenario as TOML or JSON (see "
+                             "repro.config.Scenario); flags like --nodes "
+                             "override its fields")
+    parser.add_argument("--grid", action="append", default=[],
+                        metavar="AXIS=V1,V2",
+                        help="sweep axis (repeatable): a repro.config "
+                             "alias like scheduler=clook,fifo or a dotted "
+                             "scenario path")
+    parser.add_argument("--on", default="baseline", metavar="NAME",
+                        help="which experiment the sweep runs at every "
+                             "grid point (default baseline)")
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="with 'sweep': also write the comparison "
+                             "results as JSON")
     parser.add_argument("--figures", type=int, nargs="*", default=None,
                         metavar="N",
                         help="figure numbers to render (default: all that "
@@ -69,21 +90,74 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _base_scenario(args):
+    from repro.config import Scenario
+    scenario = Scenario.load(args.scenario) if args.scenario else None
+    if args.grid and args.experiment != "sweep":
+        print("--grid only applies to the 'sweep' experiment",
+              file=sys.stderr)
+        raise SystemExit(2)
+    return scenario
+
+
+def _run_sweep(args) -> int:
+    from repro.config import (Scenario, parse_axis_spec, run_sweep,
+                              render_sweep_table, sweep_to_json)
+    base = Scenario.load(args.scenario) if args.scenario else Scenario()
+    overrides = {}
+    if args.nodes is not None:
+        overrides["cluster.nnodes"] = args.nodes
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        base = base.with_overrides(overrides)
+    axes = [parse_axis_spec(spec) for spec in args.grid]
+    if not axes:
+        print("sweep needs at least one --grid AXIS=V1,V2",
+              file=sys.stderr)
+        return 2
+    if args.duration is not None and args.on != "baseline":
+        print("--duration only applies to '--on baseline'; application "
+              "sweeps end when the applications do", file=sys.stderr)
+        return 2
+    npoints = 1
+    for axis in axes:
+        npoints *= len(axis.values)
+    print(f"sweeping {args.on} over {npoints} scenarios "
+          f"({' x '.join(a.name for a in axes)}) ...", file=sys.stderr)
+    sink = str(args.sink) if args.sink else None
+    results = run_sweep(base, axes, experiment=args.on,
+                        duration=args.duration, sink=sink)
+    print(render_sweep_table(
+        results, title=f"scenario sweep: {args.on}"))
+    if args.json:
+        args.json.write_text(sweep_to_json(results))
+        print(f"sweep results -> {args.json}", file=sys.stderr)
+    if args.sink:
+        print(f"run catalog -> {args.sink} "
+              f"(browse with: repro-trace ls {args.sink})", file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.experiment == "sweep":
+        return _run_sweep(args)
+    scenario = _base_scenario(args)
     runner = ExperimentRunner(nnodes=args.nodes, seed=args.seed,
-                              baseline_duration=args.duration or 2000.0,
+                              baseline_duration=args.duration,
+                              scenario=scenario,
                               sink=args.sink, obs=args.obs)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
     results = {}
     if args.experiment == "all" and args.parallel:
-        print(f"running all experiments in parallel on {args.nodes} "
+        print(f"running all experiments in parallel on {runner.nnodes} "
               f"nodes ...", file=sys.stderr)
         results = runner.run_all(parallel=True)
     else:
         for name in names:
-            print(f"running {name} on {args.nodes} nodes ...",
+            print(f"running {name} on {runner.nnodes} nodes ...",
                   file=sys.stderr)
             results[name] = runner.run(name)
     for name, result in results.items():

@@ -26,13 +26,13 @@ class ClusterNode:
                  streams: RandomStreams, pvm: PVM,
                  housekeeping: bool = True,
                  housekeeping_message_rate: float = 3.0,
-                 obs=None):
+                 obs=None, node_config=None):
         self.node_id = node_id
         self.kernel = NodeKernel(
             sim, params=params, streams=streams.spawn(f"node{node_id}"),
             node_id=node_id, housekeeping=housekeeping,
             housekeeping_message_rate=housekeeping_message_rate,
-            obs=obs)
+            obs=obs, node_config=node_config)
         self.mailbox: Mailbox = pvm.register(node_id)
         self.pvm = pvm
 
@@ -41,16 +41,42 @@ class ClusterNode:
 
 
 class BeowulfCluster:
-    """The 16-node prototype (node count and parameters configurable)."""
+    """The 16-node prototype (node count and parameters configurable).
 
-    def __init__(self, sim: Simulator, nnodes: int = 16,
-                 params: Optional[NodeParams] = None, seed: int = 0,
-                 housekeeping: bool = True,
-                 housekeeping_message_rate: float = 3.0,
-                 obs=None):
+    Construction resolves, in precedence order: explicit keyword
+    arguments, then the fields of ``scenario`` (a
+    :class:`~repro.config.Scenario`), then the historical defaults
+    (16 nodes, seed 0, housekeeping on at 3 msg/s).
+    """
+
+    def __init__(self, sim: Simulator, nnodes: Optional[int] = None,
+                 params: Optional[NodeParams] = None,
+                 seed: Optional[int] = None,
+                 housekeeping: Optional[bool] = None,
+                 housekeeping_message_rate: Optional[float] = None,
+                 obs=None, scenario=None):
+        node_config = None
+        if scenario is not None:
+            cluster_cfg = scenario.cluster
+            nnodes = cluster_cfg.nnodes if nnodes is None else nnodes
+            seed = scenario.seed if seed is None else seed
+            if housekeeping is None:
+                housekeeping = cluster_cfg.housekeeping
+            if housekeeping_message_rate is None:
+                housekeeping_message_rate = \
+                    cluster_cfg.housekeeping_message_rate
+            node_config = scenario.node
+            if params is None:
+                params = node_config.to_node_params()
+        nnodes = 16 if nnodes is None else nnodes
+        seed = 0 if seed is None else seed
+        housekeeping = True if housekeeping is None else housekeeping
+        if housekeeping_message_rate is None:
+            housekeeping_message_rate = 3.0
         if nnodes < 1:
             raise ValueError("cluster needs at least one node")
         self.sim = sim
+        self.scenario = scenario
         self.params = params or NodeParams()
         streams = RandomStreams(seed=seed)
         self.network = EthernetNetwork(sim, rng=streams.stream("ethernet"))
@@ -59,7 +85,7 @@ class BeowulfCluster:
             ClusterNode(sim, node_id, self.params, streams, self.pvm,
                         housekeeping=housekeeping,
                         housekeeping_message_rate=housekeeping_message_rate,
-                        obs=obs)
+                        obs=obs, node_config=node_config)
             for node_id in range(nnodes)
         ]
 

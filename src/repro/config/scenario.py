@@ -1,0 +1,619 @@
+"""The declarative scenario tree: one object describing a whole stack.
+
+A :class:`Scenario` captures every construction-time choice the
+simulated platform makes — cluster size, node hardware and kernel
+tunables, disk geometry, queue discipline, on-drive cache, driver
+transport, workload mix, and experiment durations — as a frozen
+dataclass tree that round-trips through TOML and JSON, validates with
+precise error paths (``scenario.node.disk.scheduler.kind: unknown disk
+scheduler 'foo'``), and resolves swappable components through the
+plugin registries (:data:`repro.disk.SCHEDULERS`,
+:data:`repro.disk.DRIVE_CACHES`, :data:`repro.apps.WORKLOADS`).
+
+The default ``Scenario()`` is exactly the paper's machine: 16 nodes of
+486DX4-100 class hardware, 500 MB IDE disks behind a C-LOOK elevator
+with a 4x64-sector look-ahead segment cache, and the PPM / wavelet /
+N-body workload mix.  Everything the experiments previously hard-coded
+is a field here instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
+from typing import get_args, get_origin, get_type_hints
+
+from repro.disk import DRIVE_CACHES, SCHEDULERS, NullDriveCache
+from repro.kernel.params import DiskLayout, NodeParams
+from repro.registry import UnknownComponentError
+
+
+class ConfigError(ValueError):
+    """A scenario field failed to parse or validate.
+
+    ``path`` names the exact offending field, dot-separated from the
+    scenario root (e.g. ``scenario.node.disk.cache.nsegments``).
+    """
+
+    def __init__(self, path: str, message: str):
+        self.path = path
+        super().__init__(f"{path}: {message}")
+
+
+# -- generic dict <-> dataclass plumbing --------------------------------------
+def _convert(value: Any, typ: Any, path: str) -> Any:
+    """Coerce one raw value (from TOML/JSON/CLI) to a field's type."""
+    if is_dataclass(typ):
+        return _from_dict(typ, value, path)
+    origin = get_origin(typ)
+    if origin is tuple:                       # Tuple[str, ...] — the mix
+        if isinstance(value, str):
+            value = [part for part in value.split(",") if part]
+        if not isinstance(value, (list, tuple)):
+            raise ConfigError(path, f"expected a list of strings, got "
+                                    f"{type(value).__name__}")
+        item_type = (get_args(typ) or (str,))[0]
+        return tuple(_convert(v, item_type, f"{path}[{i}]")
+                     for i, v in enumerate(value))
+    if origin is dict:                        # per-app params overrides
+        if not isinstance(value, Mapping):
+            raise ConfigError(path, f"expected a table/object, got "
+                                    f"{type(value).__name__}")
+        return {str(k): dict(v) if isinstance(v, Mapping) else v
+                for k, v in value.items()}
+    if typ is bool:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, str) and value.lower() in ("true", "false"):
+            return value.lower() == "true"
+        raise ConfigError(path, f"expected a boolean, got {value!r}")
+    if typ is int:
+        if isinstance(value, bool) or not isinstance(value, (int, str)):
+            raise ConfigError(path, f"expected an integer, got {value!r}")
+        try:
+            return int(value)
+        except ValueError:
+            raise ConfigError(path,
+                              f"expected an integer, got {value!r}") from None
+    if typ is float:
+        if isinstance(value, bool) or \
+                not isinstance(value, (int, float, str)):
+            raise ConfigError(path, f"expected a number, got {value!r}")
+        try:
+            return float(value)
+        except ValueError:
+            raise ConfigError(path,
+                              f"expected a number, got {value!r}") from None
+    if typ is str:
+        if not isinstance(value, str):
+            raise ConfigError(path, f"expected a string, got {value!r}")
+        return value
+    raise ConfigError(path, f"unsupported field type {typ!r}")
+
+
+def _from_dict(cls, data: Any, path: str):
+    """Build dataclass ``cls`` from a mapping, rejecting unknown keys."""
+    if isinstance(data, cls):
+        return data
+    if not isinstance(data, Mapping):
+        raise ConfigError(path, f"expected a table/object, got "
+                                f"{type(data).__name__}")
+    hints = get_type_hints(cls)
+    known = {f.name for f in fields(cls)}
+    for key in data:
+        if key not in known:
+            raise ConfigError(f"{path}.{key}",
+                              f"unknown field; valid fields: "
+                              f"{sorted(known)}")
+    kwargs = {name: _convert(data[name], hints[name], f"{path}.{name}")
+              for name in known if name in data}
+    return cls(**kwargs)
+
+
+def _to_dict(obj) -> Any:
+    if is_dataclass(obj):
+        return {f.name: _to_dict(getattr(obj, f.name))
+                for f in fields(obj)}
+    if isinstance(obj, tuple):
+        return [_to_dict(v) for v in obj]
+    if isinstance(obj, dict):
+        return {k: _to_dict(v) for k, v in obj.items()}
+    return obj
+
+
+def _check(condition: bool, path: str, message: str) -> None:
+    if not condition:
+        raise ConfigError(path, message)
+
+
+# -- the tree -----------------------------------------------------------------
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Which request-queue discipline the disk drains (by registry name)."""
+
+    kind: str = "clook"
+
+    def validate(self, path: str) -> None:
+        if self.kind not in SCHEDULERS:
+            raise ConfigError(f"{path}.kind",
+                              str(UnknownComponentError(
+                                  SCHEDULERS.kind, self.kind,
+                                  SCHEDULERS.names())))
+
+    def build(self):
+        return SCHEDULERS.create(self.kind)
+
+
+@dataclass(frozen=True)
+class DriveCacheConfig:
+    """On-drive segment buffer geometry (by registry kind).
+
+    ``nsegments = 0`` with the default ``segmented`` kind resolves to
+    the registered ``none`` cache — so a sweep axis over segment counts
+    naturally includes the cacheless baseline.
+    """
+
+    kind: str = "segmented"
+    nsegments: int = 4
+    segment_sectors: int = 64
+    lookahead_sectors: int = 32
+
+    def validate(self, path: str) -> None:
+        if self.kind not in DRIVE_CACHES:
+            raise ConfigError(f"{path}.kind",
+                              str(UnknownComponentError(
+                                  DRIVE_CACHES.kind, self.kind,
+                                  DRIVE_CACHES.names())))
+        _check(self.nsegments >= 0, f"{path}.nsegments",
+               f"must be >= 0, got {self.nsegments}")
+        _check(self.segment_sectors >= 1, f"{path}.segment_sectors",
+               f"must be >= 1, got {self.segment_sectors}")
+        _check(self.lookahead_sectors >= 0, f"{path}.lookahead_sectors",
+               f"must be >= 0, got {self.lookahead_sectors}")
+
+    def build(self):
+        if self.kind == "segmented" and self.nsegments == 0:
+            return NullDriveCache()
+        return DRIVE_CACHES.create(
+            self.kind, nsegments=self.nsegments,
+            segment_sectors=self.segment_sectors,
+            lookahead_sectors=self.lookahead_sectors)
+
+
+@dataclass(frozen=True)
+class DiskConfig:
+    """One node's disk: capacity, servicing discipline, drive cache."""
+
+    capacity_mb: int = 500
+    media_error_rate: float = 0.0
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    cache: DriveCacheConfig = field(default_factory=DriveCacheConfig)
+
+    def validate(self, path: str) -> None:
+        _check(self.capacity_mb >= 1, f"{path}.capacity_mb",
+               f"must be >= 1, got {self.capacity_mb}")
+        _check(0.0 <= self.media_error_rate < 1.0,
+               f"{path}.media_error_rate",
+               f"must be in [0, 1), got {self.media_error_rate}")
+        self.scheduler.validate(f"{path}.scheduler")
+        self.cache.validate(f"{path}.cache")
+
+    def build_scheduler(self):
+        return self.scheduler.build()
+
+    def build_cache(self):
+        return self.cache.build()
+
+
+@dataclass(frozen=True)
+class DriverConfig:
+    """The instrumented driver's /proc trace transport."""
+
+    ring_capacity: int = 4096
+    drain_interval: float = 1.0
+
+    def validate(self, path: str) -> None:
+        _check(self.ring_capacity >= 1, f"{path}.ring_capacity",
+               f"must be >= 1, got {self.ring_capacity}")
+        _check(self.drain_interval > 0, f"{path}.drain_interval",
+               f"must be > 0, got {self.drain_interval}")
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Memory geometry: RAM, kernel residency, page size."""
+
+    ram_mb: int = 16
+    kernel_resident_mb: int = 5
+    page_kb: int = 4
+
+    def validate(self, path: str) -> None:
+        _check(self.ram_mb >= 1, f"{path}.ram_mb",
+               f"must be >= 1, got {self.ram_mb}")
+        _check(self.kernel_resident_mb >= 0, f"{path}.kernel_resident_mb",
+               f"must be >= 0, got {self.kernel_resident_mb}")
+        _check(self.kernel_resident_mb < self.ram_mb,
+               f"{path}.kernel_resident_mb",
+               f"kernel ({self.kernel_resident_mb} MB) must fit below "
+               f"RAM ({self.ram_mb} MB)")
+        _check(self.page_kb >= 1, f"{path}.page_kb",
+               f"must be >= 1, got {self.page_kb}")
+
+
+@dataclass(frozen=True)
+class LayoutConfig:
+    """Filesystem zone placement (sectors) — mirrors ``DiskLayout``."""
+
+    metadata_start: int = 0
+    metadata_sectors: int = 4096
+    log_start: int = 44_000
+    log_sectors: int = 8192
+    binary_start: int = 16_000
+    binary_sectors: int = 24_000
+    data_start: int = 96_000
+    data_sectors: int = 120_000
+    swap_start: int = 240_000
+    swap_sectors: int = 131_072
+    highlog_start: int = 1_000_000
+    highlog_sectors: int = 16_384
+
+    def validate(self, path: str) -> None:
+        for f in fields(self):
+            value = getattr(self, f.name)
+            _check(value >= 0, f"{path}.{f.name}",
+                   f"must be >= 0, got {value}")
+
+    def to_disk_layout(self) -> DiskLayout:
+        return DiskLayout(**{f.name: getattr(self, f.name)
+                             for f in fields(self)})
+
+    @classmethod
+    def from_disk_layout(cls, layout: DiskLayout) -> "LayoutConfig":
+        return cls(**{f.name: getattr(layout, f.name)
+                      for f in fields(cls)})
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """One node's hardware and kernel tunables, plus its subsystems."""
+
+    block_kb: int = 1
+    l1_cache_kb: int = 16
+    cpu_speed: float = 1.0
+    timeslice: float = 0.05
+    buffer_cache_kb: int = 2048
+    bdflush_interval: float = 5.0
+    bdflush_age: float = 5.0
+    writeback_cluster_blocks: int = 2
+    max_readahead_kb: int = 16
+    update_interval: float = 30.0
+    atime_updates: bool = False
+    vm: VMConfig = field(default_factory=VMConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    driver: DriverConfig = field(default_factory=DriverConfig)
+    layout: LayoutConfig = field(default_factory=LayoutConfig)
+
+    def validate(self, path: str) -> None:
+        _check(self.block_kb >= 1, f"{path}.block_kb",
+               f"must be >= 1, got {self.block_kb}")
+        _check(self.buffer_cache_kb >= self.block_kb,
+               f"{path}.buffer_cache_kb",
+               f"must hold at least one block, got {self.buffer_cache_kb}")
+        _check(self.cpu_speed > 0, f"{path}.cpu_speed",
+               f"must be > 0, got {self.cpu_speed}")
+        _check(self.timeslice > 0, f"{path}.timeslice",
+               f"must be > 0, got {self.timeslice}")
+        _check(self.bdflush_interval > 0, f"{path}.bdflush_interval",
+               f"must be > 0, got {self.bdflush_interval}")
+        _check(self.bdflush_age >= 0, f"{path}.bdflush_age",
+               f"must be >= 0, got {self.bdflush_age}")
+        _check(self.writeback_cluster_blocks >= 1,
+               f"{path}.writeback_cluster_blocks",
+               f"must be >= 1, got {self.writeback_cluster_blocks}")
+        _check(self.max_readahead_kb >= self.block_kb,
+               f"{path}.max_readahead_kb",
+               f"read-ahead window ({self.max_readahead_kb} KB) smaller "
+               f"than a block ({self.block_kb} KB)")
+        _check(self.update_interval > 0, f"{path}.update_interval",
+               f"must be > 0, got {self.update_interval}")
+        self.vm.validate(f"{path}.vm")
+        _check(self.vm.page_kb % self.block_kb == 0, f"{path}.vm.page_kb",
+               f"page size ({self.vm.page_kb} KB) must be a multiple of "
+               f"the block size ({self.block_kb} KB)")
+        self.disk.validate(f"{path}.disk")
+        self.driver.validate(f"{path}.driver")
+        self.layout.validate(f"{path}.layout")
+
+    def to_node_params(self) -> NodeParams:
+        """The kernel-facing parameter object this node resolves to."""
+        return NodeParams(
+            ram_mb=self.vm.ram_mb,
+            kernel_resident_mb=self.vm.kernel_resident_mb,
+            block_kb=self.block_kb,
+            page_kb=self.vm.page_kb,
+            l1_cache_kb=self.l1_cache_kb,
+            disk_mb=self.disk.capacity_mb,
+            cpu_speed=self.cpu_speed,
+            timeslice=self.timeslice,
+            buffer_cache_kb=self.buffer_cache_kb,
+            bdflush_interval=self.bdflush_interval,
+            bdflush_age=self.bdflush_age,
+            writeback_cluster_blocks=self.writeback_cluster_blocks,
+            max_readahead_kb=self.max_readahead_kb,
+            update_interval=self.update_interval,
+            atime_updates=self.atime_updates,
+            disk_layout=self.layout.to_disk_layout(),
+        )
+
+    @classmethod
+    def from_node_params(cls, params: NodeParams) -> "NodeConfig":
+        """Lift a legacy ``NodeParams`` into the config tree.
+
+        The disk stack keeps the historical defaults (C-LOOK, 4x64
+        segment cache, 1 s drain) — exactly what the pre-scenario code
+        hard-wired around a ``NodeParams``.
+        """
+        return cls(
+            block_kb=params.block_kb,
+            l1_cache_kb=params.l1_cache_kb,
+            cpu_speed=params.cpu_speed,
+            timeslice=params.timeslice,
+            buffer_cache_kb=params.buffer_cache_kb,
+            bdflush_interval=params.bdflush_interval,
+            bdflush_age=params.bdflush_age,
+            writeback_cluster_blocks=params.writeback_cluster_blocks,
+            max_readahead_kb=params.max_readahead_kb,
+            update_interval=params.update_interval,
+            atime_updates=params.atime_updates,
+            vm=VMConfig(ram_mb=params.ram_mb,
+                        kernel_resident_mb=params.kernel_resident_mb,
+                        page_kb=params.page_kb),
+            disk=DiskConfig(capacity_mb=params.disk_mb),
+            layout=LayoutConfig.from_disk_layout(params.disk_layout),
+        )
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster-wide shape: node count and housekeeping load."""
+
+    nnodes: int = 16
+    housekeeping: bool = True
+    housekeeping_message_rate: float = 3.0
+
+    def validate(self, path: str) -> None:
+        _check(self.nnodes >= 1, f"{path}.nnodes",
+               f"cluster needs at least one node, got {self.nnodes}")
+        _check(self.housekeeping_message_rate >= 0,
+               f"{path}.housekeeping_message_rate",
+               f"must be >= 0, got {self.housekeeping_message_rate}")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Which applications run, and per-application parameter overrides.
+
+    ``mix`` drives the ``combined``/``serial`` experiments (every name
+    must be registered in :data:`repro.apps.WORKLOADS`); ``params`` maps
+    application name to field overrides of its params dataclass, e.g.
+    ``{"ppm": {"steps": 12}}``.
+    """
+
+    mix: Tuple[str, ...] = ("ppm", "wavelet", "nbody")
+    params: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+
+    def validate(self, path: str) -> None:
+        from repro.apps import WORKLOADS
+        _check(len(self.mix) >= 1, f"{path}.mix",
+               "workload mix must name at least one application")
+        for i, name in enumerate(self.mix):
+            if name not in WORKLOADS:
+                raise ConfigError(f"{path}.mix[{i}]",
+                                  str(UnknownComponentError(
+                                      WORKLOADS.kind, name,
+                                      WORKLOADS.names())))
+        for app, overrides in self.params.items():
+            if app not in WORKLOADS:
+                raise ConfigError(f"{path}.params.{app}",
+                                  str(UnknownComponentError(
+                                      WORKLOADS.kind, app,
+                                      WORKLOADS.names())))
+            params_cls = WORKLOADS.get(app).params_cls
+            known = {f.name for f in fields(params_cls)}
+            if not isinstance(overrides, Mapping):
+                raise ConfigError(f"{path}.params.{app}",
+                                  "expected a table of field overrides")
+            for key in overrides:
+                _check(key in known, f"{path}.params.{app}.{key}",
+                       f"unknown {params_cls.__name__} field; valid "
+                       f"fields: {sorted(known)}")
+
+    def params_for(self, app: str) -> Dict[str, Any]:
+        return dict(self.params.get(app, {}))
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Observation windows and safety limits of the experiment protocol."""
+
+    baseline_duration: float = 2000.0
+    hard_limit: float = 5000.0
+    flush_grace: float = 10.0
+
+    def validate(self, path: str) -> None:
+        _check(self.baseline_duration > 0, f"{path}.baseline_duration",
+               f"must be > 0, got {self.baseline_duration}")
+        _check(self.hard_limit > 0, f"{path}.hard_limit",
+               f"must be > 0, got {self.hard_limit}")
+        _check(self.flush_grace >= 0, f"{path}.flush_grace",
+               f"must be >= 0, got {self.flush_grace}")
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """The whole stack, declaratively.  ``Scenario()`` is the paper's."""
+
+    name: str = "default"
+    seed: int = 0
+    cluster: ClusterConfig = field(default_factory=ClusterConfig)
+    node: NodeConfig = field(default_factory=NodeConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+
+    # -- validation ---------------------------------------------------------
+    def validate(self) -> "Scenario":
+        """Raise :class:`ConfigError` (with the exact path) if invalid."""
+        self.cluster.validate("scenario.cluster")
+        self.node.validate("scenario.node")
+        self.workload.validate("scenario.workload")
+        self.experiment.validate("scenario.experiment")
+        return self
+
+    # -- resolution ---------------------------------------------------------
+    def node_params(self) -> NodeParams:
+        return self.node.to_node_params()
+
+    def fingerprint(self) -> str:
+        """Stable digest of the resolved stack (the ``name`` label and
+        random seed are excluded: they don't change what the machinery
+        *is*, and analysis caches should survive relabeling)."""
+        data = self.to_dict()
+        data.pop("name", None)
+        data.pop("seed", None)
+        canonical = json.dumps(data, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha1(canonical.encode()).hexdigest()[:12]
+
+    # -- overrides ----------------------------------------------------------
+    def with_override(self, path: str, value: Any) -> "Scenario":
+        """A copy with the dotted ``path`` set to ``value``.
+
+        Paths are rooted at the scenario (``node.disk.scheduler.kind``);
+        string values are coerced to the target field's type, so CLI
+        grids can pass everything as text.
+        """
+        return _override(self, path.split("."), value, "scenario")
+
+    def with_overrides(self,
+                       overrides: Mapping[str, Any]) -> "Scenario":
+        scenario = self
+        for path, value in overrides.items():
+            scenario = scenario.with_override(path, value)
+        return scenario
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> dict:
+        return _to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping, *,
+                  validate: bool = True) -> "Scenario":
+        scenario = _from_dict(cls, data, "scenario")
+        return scenario.validate() if validate else scenario
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    def to_toml(self) -> str:
+        return _emit_toml(self.to_dict())
+
+    @classmethod
+    def from_toml(cls, text: str) -> "Scenario":
+        try:
+            import tomllib
+        except ModuleNotFoundError:          # Python < 3.11
+            import tomli as tomllib          # type: ignore[no-redef]
+        return cls.from_dict(tomllib.loads(text))
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write as TOML or JSON, chosen by suffix (default TOML)."""
+        path = Path(path)
+        text = self.to_json() if path.suffix == ".json" else self.to_toml()
+        path.write_text(text)
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Scenario":
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".json":
+            return cls.from_json(text)
+        return cls.from_toml(text)
+
+
+def _override(obj, parts: Sequence[str], value: Any, path: str):
+    """Descend ``parts`` through the dataclass tree and replace a leaf."""
+    name, rest = parts[0], parts[1:]
+    here = f"{path}.{name}"
+    if isinstance(obj, dict):
+        # inside workload.params: free-form nesting, create as needed
+        if rest:
+            child = obj.get(name, {})
+            if not isinstance(child, Mapping):
+                raise ConfigError(here, "not a table; cannot descend")
+            new = dict(obj)
+            new[name] = _override(dict(child), rest, value, here)
+            return new
+        new = dict(obj)
+        new[name] = value
+        return new
+    if not is_dataclass(obj):
+        raise ConfigError(path, "not a config section; cannot descend")
+    known = {f.name for f in fields(obj)}
+    if name not in known:
+        raise ConfigError(here, f"unknown field; valid fields: "
+                                f"{sorted(known)}")
+    current = getattr(obj, name)
+    if rest:
+        return replace(obj, **{name: _override(current, rest, value, here)})
+    hints = get_type_hints(type(obj))
+    return replace(obj, **{name: _convert(value, hints[name], here)})
+
+
+# -- minimal TOML emission ----------------------------------------------------
+def _toml_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        return json.dumps(value)
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_value(v) for v in value) + "]"
+    raise TypeError(f"cannot emit {value!r} as TOML")
+
+
+def _emit_toml(data: Mapping, prefix: str = "") -> str:
+    """Emit nested dicts as TOML tables (scalars first, then subtables).
+
+    Covers exactly the shapes a scenario produces — scalars, string
+    lists, and nested string-keyed tables; round-trips through
+    :mod:`tomllib`.
+    """
+    lines = []
+    tables = []
+    for key, value in data.items():
+        if isinstance(value, Mapping):
+            tables.append((key, value))
+        else:
+            lines.append(f"{key} = {_toml_value(value)}")
+    out = "\n".join(lines)
+    for key, value in tables:
+        full = f"{prefix}{key}"
+        body = _emit_toml(value, prefix=f"{full}.")
+        out += f"\n\n[{full}]"
+        if body:
+            out += f"\n{body}"
+    return out.strip() + "\n"
+
+
+#: convenience re-export target for dataclasses.replace-style edits
+scenario_fields = dataclasses.fields

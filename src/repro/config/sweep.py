@@ -1,0 +1,201 @@
+"""Grid sweeps over scenarios: expand axes, fan out runs, compare.
+
+A sweep takes a base :class:`~repro.config.Scenario` plus axis specs
+like ``scheduler=clook,fifo`` and ``drive_cache_segments=0,4,8``,
+expands their cross product into labeled scenarios, runs the chosen
+experiment once per point (in parallel across processes by default),
+and renders a side-by-side comparison table of the workload metrics.
+
+Axis names may be full dotted scenario paths
+(``node.disk.scheduler.kind``) or one of the short aliases in
+:data:`GRID_ALIASES` covering the knobs the paper's ablations turn.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.config.scenario import ConfigError, Scenario
+
+#: short axis names accepted in grid specs, mapped to scenario paths
+GRID_ALIASES: Dict[str, str] = {
+    "scheduler": "node.disk.scheduler.kind",
+    "drive_cache": "node.disk.cache.kind",
+    "drive_cache_segments": "node.disk.cache.nsegments",
+    "lookahead_sectors": "node.disk.cache.lookahead_sectors",
+    "nnodes": "cluster.nnodes",
+    "seed": "seed",
+    "readahead_kb": "node.max_readahead_kb",
+    "buffer_cache_kb": "node.buffer_cache_kb",
+    "bdflush_interval": "node.bdflush_interval",
+    "ram_mb": "node.vm.ram_mb",
+    "cpu_speed": "node.cpu_speed",
+    "drain_interval": "node.driver.drain_interval",
+}
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One grid dimension: display name, scenario path, and values."""
+
+    name: str           # what the user typed (and what labels show)
+    path: str           # resolved dotted scenario path
+    values: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the grid: a labeled, fully-overridden scenario."""
+
+    label: str
+    overrides: Tuple[Tuple[str, str], ...]   # (axis display name, value)
+    scenario: Scenario
+
+
+def parse_axis_spec(spec: str) -> SweepAxis:
+    """Parse ``name=v1,v2,...`` into a :class:`SweepAxis`."""
+    name, sep, rest = spec.partition("=")
+    name = name.strip()
+    if not sep or not name:
+        raise ConfigError("sweep.grid",
+                          f"bad axis spec {spec!r}; expected name=v1,v2")
+    values = tuple(v.strip() for v in rest.split(",") if v.strip())
+    if not values:
+        raise ConfigError(f"sweep.grid.{name}",
+                          f"axis {name!r} lists no values")
+    return SweepAxis(name=name, path=GRID_ALIASES.get(name, name),
+                     values=values)
+
+
+def expand_grid(base: Scenario,
+                axes: Sequence[SweepAxis]) -> List[SweepPoint]:
+    """The cross product of all axes, applied over ``base``.
+
+    Every point's scenario is validated eagerly, so a bad registry name
+    or out-of-range value fails before any simulation starts.
+    """
+    points: List[SweepPoint] = [SweepPoint("", (), base)]
+    for axis in axes:
+        expanded: List[SweepPoint] = []
+        for point in points:
+            for value in axis.values:
+                label = (f"{point.label},{axis.name}={value}"
+                         if point.label else f"{axis.name}={value}")
+                scenario = point.scenario.with_override(axis.path, value)
+                expanded.append(SweepPoint(
+                    label=label,
+                    overrides=point.overrides + ((axis.name, value),),
+                    scenario=scenario))
+        points = expanded
+    out = []
+    for point in points:
+        scenario = replace(point.scenario,
+                           name=point.label or point.scenario.name)
+        scenario.validate()
+        out.append(replace(point, scenario=scenario))
+    return out
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """One completed grid point: its label, overrides, and metrics."""
+
+    label: str
+    overrides: Tuple[Tuple[str, str], ...]
+    fingerprint: str
+    metrics: Dict[str, Any]
+
+    def to_dict(self) -> dict:
+        return {"label": self.label,
+                "overrides": dict(self.overrides),
+                "fingerprint": self.fingerprint,
+                "metrics": self.metrics}
+
+
+def _sweep_worker(args: tuple) -> dict:
+    """Run one grid point (top-level so it pickles across processes)."""
+    scenario_dict, name, duration, sink = args
+    from repro.core.experiments import ExperimentRunner
+    scenario = Scenario.from_dict(scenario_dict)
+    runner = ExperimentRunner(scenario=scenario, sink=sink)
+    result = runner.run(name, duration=duration)
+    return result.metrics.to_dict()
+
+
+def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
+              experiment: str = "baseline", *,
+              duration: Optional[float] = None,
+              workers: Optional[int] = None,
+              parallel: bool = True,
+              sink: Optional[str] = None) -> List[SweepResult]:
+    """Run ``experiment`` at every grid point; returns one result each.
+
+    Points fan out across a process pool (``workers`` defaults to the
+    pool's own sizing) unless ``parallel=False``, which runs them
+    sequentially in-process — handy under profilers and in tests.
+    """
+    points = expand_grid(base, axes)
+    jobs = [(p.scenario.to_dict(), experiment, duration, sink)
+            for p in points]
+    if parallel and len(points) > 1:
+        import multiprocessing as mp
+        ctx = mp.get_context("spawn")
+        nworkers = min(workers or ctx.cpu_count(), len(jobs))
+        with ctx.Pool(processes=nworkers) as pool:
+            raw = pool.map(_sweep_worker, jobs)
+    else:
+        raw = [_sweep_worker(job) for job in jobs]
+    return [SweepResult(label=p.label, overrides=p.overrides,
+                        fingerprint=p.scenario.fingerprint(),
+                        metrics=m)
+            for p, m in zip(points, raw)]
+
+
+# -- presentation -------------------------------------------------------------
+_COLUMNS = (
+    ("requests", "total_requests", "{:d}"),
+    ("read%", "read_pct", "{:.1f}"),
+    ("write%", "write_pct", "{:.1f}"),
+    ("req/s", "requests_per_second", "{:.2f}"),
+    ("KB/s", "throughput_kb_per_s", "{:.1f}"),
+    ("mean KB", "mean_size_kb", "{:.2f}"),
+    ("pending", "mean_pending", "{:.2f}"),
+    ("duration", "duration", "{:.1f}"),
+)
+
+
+def render_sweep_table(results: Sequence[SweepResult],
+                       title: str = "scenario sweep") -> str:
+    """Fixed-width comparison table, one row per grid point."""
+    if not results:
+        return f"{title}: no grid points"
+    axis_names = [name for name, _ in results[0].overrides]
+    rows = []
+    for result in results:
+        metrics = dict(result.metrics)
+        if "throughput_kb_per_s" not in metrics:
+            dur = metrics.get("duration") or 0.0
+            metrics["throughput_kb_per_s"] = (
+                metrics.get("kb_moved", 0.0) / dur if dur else 0.0)
+        row = [dict(result.overrides).get(name, "") for name in axis_names]
+        for _, key, fmt in _COLUMNS:
+            value = metrics.get(key)
+            row.append("-" if value is None else fmt.format(value))
+        rows.append(row)
+    headers = axis_names + [h for h, _, _ in _COLUMNS]
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+    bar = "-" * len(line(headers))
+    out = [title, bar, line(headers), bar]
+    out.extend(line(r) for r in rows)
+    out.append(bar)
+    return "\n".join(out)
+
+
+def sweep_to_json(results: Sequence[SweepResult],
+                  indent: int = 2) -> str:
+    return json.dumps([r.to_dict() for r in results], indent=indent)

@@ -16,22 +16,14 @@ Experiment protocol (paper section 3.5):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, List, Optional, Sequence
 
-from repro.apps import (
-    AppStats,
-    ESSApplication,
-    NBodyApplication,
-    NBodyParams,
-    PPMApplication,
-    PPMParams,
-    WaveletApplication,
-    WaveletParams,
-)
+from repro.apps import WORKLOADS, AppStats, ESSApplication
 from repro.cluster import BeowulfCluster
+from repro.config import NodeConfig, Scenario
 from repro.core.metrics import WorkloadMetrics, compute_metrics
 from repro.core.trace import TraceDataset
 from repro.kernel import NodeParams
@@ -39,12 +31,6 @@ from repro.sim import Simulator
 
 #: canonical experiment names, in the paper's order
 EXPERIMENTS = ("baseline", "ppm", "wavelet", "nbody", "combined")
-
-_APP_CLASSES: Dict[str, Type[ESSApplication]] = {
-    "ppm": PPMApplication,
-    "wavelet": WaveletApplication,
-    "nbody": NBodyApplication,
-}
 
 
 @dataclass
@@ -142,13 +128,9 @@ def _warn_deprecated(old: str, new: str) -> None:
 
 def _run_one_experiment(args) -> "ExperimentResult":
     """Top-level worker for ProcessPoolExecutor (must be picklable)."""
-    (name, nnodes, seed, node_params, housekeeping_message_rate,
-     baseline_duration, hard_limit, flush_grace, sink, obs) = args
-    runner = ExperimentRunner(
-        nnodes=nnodes, seed=seed, node_params=node_params,
-        housekeeping_message_rate=housekeeping_message_rate,
-        baseline_duration=baseline_duration, hard_limit=hard_limit,
-        flush_grace=flush_grace, sink=sink, obs=obs)
+    scenario_dict, name, sink, obs = args
+    runner = ExperimentRunner(scenario=Scenario.from_dict(scenario_dict),
+                              sink=sink, obs=obs)
     return runner.run(name)
 
 
@@ -169,21 +151,48 @@ class ExperimentRunner:
     ``runner.last_obs``.
     """
 
-    def __init__(self, nnodes: int = 4, seed: int = 0,
+    def __init__(self, nnodes: Optional[int] = None,
+                 seed: Optional[int] = None,
                  node_params: Optional[NodeParams] = None,
-                 housekeeping_message_rate: float = 3.0,
-                 baseline_duration: float = 2000.0,
-                 hard_limit: float = 5000.0,
-                 flush_grace: float = 10.0,
+                 housekeeping_message_rate: Optional[float] = None,
+                 baseline_duration: Optional[float] = None,
+                 hard_limit: Optional[float] = None,
+                 flush_grace: Optional[float] = None,
                  sink=None,
-                 obs: bool = False):
-        self.nnodes = nnodes
-        self.seed = seed
+                 obs: bool = False,
+                 scenario: Optional[Scenario] = None):
+        base = scenario if scenario is not None else Scenario()
+        overrides: Dict[str, object] = {}
+        if nnodes is not None:
+            overrides["cluster.nnodes"] = nnodes
+        elif scenario is None:
+            overrides["cluster.nnodes"] = 4   # historical runner default
+        if seed is not None:
+            overrides["seed"] = seed
+        if housekeeping_message_rate is not None:
+            overrides["cluster.housekeeping_message_rate"] = \
+                housekeeping_message_rate
+        if baseline_duration is not None:
+            overrides["experiment.baseline_duration"] = baseline_duration
+        if hard_limit is not None:
+            overrides["experiment.hard_limit"] = hard_limit
+        if flush_grace is not None:
+            overrides["experiment.flush_grace"] = flush_grace
+        if overrides:
+            base = base.with_overrides(overrides)
+        if node_params is not None:
+            base = replace(base,
+                           node=NodeConfig.from_node_params(node_params))
+        #: the fully-resolved scenario this runner executes
+        self.scenario = base.validate()
+        self.nnodes = base.cluster.nnodes
+        self.seed = base.seed
         self.node_params = node_params
-        self.housekeeping_message_rate = housekeeping_message_rate
-        self.baseline_duration = baseline_duration
-        self.hard_limit = hard_limit
-        self.flush_grace = flush_grace
+        self.housekeeping_message_rate = \
+            base.cluster.housekeeping_message_rate
+        self.baseline_duration = base.experiment.baseline_duration
+        self.hard_limit = base.experiment.hard_limit
+        self.flush_grace = base.experiment.flush_grace
         self.sink = sink
         self.obs = obs
         #: ObsRecorder of the most recent run (None without obs)
@@ -207,17 +216,16 @@ class ExperimentRunner:
             raise ValueError(
                 "duration= only applies to the baseline experiment; "
                 "application runs end when the applications do")
+        mix = list(self.scenario.workload.mix)
         if name == "combined":
-            return self._run_apps(["ppm", "wavelet", "nbody"],
-                                  name="combined")
+            return self._run_apps(mix, name="combined")
         if name == "serial":
-            # Extension: the same three applications back to back — a
+            # Extension: the same applications back to back — a
             # batch-queue counterfactual to ``combined`` (identical work,
             # no multiprogramming) that isolates what concurrency itself
             # does to the I/O.
-            return self._run_apps(["ppm", "wavelet", "nbody"],
-                                  name="serial", serial=True)
-        if name in _APP_CLASSES:
+            return self._run_apps(mix, name="serial", serial=True)
+        if name in WORKLOADS:
             return self._run_apps([name])
         raise ValueError(f"unknown experiment {name!r}; "
                          f"choose from {EXPERIMENTS + ('serial',)}")
@@ -234,9 +242,8 @@ class ExperimentRunner:
             return {name: self.run(name) for name in names}
         import concurrent.futures
         sink = str(self.sink) if self.sink is not None else None
-        args = [(name, self.nnodes, self.seed, self.node_params,
-                 self.housekeeping_message_rate, self.baseline_duration,
-                 self.hard_limit, self.flush_grace, sink, bool(self.obs))
+        scenario_dict = self.scenario.to_dict()
+        args = [(scenario_dict, name, sink, bool(self.obs))
                 for name in names]
         with concurrent.futures.ProcessPoolExecutor(
                 max_workers=max_workers or len(names)) as pool:
@@ -267,15 +274,18 @@ class ExperimentRunner:
 
     # -- workload assembly ---------------------------------------------------
     def make_app(self, app_name: str, node) -> ESSApplication:
-        """Instantiate a workload model configured for this cluster."""
-        cls = _APP_CLASSES[app_name]
-        if app_name == "ppm":
-            params = PPMParams(nnodes=self.nnodes)
-        elif app_name == "wavelet":
-            params = WaveletParams(nnodes=self.nnodes)
-        else:
-            params = NBodyParams(nnodes=self.nnodes)
-        return cls(node, seed=self.seed, params=params)
+        """Instantiate a workload model configured for this cluster.
+
+        The model and its params class come from the
+        :data:`~repro.apps.WORKLOADS` registry; scenario
+        ``workload.params`` overrides are applied on top of the
+        cluster-derived defaults.
+        """
+        entry = WORKLOADS.get(app_name)
+        kwargs = {"nnodes": self.nnodes}
+        kwargs.update(self.scenario.workload.params_for(app_name))
+        params = entry.params_cls(**kwargs)
+        return entry.app_cls(node, seed=self.seed, params=params)
 
     # -- internals ------------------------------------------------------------
     def _build(self):
@@ -289,11 +299,7 @@ class ExperimentRunner:
         self.last_obs = self._recorder
         self._wall_start = perf_counter()
         sim = Simulator(obs=registry)
-        cluster = BeowulfCluster(
-            sim, nnodes=self.nnodes, seed=self.seed,
-            params=self.node_params,
-            housekeeping_message_rate=self.housekeeping_message_rate,
-            obs=registry)
+        cluster = BeowulfCluster(sim, scenario=self.scenario, obs=registry)
         #: the most recent cluster, kept for post-experiment inspection
         #: (filesystem checks, kernel statistics)
         self.last_cluster = cluster
@@ -396,14 +402,18 @@ class ExperimentRunner:
         from repro.store import RunCatalog
         catalog = self.sink if isinstance(self.sink, RunCatalog) \
             else RunCatalog(self.sink)
+        run_name = name
+        if self.scenario.name not in ("", "default"):
+            run_name = f"{name}@{self.scenario.name}"
         capture = catalog.start_run(
-            name, nnodes=self.nnodes, seed=self.seed,
+            run_name, nnodes=self.nnodes, seed=self.seed,
             config={"nnodes": self.nnodes,
                     "baseline_duration": self.baseline_duration,
                     "housekeeping_message_rate":
                         self.housekeeping_message_rate,
                     "hard_limit": self.hard_limit,
-                    "flush_grace": self.flush_grace})
+                    "flush_grace": self.flush_grace},
+            scenario=self.scenario.to_dict())
         capture.attach(cluster)
         return capture
 

@@ -10,17 +10,19 @@ elevator (C-LOOK) queue.
 from repro.disk.geometry import SECTOR_BYTES, DiskGeometry, ZBRGeometry
 from repro.disk.request import IORequest
 from repro.disk.scheduler import (
+    SCHEDULERS,
     CLookScheduler,
     FIFOScheduler,
     ScanScheduler,
     SSTFScheduler,
 )
 from repro.disk.service import DiskServiceModel
-from repro.disk.cache import DriveCache
-from repro.disk.device import Disk, DiskStats
+from repro.disk.cache import DRIVE_CACHES, DriveCache, NullDriveCache
+from repro.disk.device import Disk, DiskStats, LatencyReservoir
 
 __all__ = [
     "CLookScheduler",
+    "DRIVE_CACHES",
     "Disk",
     "DiskGeometry",
     "DiskServiceModel",
@@ -28,6 +30,9 @@ __all__ = [
     "DriveCache",
     "FIFOScheduler",
     "IORequest",
+    "LatencyReservoir",
+    "NullDriveCache",
+    "SCHEDULERS",
     "SECTOR_BYTES",
     "SSTFScheduler",
     "ScanScheduler",

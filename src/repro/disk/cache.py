@@ -16,6 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.registry import Registry
+
+#: plugin registry of drive-cache models; factories accept the
+#: ``DriveCacheConfig`` geometry keywords they care about
+DRIVE_CACHES = Registry("drive cache")
+
 
 @dataclass
 class _Segment:
@@ -30,6 +36,7 @@ class _Segment:
         return sector < self.end and self.start < sector + nsectors
 
 
+@DRIVE_CACHES.register("segmented")
 class DriveCache:
     """Segmented on-drive read cache."""
 
@@ -99,3 +106,43 @@ class DriveCache:
             self._segments.append(segment)
             return segment
         return min(self._segments, key=lambda s: s.last_used)
+
+
+@DRIVE_CACHES.register("none")
+class NullDriveCache:
+    """A drive with its buffer disabled: every read misses.
+
+    Timing-equivalent to a cacheless device (no look-ahead is read, so
+    no rotation is charged for one) while keeping the cache interface
+    and hit/miss accounting alive — the ablation baseline the 0-segment
+    sweeps select.  Accepts and ignores the segmented cache's geometry
+    keywords so both kinds build from one config shape.
+    """
+
+    nsegments = 0
+    segment_sectors = 0
+    lookahead_sectors = 0
+
+    def __init__(self, nsegments: int = 0, segment_sectors: int = 0,
+                 lookahead_sectors: int = 0):
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity_sectors(self) -> int:
+        return 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return 0.0
+
+    def lookup(self, sector: int, nsectors: int) -> bool:
+        self.misses += 1
+        return False
+
+    def fill_after_read(self, sector: int, nsectors: int,
+                        disk_sectors: Optional[int] = None) -> Tuple[int, int]:
+        return sector, sector
+
+    def invalidate(self, sector: int, nsectors: int) -> int:
+        return 0

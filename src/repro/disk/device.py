@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -13,9 +14,61 @@ from repro.disk.service import DiskServiceModel
 from repro.sim import Event, Simulator
 
 
+class LatencyReservoir:
+    """Bounded uniform sample of request latencies (Algorithm R).
+
+    A device that lives for a long run sees millions of requests; the
+    reservoir keeps a fixed-size uniform sample so percentile queries
+    stay accurate (exact below ``capacity`` observations, statistically
+    tight above) while memory stays constant.  The replacement stream is
+    seeded deterministically so runs remain reproducible.
+    """
+
+    __slots__ = ("capacity", "count", "_values", "_rng")
+
+    def __init__(self, capacity: int = 8192, seed: int = 0x10DE):
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be >= 1")
+        self.capacity = capacity
+        #: total observations offered (not just those retained)
+        self.count = 0
+        self._values: list = []
+        self._rng = random.Random(seed)
+
+    def append(self, value: float) -> None:
+        self.count += 1
+        if len(self._values) < self.capacity:
+            self._values.append(value)
+            return
+        j = self._rng.randrange(self.count)
+        if j < self.capacity:
+            self._values[j] = value
+
+    def percentile(self, q: float) -> float:
+        if not self._values:
+            return 0.0
+        return float(np.percentile(self._values, q))
+
+    # list-like views, so existing callers can np.array() the sample
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __getitem__(self, index):
+        return self._values[index]
+
+    def __iter__(self):
+        return iter(self._values)
+
+
 @dataclass
 class DiskStats:
-    """Lifetime counters of one disk device."""
+    """Lifetime counters of one disk device.
+
+    Latencies are sampled into a bounded :class:`LatencyReservoir`
+    (``_latencies``) rather than appended to an ever-growing list, so a
+    device's memory footprint is constant no matter how long it runs;
+    ``total_latency``/``mean_latency`` remain exact sums.
+    """
 
     reads: int = 0
     writes: int = 0
@@ -25,7 +78,8 @@ class DiskStats:
     total_latency: float = 0.0
     max_queue_depth: int = 0
     media_errors: int = 0
-    _latencies: list = field(default_factory=list, repr=False)
+    _latencies: LatencyReservoir = field(default_factory=LatencyReservoir,
+                                         repr=False)
 
     @property
     def requests(self) -> int:
@@ -36,9 +90,7 @@ class DiskStats:
         return self.total_latency / self.requests if self.requests else 0.0
 
     def latency_percentile(self, q: float) -> float:
-        if not self._latencies:
-            return 0.0
-        return float(np.percentile(self._latencies, q))
+        return self._latencies.percentile(q)
 
 
 class _DiskInstruments:
@@ -196,7 +248,9 @@ class Disk:
         self.cache.fill_after_read(request.sector, request.nsectors,
                                    disk_sectors=self.total_sectors)
         # the look-ahead rides the same rotation; charge half a revolution
-        duration += 0.5 * self.service.rotation_time
+        # (drives that read nothing ahead — e.g. NullDriveCache — don't pay)
+        if getattr(self.cache, "lookahead_sectors", 0) > 0:
+            duration += 0.5 * self.service.rotation_time
         return duration
 
     def _account(self, request: IORequest, duration: float) -> None:

@@ -4,6 +4,11 @@ Linux of the study's era sorted its per-device request queue in an elevator
 order; :class:`CLookScheduler` models that.  FIFO and SSTF are provided for
 ablation experiments (how much does queue ordering matter for the observed
 latencies?).
+
+Every discipline registers itself in :data:`SCHEDULERS`, so scenario
+files and the replay/sweep machinery select disciplines by name
+(``"clook"``, ``"fifo"``, ``"sstf"``, ``"scan"``); third-party
+disciplines plug in via ``SCHEDULERS.register``.
 """
 
 from __future__ import annotations
@@ -12,8 +17,13 @@ from collections import deque
 from typing import Deque, List, Optional
 
 from repro.disk.request import IORequest
+from repro.registry import Registry
+
+#: plugin registry of queue disciplines; factories take no arguments
+SCHEDULERS = Registry("disk scheduler")
 
 
+@SCHEDULERS.register("fifo")
 class FIFOScheduler:
     """Serve requests strictly in arrival order."""
 
@@ -33,6 +43,7 @@ class FIFOScheduler:
         return list(self._queue)
 
 
+@SCHEDULERS.register("sstf")
 class SSTFScheduler:
     """Shortest-seek-time-first: greedy nearest-sector selection.
 
@@ -60,6 +71,7 @@ class SSTFScheduler:
         return list(self._queue)
 
 
+@SCHEDULERS.register("scan")
 class ScanScheduler:
     """Bidirectional LOOK (the textbook "elevator"): sweep up, then down.
 
@@ -100,6 +112,7 @@ class ScanScheduler:
         return list(self._queue)
 
 
+@SCHEDULERS.register("clook")
 class CLookScheduler:
     """Circular LOOK elevator: sweep upward, then jump to the lowest waiter.
 

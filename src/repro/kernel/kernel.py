@@ -13,7 +13,7 @@ from typing import Generator, Optional
 
 import numpy as np
 
-from repro.disk import Disk, DiskGeometry, DiskServiceModel, DriveCache
+from repro.disk import Disk, DiskGeometry, DiskServiceModel
 from repro.driver import InstrumentedIDEDriver, ProcTraceTransport, TraceLevel
 from repro.kernel.buffercache import BufferCache
 from repro.kernel.cpu import CPU
@@ -30,15 +30,30 @@ TRACE_RECORD_BYTES = 32
 
 
 class NodeKernel:
-    """One node: hardware, kernel machinery, and system daemons."""
+    """One node: hardware, kernel machinery, and system daemons.
+
+    The disk stack (scheduler, drive cache, driver transport) is built
+    from a :class:`~repro.config.NodeConfig`; pass ``node_config`` to
+    swap components by registry name.  ``params`` remains accepted for
+    the kernel-tunable surface — when both are given, ``params`` wins
+    for its fields and ``node_config`` supplies the disk stack.
+    """
 
     def __init__(self, sim: Simulator, params: Optional[NodeParams] = None,
                  streams: Optional[RandomStreams] = None, node_id: int = 0,
                  housekeeping: bool = True,
                  housekeeping_message_rate: float = 3.0,
-                 obs=None):
+                 obs=None, node_config=None):
+        # lazy import: repro.config imports the disk registries, which
+        # live beside modules this kernel package also imports
+        from repro.config import NodeConfig
+        if node_config is None:
+            node_config = (NodeConfig.from_node_params(params)
+                           if params is not None else NodeConfig())
+        self.node_config = node_config
         self.sim = sim
-        self.params = params or NodeParams()
+        self.params = params if params is not None \
+            else node_config.to_node_params()
         self.node_id = node_id
         streams = streams or RandomStreams(seed=node_id)
         self.streams = streams
@@ -47,15 +62,18 @@ class NodeKernel:
         geometry = DiskGeometry.from_capacity_mb(p.disk_mb)
         self.disk = Disk(sim,
                          service=DiskServiceModel(geometry=geometry),
+                         scheduler=node_config.disk.build_scheduler(),
                          rng=streams.stream("disk"),
                          name=f"hda{node_id}",
-                         # 128 KB on-drive segment buffer, as the era's
-                         # IDE drives carried
-                         cache=DriveCache(nsegments=4, segment_sectors=64,
-                                          lookahead_sectors=32),
+                         # default: 128 KB on-drive segment buffer, as
+                         # the era's IDE drives carried
+                         cache=node_config.disk.build_cache(),
+                         media_error_rate=node_config.disk.media_error_rate,
                          obs=obs)
-        self.transport = ProcTraceTransport(sim, drain_interval=1.0,
-                                            sink=self._instrumentation_sink)
+        self.transport = ProcTraceTransport(
+            sim, ring_capacity=node_config.driver.ring_capacity,
+            drain_interval=node_config.driver.drain_interval,
+            sink=self._instrumentation_sink)
         self.driver = InstrumentedIDEDriver(sim, self.disk, node_id=node_id,
                                             transport=self.transport)
         self.cache = BufferCache(

@@ -34,7 +34,10 @@ from repro.store.format import DEFAULT_CHUNK_RECORDS
 from repro.store.reader import TraceReader
 from repro.store.writer import TraceWriter
 
-MANIFEST_FORMAT = "repro-run-v1"
+#: current manifest format — v2 adds the resolved ``scenario`` block
+MANIFEST_FORMAT = "repro-run-v2"
+#: formats :meth:`RunCatalog.manifest` accepts (v1 predates scenarios)
+MANIFEST_FORMATS = ("repro-run-v1", "repro-run-v2")
 MANIFEST_NAME = "manifest.json"
 
 
@@ -48,12 +51,16 @@ class RunCapture:
     def __init__(self, directory: Path, name: str, nnodes: int,
                  seed: Optional[int] = None,
                  config: Optional[dict] = None,
-                 chunk_records: int = DEFAULT_CHUNK_RECORDS):
+                 chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                 scenario: Optional[dict] = None):
         self.directory = directory
         self.name = name
         self.nnodes = nnodes
         self.seed = seed
         self.config = dict(config or {})
+        #: fully-resolved scenario dict (``Scenario.to_dict()``), if the
+        #: run was configured through the scenario layer
+        self.scenario = dict(scenario) if scenario else None
         self._writers: Dict[int, TraceWriter] = {}
         self._chunk_records = chunk_records
         self.finalized = False
@@ -107,6 +114,8 @@ class RunCapture:
             "records": sum(w.records_written
                            for w in self._writers.values()),
         }
+        if self.scenario is not None:
+            manifest["scenario"] = self.scenario
         if result is not None:
             manifest["duration"] = result.duration
             manifest["metrics"] = result.metrics.to_dict()
@@ -134,7 +143,8 @@ class RunCatalog:
     def start_run(self, name: str, nnodes: int,
                   seed: Optional[int] = None,
                   config: Optional[dict] = None,
-                  chunk_records: int = DEFAULT_CHUNK_RECORDS) -> RunCapture:
+                  chunk_records: int = DEFAULT_CHUNK_RECORDS,
+                  scenario: Optional[dict] = None) -> RunCapture:
         """Begin a streaming capture; the run name is de-duplicated.
 
         Concurrency-safe: the run directory is *claimed* with an
@@ -146,7 +156,7 @@ class RunCatalog:
         directory = self._claim_dir(name)
         return RunCapture(directory, name=directory.name, nnodes=nnodes,
                           seed=seed, config=config,
-                          chunk_records=chunk_records)
+                          chunk_records=chunk_records, scenario=scenario)
 
     def save(self, result, seed: Optional[int] = None,
              config: Optional[dict] = None,
@@ -175,9 +185,23 @@ class RunCatalog:
         if not path.is_file():
             raise FileNotFoundError(f"no run {run_id!r} under {self.root}")
         manifest = json.loads(path.read_text())
-        if manifest.get("format") != MANIFEST_FORMAT:
-            raise ValueError(f"{path} is not a {MANIFEST_FORMAT} manifest")
+        if manifest.get("format") not in MANIFEST_FORMATS:
+            raise ValueError(f"{path} is not a "
+                             f"{'/'.join(MANIFEST_FORMATS)} manifest")
         return manifest
+
+    def scenario(self, run_id: str):
+        """The run's :class:`~repro.config.Scenario`, if recorded.
+
+        Legacy (v1) manifests predate the scenario layer and return
+        ``None``; callers that need a stack description for them should
+        fall back to ``Scenario()`` (the paper's defaults) explicitly.
+        """
+        data = self.manifest(run_id).get("scenario")
+        if data is None:
+            return None
+        from repro.config import Scenario
+        return Scenario.from_dict(data)
 
     def metrics(self, run_id: str):
         """The stored summary as a :class:`WorkloadMetrics`.

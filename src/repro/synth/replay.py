@@ -15,23 +15,11 @@ from typing import Optional
 import numpy as np
 
 from repro.core.trace import TraceDataset
-from repro.disk import (
-    CLookScheduler,
-    Disk,
-    DiskServiceModel,
-    FIFOScheduler,
-    IORequest,
-    ScanScheduler,
-    SSTFScheduler,
-)
+from repro.disk import Disk, DiskServiceModel, IORequest
+# the shared plugin registry (historically a module-level dict here);
+# schedulers registered anywhere in the process are replayable by name
+from repro.disk.scheduler import SCHEDULERS
 from repro.sim import Simulator
-
-SCHEDULERS = {
-    "fifo": FIFOScheduler,
-    "sstf": SSTFScheduler,
-    "scan": ScanScheduler,
-    "clook": CLookScheduler,
-}
 
 
 @dataclass(frozen=True)
@@ -85,7 +73,7 @@ def replay_trace(trace, scheduler: str = "clook",
     """
     if scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; "
-                         f"choose from {sorted(SCHEDULERS)}")
+                         f"choose from {sorted(SCHEDULERS.names())}")
     if len(trace) == 0:
         raise ValueError("empty trace")
     if time_scale <= 0:
@@ -93,7 +81,7 @@ def replay_trace(trace, scheduler: str = "clook",
 
     sim = Simulator()
     service = service or DiskServiceModel()
-    disk = Disk(sim, service=service, scheduler=SCHEDULERS[scheduler](),
+    disk = Disk(sim, service=service, scheduler=SCHEDULERS.create(scheduler),
                 rng=np.random.default_rng(seed), cache=drive_cache)
     total_sectors = service.geometry.total_sectors
     latencies = []

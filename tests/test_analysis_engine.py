@@ -123,6 +123,42 @@ def test_cache_hit_and_refresh(catalog):
     assert registry.counter("analysis.cache_misses").value == 8
 
 
+def test_cache_keyed_on_scenario(tmp_path):
+    """Same trace bytes under a different declared stack: cache miss;
+    same scenario (modulo name/seed labels): cache hit."""
+    import shutil
+    from repro.config import Scenario
+
+    catalog = RunCatalog(tmp_path / "runs")
+    runner = ExperimentRunner(nnodes=1, seed=2, sink=catalog)
+    runner.run("baseline", duration=60.0)
+    registry = MetricsRegistry()
+    engine = AnalysisEngine(catalog, obs=registry)
+    engine.analyze("baseline", ["metrics"])
+    engine.analyze("baseline", ["metrics"])
+    assert registry.counter("analysis.cache_hits").value == 1
+
+    # clone the run, editing only the manifest's scenario block (the
+    # trace files — and thus the chunk-index signature — are identical)
+    src = catalog.root / "baseline"
+    clone = catalog.root / "relabeled"
+    shutil.copytree(src, clone)
+    manifest_path = clone / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    scenario = Scenario.from_dict(manifest["scenario"])
+    manifest["scenario"] = scenario.with_overrides(
+        {"name": "other-label", "seed": 9}).to_dict()
+    manifest_path.write_text(json.dumps(manifest))
+    engine.analyze("relabeled", ["metrics"])
+    assert registry.counter("analysis.cache_hits").value == 2
+
+    manifest["scenario"] = scenario.with_override(
+        "node.disk.scheduler.kind", "fifo").to_dict()
+    manifest_path.write_text(json.dumps(manifest))
+    engine.analyze("relabeled", ["metrics"])
+    assert registry.counter("analysis.cache_misses").value == 2
+
+
 def test_cache_invalidated_when_file_changes(results, tmp_path):
     catalog = RunCatalog(tmp_path)
     run_id = catalog.save(results["baseline"], chunk_records=CHUNK).name

@@ -1,0 +1,153 @@
+"""Grid expansion, the sweep runner, and its comparison table."""
+
+import json
+
+import pytest
+
+from repro.config import (
+    ConfigError,
+    GRID_ALIASES,
+    Scenario,
+    expand_grid,
+    parse_axis_spec,
+    render_sweep_table,
+    run_sweep,
+    sweep_to_json,
+)
+
+
+# -- axis parsing -------------------------------------------------------------
+def test_parse_axis_spec_alias_and_values():
+    axis = parse_axis_spec("scheduler=clook,fifo")
+    assert axis.name == "scheduler"
+    assert axis.path == "node.disk.scheduler.kind"
+    assert axis.values == ("clook", "fifo")
+
+
+def test_parse_axis_spec_dotted_path_passthrough():
+    axis = parse_axis_spec("node.vm.ram_mb=16,32")
+    assert axis.path == "node.vm.ram_mb"
+
+
+def test_parse_axis_spec_rejects_malformed():
+    for bad in ("scheduler", "=a,b", "x="):
+        with pytest.raises(ConfigError):
+            parse_axis_spec(bad)
+
+
+def test_aliases_resolve_to_real_scenario_paths():
+    scenario = Scenario()
+    for alias, path in GRID_ALIASES.items():
+        # every alias must descend cleanly (bogus paths raise)
+        scenario.with_override(path, getattr_path(scenario, path))
+
+
+def getattr_path(scenario, path):
+    obj = scenario
+    for part in path.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+# -- expansion ----------------------------------------------------------------
+def test_expand_grid_cross_product_and_labels():
+    axes = [parse_axis_spec("scheduler=clook,fifo"),
+            parse_axis_spec("drive_cache_segments=0,4")]
+    points = expand_grid(Scenario(), axes)
+    assert [p.label for p in points] == [
+        "scheduler=clook,drive_cache_segments=0",
+        "scheduler=clook,drive_cache_segments=4",
+        "scheduler=fifo,drive_cache_segments=0",
+        "scheduler=fifo,drive_cache_segments=4",
+    ]
+    # labels become the scenario names, values are applied and coerced
+    assert points[2].scenario.name == points[2].label
+    assert points[2].scenario.node.disk.scheduler.kind == "fifo"
+    assert points[2].scenario.node.disk.cache.nsegments == 0
+    # distinct stacks -> distinct fingerprints
+    assert len({p.scenario.fingerprint() for p in points}) == 4
+
+
+def test_expand_grid_validates_eagerly():
+    with pytest.raises(ConfigError) as err:
+        expand_grid(Scenario(), [parse_axis_spec("scheduler=clook,bogus")])
+    assert err.value.path == "scenario.node.disk.scheduler.kind"
+
+
+# -- running ------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def wavelet_sweep():
+    base = Scenario().with_overrides({"cluster.nnodes": 1, "seed": 1})
+    axes = [parse_axis_spec("drive_cache_segments=0,4")]
+    return run_sweep(base, axes, experiment="wavelet", parallel=False)
+
+
+def test_nondefault_scenario_changes_metrics(wavelet_sweep):
+    """The acceptance claim: an ablated stack is measurably different."""
+    uncached, cached = wavelet_sweep
+    assert uncached.label == "drive_cache_segments=0"
+    assert uncached.fingerprint != cached.fingerprint
+    assert uncached.metrics["duration"] != cached.metrics["duration"]
+    assert uncached.metrics["requests_per_second"] != \
+        cached.metrics["requests_per_second"]
+
+
+def test_render_sweep_table(wavelet_sweep):
+    table = render_sweep_table(wavelet_sweep, title="cache ablation")
+    lines = table.splitlines()
+    assert lines[0] == "cache ablation"
+    header = lines[2]
+    for column in ("drive_cache_segments", "requests", "read%",
+                   "req/s", "duration"):
+        assert column in header
+    # one row per grid point, each carrying its axis value
+    rows = [line for line in lines[4:-1]]
+    assert len(rows) == 2
+    assert rows[0].split()[0] == "0"
+    assert rows[1].split()[0] == "4"
+
+
+def test_sweep_json_round_trips(wavelet_sweep):
+    data = json.loads(sweep_to_json(wavelet_sweep))
+    assert [d["label"] for d in data] == ["drive_cache_segments=0",
+                                         "drive_cache_segments=4"]
+    assert data[0]["overrides"] == {"drive_cache_segments": "0"}
+    assert data[0]["metrics"]["total_requests"] > 0
+
+
+def test_sweep_runs_land_in_catalog_with_scenarios(tmp_path):
+    from repro.store import RunCatalog
+    base = Scenario().with_overrides({"cluster.nnodes": 1})
+    run_sweep(base, [parse_axis_spec("scheduler=fifo")],
+              experiment="baseline", duration=40.0,
+              parallel=False, sink=str(tmp_path))
+    catalog = RunCatalog(tmp_path)
+    assert catalog.runs() == ["baseline@scheduler=fifo"]
+    scenario = catalog.scenario("baseline@scheduler=fifo")
+    assert scenario.node.disk.scheduler.kind == "fifo"
+    assert scenario.name == "scheduler=fifo"
+
+
+# -- CLI ----------------------------------------------------------------------
+def test_cli_sweep_smoke(tmp_path, capsys):
+    from repro.cli import main
+    out_json = tmp_path / "sweep.json"
+    rc = main(["sweep", "--on", "baseline", "--duration", "40",
+               "--nodes", "1", "--grid", "scheduler=clook",
+               "--json", str(out_json)])
+    assert rc == 0
+    table = capsys.readouterr().out
+    assert "scheduler" in table and "req/s" in table
+    assert json.loads(out_json.read_text())[0]["label"] == \
+        "scheduler=clook"
+
+
+def test_cli_sweep_requires_grid(capsys):
+    from repro.cli import main
+    assert main(["sweep"]) == 2
+
+
+def test_cli_grid_rejected_outside_sweep():
+    from repro.cli import main
+    with pytest.raises(SystemExit):
+        main(["baseline", "--grid", "scheduler=fifo"])

@@ -25,10 +25,15 @@ def test_sink_produces_manifest_and_per_node_files(sunk_run):
     catalog = RunCatalog(root)
     assert catalog.runs() == ["baseline"]
     manifest = catalog.manifest("baseline")
-    assert manifest["format"] == "repro-run-v1"
+    assert manifest["format"] == "repro-run-v2"
     assert manifest["nnodes"] == 2
     assert manifest["seed"] == 3
     assert manifest["config"]["nnodes"] == 2
+    # v2 manifests carry the fully-resolved scenario
+    assert manifest["scenario"]["cluster"]["nnodes"] == 2
+    assert manifest["scenario"]["seed"] == 3
+    assert manifest["scenario"]["node"]["disk"]["scheduler"]["kind"] \
+        == "clook"
     assert set(manifest["traces"]) == {"0", "1"}
     assert manifest["metrics"]["total_requests"] > 0
     for path in catalog.trace_paths("baseline").values():
@@ -109,6 +114,47 @@ def test_missing_run_raises(tmp_path):
     catalog = RunCatalog(tmp_path)
     with pytest.raises(FileNotFoundError):
         catalog.manifest("nope")
+
+
+def test_catalog_scenario_accessor(sunk_run):
+    from repro.config import Scenario
+    root, runner, result = sunk_run
+    scenario = RunCatalog(root).scenario("baseline")
+    assert isinstance(scenario, Scenario)
+    assert scenario == runner.scenario
+    assert scenario.cluster.nnodes == 2
+
+
+def test_legacy_v1_manifest_still_loads(tmp_path):
+    """Manifests written before the scenario layer stay readable."""
+    catalog = RunCatalog(tmp_path / "runs")
+    capture = catalog.start_run("legacy", nnodes=1, seed=0,
+                                config={"nnodes": 1})
+    capture.writer_for(0)
+    path = capture.finalize()
+    # rewrite as a v1 manifest with no scenario block, as old captures
+    # produced
+    manifest = json.loads(path.read_text())
+    manifest["format"] = "repro-run-v1"
+    manifest.pop("scenario", None)
+    path.write_text(json.dumps(manifest))
+
+    loaded = catalog.manifest("legacy")
+    assert loaded["format"] == "repro-run-v1"
+    assert loaded["config"] == {"nnodes": 1}
+    assert catalog.scenario("legacy") is None
+    assert catalog.metrics("legacy").label == "legacy"
+
+
+def test_unknown_manifest_format_rejected(tmp_path):
+    catalog = RunCatalog(tmp_path / "runs")
+    capture = catalog.start_run("future", nnodes=1)
+    path = capture.finalize()
+    manifest = json.loads(path.read_text())
+    manifest["format"] = "repro-run-v99"
+    path.write_text(json.dumps(manifest))
+    with pytest.raises(ValueError):
+        catalog.manifest("future")
 
 
 def test_concurrent_writers_claim_distinct_runs(tmp_path):
