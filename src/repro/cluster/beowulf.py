@@ -79,15 +79,52 @@ class BeowulfCluster:
         self.scenario = scenario
         self.params = params or NodeParams()
         streams = RandomStreams(seed=seed)
-        self.network = EthernetNetwork(sim, rng=streams.stream("ethernet"))
+        if scenario is not None:
+            self.network = scenario.network.build(
+                sim, rng=streams.stream("ethernet"))
+        else:
+            self.network = EthernetNetwork(
+                sim, rng=streams.stream("ethernet"))
         self.pvm = PVM(sim, self.network)
-        self.nodes: List[ClusterNode] = [
-            ClusterNode(sim, node_id, self.params, streams, self.pvm,
-                        housekeeping=housekeeping,
-                        housekeeping_message_rate=housekeeping_message_rate,
-                        obs=obs, node_config=node_config)
-            for node_id in range(nnodes)
-        ]
+        #: the parallel file service, once :meth:`make_pious` built it
+        self.pious = None
+        self.nodes: List[ClusterNode] = []
+        for node_id in range(nnodes):
+            node_params, per_node_config = self._node_stack_for(
+                node_id, node_config)
+            self.nodes.append(ClusterNode(
+                sim, node_id, node_params, streams, self.pvm,
+                housekeeping=housekeeping,
+                housekeeping_message_rate=housekeeping_message_rate,
+                obs=obs, node_config=per_node_config))
+
+    def _node_stack_for(self, node_id: int, node_config):
+        """Per-node (params, config): the scenario's ``node_overrides``
+        may give individual nodes (one slow disk among sixteen) their
+        own stack — both the disk members and the kernel tunables."""
+        if self.scenario is not None \
+                and str(node_id) in self.scenario.node_overrides:
+            cfg = self.scenario.node_config_for(node_id)
+            return cfg.to_node_params(), cfg
+        return self.params, node_config
+
+    def make_pious(self, storage_dir: str = "/pious"):
+        """Build the PIOUS parallel file service from the scenario.
+
+        Stripe unit and data-server placement come from
+        ``scenario.pious`` (every node serves under the defaults); the
+        service is kept on ``self.pious`` so observability can harvest
+        its counters.
+        """
+        from repro.cluster.pious import PIOUS
+        cfg = self.scenario.pious if self.scenario is not None else None
+        if cfg is None:
+            self.pious = PIOUS(self, storage_dir=storage_dir)
+        else:
+            self.pious = PIOUS(self, stripe_kb=cfg.stripe_kb,
+                               servers=cfg.server_ids(len(self.nodes)),
+                               storage_dir=storage_dir)
+        return self.pious
 
     def __len__(self) -> int:
         return len(self.nodes)

@@ -31,22 +31,36 @@ class NetworkStats:
 
 
 class EthernetNetwork:
-    """Two (by default) parallel shared segments with frame fragmentation."""
+    """Two (by default) parallel shared segments with frame fragmentation.
+
+    Every construction knob is a parameter — a
+    :class:`~repro.config.NetworkConfig` builds the fabric via
+    ``scenario.network.build(sim, rng=...)``; the defaults are the
+    prototype's bonded dual 10 Mb/s segments.
+    """
 
     def __init__(self, sim: Simulator, bandwidth_bps: float = 10e6,
                  latency: float = 0.3e-3, channels: int = 2,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 mtu: int = MTU, frame_overhead: int = FRAME_OVERHEAD):
         if bandwidth_bps <= 0 or latency < 0:
             raise ValueError("bad bandwidth/latency")
         if channels < 1:
             raise ValueError("need at least one channel")
+        if mtu < 1:
+            raise ValueError("mtu must be >= 1 byte")
         self.sim = sim
         self.bandwidth_bps = bandwidth_bps
         self.latency = latency
+        self.mtu = mtu
+        self.frame_overhead = frame_overhead
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._segments = [Resource(sim, capacity=1) for _ in range(channels)]
         self._next_channel = 0
         self.stats = NetworkStats()
+        #: per-segment lifetime counters (index = channel)
+        self.channel_frames = [0] * channels
+        self.channel_busy_time = [0.0] * channels
 
     @property
     def channels(self) -> int:
@@ -54,14 +68,14 @@ class EthernetNetwork:
 
     def frame_time(self, payload_bytes: int) -> float:
         """Serialization time of one frame carrying ``payload_bytes``."""
-        wire_bytes = min(payload_bytes, MTU) + FRAME_OVERHEAD
+        wire_bytes = min(payload_bytes, self.mtu) + self.frame_overhead
         return wire_bytes * 8 / self.bandwidth_bps
 
     def transfer_time_estimate(self, nbytes: int) -> float:
         """Uncontended wall time to move ``nbytes`` (for tests/models)."""
-        nframes = max(1, -(-nbytes // MTU))
+        nframes = max(1, -(-nbytes // self.mtu))
         return self.latency + sum(
-            self.frame_time(min(MTU, nbytes - i * MTU) or MTU)
+            self.frame_time(min(self.mtu, nbytes - i * self.mtu) or self.mtu)
             for i in range(nframes))
 
     def transmit(self, nbytes: int):
@@ -72,13 +86,14 @@ class EthernetNetwork:
         """
         if nbytes < 1:
             raise ValueError("nbytes must be >= 1")
-        segment = self._segments[self._next_channel]
-        self._next_channel = (self._next_channel + 1) % len(self._segments)
+        channel = self._next_channel
+        segment = self._segments[channel]
+        self._next_channel = (channel + 1) % len(self._segments)
         start = self.sim.now
         remaining = nbytes
         yield self.sim.timeout(self.latency)
         while remaining > 0:
-            payload = min(remaining, MTU)
+            payload = min(remaining, self.mtu)
             with segment.request() as req:
                 yield req
                 duration = self.frame_time(payload)
@@ -88,6 +103,8 @@ class EthernetNetwork:
                 yield self.sim.timeout(duration)
                 self.stats.frames += 1
                 self.stats.busy_time += duration
+                self.channel_frames[channel] += 1
+                self.channel_busy_time[channel] += duration
             remaining -= payload
         self.stats.messages += 1
         self.stats.bytes_carried += nbytes

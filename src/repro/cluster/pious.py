@@ -112,6 +112,10 @@ class PIOUS:
         self._files: Dict[str, _StripeMap] = {}
         self._reply_seq = 0
         self.requests_served = 0
+        #: lifetime per-data-server counters (for ObsRecorder harvest)
+        self.requests_by_server: Dict[int, int] = {
+            node_id: 0 for node_id in self.server_ids}
+        self.bytes_served = 0
         for node_id in self.server_ids:
             node = cluster.nodes[node_id]
             cluster.sim.process(self._server(node),
@@ -165,5 +169,7 @@ class PIOUS:
                         min(chunk, handle.size - local_offset))
                 reply_bytes = _REQ_BYTES + chunk
             self.requests_served += 1
+            self.requests_by_server[node.node_id] += 1
+            self.bytes_served += chunk
             yield from pvm.send(node.node_id, client, reply_tag,
                                 reply_bytes)

@@ -17,10 +17,13 @@ from repro.config.scenario import (
     DriverConfig,
     ExperimentConfig,
     LayoutConfig,
+    NetworkConfig,
     NodeConfig,
+    PiousConfig,
     Scenario,
     SchedulerConfig,
     VMConfig,
+    VolumeConfig,
     WorkloadConfig,
 )
 from repro.config.sweep import (
@@ -44,13 +47,16 @@ __all__ = [
     "ExperimentConfig",
     "GRID_ALIASES",
     "LayoutConfig",
+    "NetworkConfig",
     "NodeConfig",
+    "PiousConfig",
     "Scenario",
     "SchedulerConfig",
     "SweepAxis",
     "SweepPoint",
     "SweepResult",
     "VMConfig",
+    "VolumeConfig",
     "WorkloadConfig",
     "expand_grid",
     "parse_axis_spec",

@@ -22,12 +22,15 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field, fields, is_dataclass, replace
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple, Union
 from typing import get_args, get_origin, get_type_hints
 
-from repro.disk import DRIVE_CACHES, SCHEDULERS, NullDriveCache
+from repro.disk import (DRIVE_CACHES, SCHEDULERS, SECTOR_BYTES,
+                        DiskGeometry, NullDriveCache, VOLUME_POLICIES)
+from repro.disk.volume import capacity_sectors
 from repro.kernel.params import DiskLayout, NodeParams
 from repro.registry import UnknownComponentError
 
@@ -102,6 +105,9 @@ def _from_dict(cls, data: Any, path: str):
     if not isinstance(data, Mapping):
         raise ConfigError(path, f"expected a table/object, got "
                                 f"{type(data).__name__}")
+    normalize = getattr(cls, "_normalize_config_dict", None)
+    if normalize is not None:
+        data = normalize(data, path)
     hints = get_type_hints(cls)
     known = {f.name for f in fields(cls)}
     for key in data:
@@ -210,6 +216,42 @@ class DiskConfig:
 
 
 @dataclass(frozen=True)
+class VolumeConfig:
+    """How a node's member disks combine into one logical block device.
+
+    ``policy`` names an entry of :data:`repro.disk.VOLUME_POLICIES`
+    (``single`` / ``concat`` / ``raid0`` / ``raid1``); ``stripe_kb`` is
+    the striping unit used by policies that stripe.
+    """
+
+    policy: str = "single"
+    stripe_kb: int = 8
+
+    def validate(self, path: str, ndisks: int = 1) -> None:
+        if self.policy not in VOLUME_POLICIES:
+            raise ConfigError(f"{path}.policy",
+                              str(UnknownComponentError(
+                                  VOLUME_POLICIES.kind, self.policy,
+                                  VOLUME_POLICIES.names())))
+        _check(self.stripe_kb >= 1, f"{path}.stripe_kb",
+               f"must be >= 1, got {self.stripe_kb}")
+        if self.policy == "single":
+            _check(ndisks == 1, f"{path}.policy",
+                   f"'single' takes exactly one disk, got {ndisks} "
+                   f"(use concat/raid0/raid1 for multi-disk nodes)")
+
+    @property
+    def stripe_sectors(self) -> int:
+        return self.stripe_kb * 1024 // SECTOR_BYTES
+
+    def build(self, disks, name: str = "md0"):
+        """The logical volume over already-built member ``disks``."""
+        return VOLUME_POLICIES.create(
+            self.policy, disks, stripe_sectors=self.stripe_sectors,
+            name=name)
+
+
+@dataclass(frozen=True)
 class DriverConfig:
     """The instrumented driver's /proc trace transport."""
 
@@ -293,9 +335,30 @@ class NodeConfig:
     update_interval: float = 30.0
     atime_updates: bool = False
     vm: VMConfig = field(default_factory=VMConfig)
-    disk: DiskConfig = field(default_factory=DiskConfig)
+    disks: Tuple[DiskConfig, ...] = field(
+        default_factory=lambda: (DiskConfig(),))
+    volume: VolumeConfig = field(default_factory=VolumeConfig)
     driver: DriverConfig = field(default_factory=DriverConfig)
     layout: LayoutConfig = field(default_factory=LayoutConfig)
+
+    #: override-path aliases: ``node.disk.X`` edits ``node.disks[0].X``
+    _FIELD_ALIASES = {"disk": ("disks", 0)}
+
+    @staticmethod
+    def _normalize_config_dict(data: Mapping, path: str) -> Mapping:
+        """Accept the pre-multi-disk ``disk`` key as a one-element list."""
+        if "disk" in data:
+            if "disks" in data:
+                raise ConfigError(f"{path}.disk",
+                                  "give either 'disk' or 'disks', not both")
+            data = dict(data)
+            data["disks"] = (data.pop("disk"),)
+        return data
+
+    @property
+    def disk(self) -> DiskConfig:
+        """The first member disk (the whole stack under ``single``)."""
+        return self.disks[0]
 
     def validate(self, path: str) -> None:
         _check(self.block_kb >= 1, f"{path}.block_kb",
@@ -324,9 +387,21 @@ class NodeConfig:
         _check(self.vm.page_kb % self.block_kb == 0, f"{path}.vm.page_kb",
                f"page size ({self.vm.page_kb} KB) must be a multiple of "
                f"the block size ({self.block_kb} KB)")
-        self.disk.validate(f"{path}.disk")
+        _check(len(self.disks) >= 1, f"{path}.disks",
+               "node needs at least one disk")
+        for i, disk in enumerate(self.disks):
+            disk.validate(f"{path}.disks[{i}]")
+        self.volume.validate(f"{path}.volume", ndisks=len(self.disks))
         self.driver.validate(f"{path}.driver")
         self.layout.validate(f"{path}.layout")
+
+    def logical_capacity_mb(self) -> int:
+        """Capacity of the node's logical volume over its members."""
+        sizes = [DiskGeometry.from_capacity_mb(d.capacity_mb).total_sectors
+                 for d in self.disks]
+        sectors = capacity_sectors(self.volume.policy, sizes,
+                                   self.volume.stripe_sectors)
+        return (sectors * SECTOR_BYTES) // (1024 * 1024)
 
     def to_node_params(self) -> NodeParams:
         """The kernel-facing parameter object this node resolves to."""
@@ -336,7 +411,7 @@ class NodeConfig:
             block_kb=self.block_kb,
             page_kb=self.vm.page_kb,
             l1_cache_kb=self.l1_cache_kb,
-            disk_mb=self.disk.capacity_mb,
+            disk_mb=self.logical_capacity_mb(),
             cpu_speed=self.cpu_speed,
             timeslice=self.timeslice,
             buffer_cache_kb=self.buffer_cache_kb,
@@ -372,9 +447,70 @@ class NodeConfig:
             vm=VMConfig(ram_mb=params.ram_mb,
                         kernel_resident_mb=params.kernel_resident_mb,
                         page_kb=params.page_kb),
-            disk=DiskConfig(capacity_mb=params.disk_mb),
+            disks=(DiskConfig(capacity_mb=params.disk_mb),),
             layout=LayoutConfig.from_disk_layout(params.disk_layout),
         )
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """The bonded Ethernet fabric (defaults: the prototype's dual
+    10 Mb/s segments with 0.3 ms per-message latency and a 1500-byte
+    MTU)."""
+
+    channels: int = 2
+    bandwidth_bps: float = 10e6
+    latency: float = 0.3e-3
+    mtu: int = 1500
+
+    def validate(self, path: str) -> None:
+        _check(self.channels >= 1, f"{path}.channels",
+               f"need at least one channel, got {self.channels}")
+        _check(self.bandwidth_bps > 0, f"{path}.bandwidth_bps",
+               f"must be > 0, got {self.bandwidth_bps}")
+        _check(self.latency >= 0, f"{path}.latency",
+               f"must be >= 0, got {self.latency}")
+        _check(self.mtu >= 1, f"{path}.mtu",
+               f"must be >= 1, got {self.mtu}")
+
+    def build(self, sim, rng=None):
+        from repro.cluster.network import EthernetNetwork
+        return EthernetNetwork(sim, bandwidth_bps=self.bandwidth_bps,
+                               latency=self.latency,
+                               channels=self.channels, mtu=self.mtu,
+                               rng=rng)
+
+
+@dataclass(frozen=True)
+class PiousConfig:
+    """PIOUS striping: stripe unit and data-server placement.
+
+    ``nservers = 0`` (the historical default) runs a data server on
+    every node; otherwise ``nservers`` consecutive nodes starting at
+    ``first_server`` (wrapping modulo the cluster size) serve.
+    """
+
+    stripe_kb: int = 8
+    nservers: int = 0
+    first_server: int = 0
+
+    def validate(self, path: str, nnodes: Optional[int] = None) -> None:
+        _check(self.stripe_kb >= 1, f"{path}.stripe_kb",
+               f"must be >= 1, got {self.stripe_kb}")
+        _check(self.nservers >= 0, f"{path}.nservers",
+               f"must be >= 0 (0 = all nodes), got {self.nservers}")
+        _check(self.first_server >= 0, f"{path}.first_server",
+               f"must be >= 0, got {self.first_server}")
+        if nnodes is not None:
+            _check(self.nservers <= nnodes, f"{path}.nservers",
+                   f"cluster has only {nnodes} nodes, got {self.nservers}")
+            _check(self.first_server < nnodes, f"{path}.first_server",
+                   f"cluster has only {nnodes} nodes, "
+                   f"got {self.first_server}")
+
+    def server_ids(self, nnodes: int) -> list:
+        count = nnodes if self.nservers == 0 else self.nservers
+        return [(self.first_server + i) % nnodes for i in range(count)]
 
 
 @dataclass(frozen=True)
@@ -461,21 +597,47 @@ class Scenario:
     seed: int = 0
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     node: NodeConfig = field(default_factory=NodeConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    pious: PiousConfig = field(default_factory=PiousConfig)
     workload: WorkloadConfig = field(default_factory=WorkloadConfig)
     experiment: ExperimentConfig = field(default_factory=ExperimentConfig)
+    #: heterogeneous clusters: node id (decimal string) -> overrides of
+    #: that node's config, as ``node``-rooted dotted paths (applied in
+    #: insertion order), e.g. ``{"3": {"disks[0].media_error_rate": 0.1}}``
+    node_overrides: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     # -- validation ---------------------------------------------------------
     def validate(self) -> "Scenario":
         """Raise :class:`ConfigError` (with the exact path) if invalid."""
         self.cluster.validate("scenario.cluster")
         self.node.validate("scenario.node")
+        self.network.validate("scenario.network")
+        self.pious.validate("scenario.pious", nnodes=self.cluster.nnodes)
         self.workload.validate("scenario.workload")
         self.experiment.validate("scenario.experiment")
+        for key in self.node_overrides:
+            if not str(key).isdigit():
+                raise ConfigError(f"scenario.node_overrides.{key}",
+                                  "keys are node ids (decimal strings)")
+            self.node_config_for(int(key)).validate(
+                f"scenario.node_overrides.{key}")
         return self
 
     # -- resolution ---------------------------------------------------------
     def node_params(self) -> NodeParams:
         return self.node.to_node_params()
+
+    def node_config_for(self, node_id: int) -> NodeConfig:
+        """One node's resolved config: ``node`` plus its per-node
+        overrides (if any) from :attr:`node_overrides`."""
+        overrides = self.node_overrides.get(str(node_id))
+        if not overrides:
+            return self.node
+        node = self.node
+        for sub_path, value in overrides.items():
+            node = _override(node, sub_path.split("."), value,
+                             f"scenario.node_overrides.{node_id}")
+        return node
 
     def fingerprint(self) -> str:
         """Stable digest of the resolved stack (the ``name`` label and
@@ -494,8 +656,24 @@ class Scenario:
 
         Paths are rooted at the scenario (``node.disk.scheduler.kind``);
         string values are coerced to the target field's type, so CLI
-        grids can pass everything as text.
+        grids can pass everything as text.  List fields take indices
+        (``node.disks[1].capacity_mb``) or a wildcard applying to every
+        element (``node.disks[*].scheduler.kind``), and a
+        ``node[3].``-prefixed path lands in :attr:`node_overrides` so a
+        single node can diverge from the rest of the cluster.
         """
+        match = _NODE_OVERRIDE_PATH.match(path)
+        if match:
+            node_id, sub = match.group("node"), match.group("rest")
+            # resolve against that node's current config now, so bad
+            # paths and values fail here like cluster-wide ones do
+            _override(self.node_config_for(int(node_id)),
+                      sub.split("."), value, f"scenario.node[{node_id}]")
+            per_node = dict(self.node_overrides.get(node_id, {}))
+            per_node[sub] = value
+            merged = dict(self.node_overrides)
+            merged[node_id] = per_node
+            return replace(self, node_overrides=merged)
         return _override(self, path.split("."), value, "scenario")
 
     def with_overrides(self,
@@ -549,8 +727,20 @@ class Scenario:
         return cls.from_toml(text)
 
 
+#: ``node[3].disks[0].capacity_mb`` — per-node override paths
+_NODE_OVERRIDE_PATH = re.compile(r"^node\[(?P<node>\d+)\]\.(?P<rest>.+)$")
+#: one path part with an index suffix: ``disks[0]`` / ``disks[*]``
+_INDEXED_PART = re.compile(
+    r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\[(?P<index>\d+|\*)\]$")
+
+
 def _override(obj, parts: Sequence[str], value: Any, path: str):
-    """Descend ``parts`` through the dataclass tree and replace a leaf."""
+    """Descend ``parts`` through the dataclass tree and replace a leaf.
+
+    Parts may carry an index (``disks[1]``) or wildcard (``disks[*]``)
+    into tuple fields; dataclasses can alias legacy part names via a
+    ``_FIELD_ALIASES`` class attribute (``disk`` -> ``disks[0]``).
+    """
     name, rest = parts[0], parts[1:]
     here = f"{path}.{name}"
     if isinstance(obj, dict):
@@ -567,14 +757,44 @@ def _override(obj, parts: Sequence[str], value: Any, path: str):
         return new
     if not is_dataclass(obj):
         raise ConfigError(path, "not a config section; cannot descend")
+    index = None
+    match = _INDEXED_PART.match(name)
+    if match:
+        name, index = match.group("name"), match.group("index")
     known = {f.name for f in fields(obj)}
+    if index is None and name not in known:
+        alias = getattr(type(obj), "_FIELD_ALIASES", {}).get(name)
+        if alias is not None:
+            name, index = alias[0], str(alias[1])
     if name not in known:
         raise ConfigError(here, f"unknown field; valid fields: "
                                 f"{sorted(known)}")
     current = getattr(obj, name)
+    hints = get_type_hints(type(obj))
+    if index is not None:
+        if not isinstance(current, tuple):
+            raise ConfigError(here, f"field {name!r} is not a list; "
+                                    f"cannot index into it")
+        item_type = (get_args(hints[name]) or (str,))[0]
+        if index == "*":
+            targets = range(len(current))
+        else:
+            i = int(index)
+            if i >= len(current):
+                raise ConfigError(
+                    f"{path}.{name}[{i}]",
+                    f"index out of range; {name} has {len(current)} "
+                    f"entries")
+            targets = (i,)
+        items = list(current)
+        for i in targets:
+            sub_path = f"{path}.{name}[{i}]"
+            items[i] = (_override(items[i], rest, value, sub_path)
+                        if rest else
+                        _convert(value, item_type, sub_path))
+        return replace(obj, **{name: tuple(items)})
     if rest:
         return replace(obj, **{name: _override(current, rest, value, here)})
-    hints = get_type_hints(type(obj))
     return replace(obj, **{name: _convert(value, hints[name], here)})
 
 
@@ -591,23 +811,43 @@ def _toml_value(value: Any) -> str:
     raise TypeError(f"cannot emit {value!r} as TOML")
 
 
+_BARE_KEY = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _toml_key(key: str) -> str:
+    """Quote keys that aren't bare (override paths like ``disks[0].x``)."""
+    return key if _BARE_KEY.match(key) else json.dumps(key)
+
+
 def _emit_toml(data: Mapping, prefix: str = "") -> str:
     """Emit nested dicts as TOML tables (scalars first, then subtables).
 
     Covers exactly the shapes a scenario produces — scalars, string
-    lists, and nested string-keyed tables; round-trips through
-    :mod:`tomllib`.
+    lists, nested string-keyed tables, and lists of tables (the
+    ``node.disks`` members become ``[[node.disks]]`` blocks);
+    round-trips through :mod:`tomllib`.
     """
     lines = []
     tables = []
+    arrays = []
     for key, value in data.items():
         if isinstance(value, Mapping):
             tables.append((key, value))
+        elif (isinstance(value, (list, tuple)) and value
+              and all(isinstance(v, Mapping) for v in value)):
+            arrays.append((key, value))
         else:
-            lines.append(f"{key} = {_toml_value(value)}")
+            lines.append(f"{_toml_key(key)} = {_toml_value(value)}")
     out = "\n".join(lines)
+    for key, elements in arrays:
+        full = f"{prefix}{_toml_key(key)}"
+        for element in elements:
+            body = _emit_toml(element, prefix=f"{full}.")
+            out += f"\n\n[[{full}]]"
+            if body:
+                out += f"\n{body}"
     for key, value in tables:
-        full = f"{prefix}{key}"
+        full = f"{prefix}{_toml_key(key)}"
         body = _emit_toml(value, prefix=f"{full}.")
         out += f"\n\n[{full}]"
         if body:

@@ -20,11 +20,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.config.scenario import ConfigError, Scenario
 
 #: short axis names accepted in grid specs, mapped to scenario paths
+#: (the disk aliases use ``disks[*]`` so they cover every member of a
+#: multi-disk node)
 GRID_ALIASES: Dict[str, str] = {
-    "scheduler": "node.disk.scheduler.kind",
-    "drive_cache": "node.disk.cache.kind",
-    "drive_cache_segments": "node.disk.cache.nsegments",
-    "lookahead_sectors": "node.disk.cache.lookahead_sectors",
+    "scheduler": "node.disks[*].scheduler.kind",
+    "drive_cache": "node.disks[*].cache.kind",
+    "drive_cache_segments": "node.disks[*].cache.nsegments",
+    "lookahead_sectors": "node.disks[*].cache.lookahead_sectors",
     "nnodes": "cluster.nnodes",
     "seed": "seed",
     "readahead_kb": "node.max_readahead_kb",
@@ -33,6 +35,12 @@ GRID_ALIASES: Dict[str, str] = {
     "ram_mb": "node.vm.ram_mb",
     "cpu_speed": "node.cpu_speed",
     "drain_interval": "node.driver.drain_interval",
+    "volume_policy": "node.volume.policy",
+    "volume_stripe_kb": "node.volume.stripe_kb",
+    "network_channels": "network.channels",
+    "network_bandwidth_bps": "network.bandwidth_bps",
+    "pious_stripe_kb": "pious.stripe_kb",
+    "pious_nservers": "pious.nservers",
 }
 
 
@@ -70,12 +78,27 @@ def parse_axis_spec(spec: str) -> SweepAxis:
 
 
 def expand_grid(base: Scenario,
-                axes: Sequence[SweepAxis]) -> List[SweepPoint]:
+                axes: Sequence[SweepAxis],
+                node_overrides: Optional[
+                    Mapping[Any, Mapping[str, Any]]] = None
+                ) -> List[SweepPoint]:
     """The cross product of all axes, applied over ``base``.
 
     Every point's scenario is validated eagerly, so a bad registry name
     or out-of-range value fails before any simulation starts.
+
+    ``node_overrides`` makes the grid heterogeneous: a mapping of node
+    id to per-node override paths (rooted under ``node``), applied to
+    ``base`` before the axes expand — e.g. ``{3: {"disks[0].cache.nsegments":
+    0}}`` models one degraded disk among sixteen at every grid point.
+    Axis paths may themselves be ``node[N].``-prefixed.
     """
+    if node_overrides:
+        for node_id, per_node in sorted(
+                node_overrides.items(), key=lambda kv: str(kv[0])):
+            for sub_path, value in per_node.items():
+                base = base.with_override(f"node[{node_id}].{sub_path}",
+                                          value)
     points: List[SweepPoint] = [SweepPoint("", (), base)]
     for axis in axes:
         expanded: List[SweepPoint] = []
@@ -129,14 +152,19 @@ def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
               duration: Optional[float] = None,
               workers: Optional[int] = None,
               parallel: bool = True,
-              sink: Optional[str] = None) -> List[SweepResult]:
+              sink: Optional[str] = None,
+              node_overrides: Optional[
+                  Mapping[Any, Mapping[str, Any]]] = None
+              ) -> List[SweepResult]:
     """Run ``experiment`` at every grid point; returns one result each.
 
     Points fan out across a process pool (``workers`` defaults to the
     pool's own sizing) unless ``parallel=False``, which runs them
     sequentially in-process — handy under profilers and in tests.
+    ``node_overrides`` passes through to :func:`expand_grid` for
+    heterogeneous (per-node) grids.
     """
-    points = expand_grid(base, axes)
+    points = expand_grid(base, axes, node_overrides=node_overrides)
     jobs = [(p.scenario.to_dict(), experiment, duration, sink)
             for p in points]
     if parallel and len(points) > 1:

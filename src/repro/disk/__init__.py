@@ -19,9 +19,18 @@ from repro.disk.scheduler import (
 from repro.disk.service import DiskServiceModel
 from repro.disk.cache import DRIVE_CACHES, DriveCache, NullDriveCache
 from repro.disk.device import Disk, DiskStats, LatencyReservoir
+from repro.disk.volume import (
+    VOLUME_POLICIES,
+    ConcatVolume,
+    LogicalVolume,
+    Raid0Volume,
+    Raid1Volume,
+    SingleVolume,
+)
 
 __all__ = [
     "CLookScheduler",
+    "ConcatVolume",
     "DRIVE_CACHES",
     "Disk",
     "DiskGeometry",
@@ -31,10 +40,15 @@ __all__ = [
     "FIFOScheduler",
     "IORequest",
     "LatencyReservoir",
+    "LogicalVolume",
     "NullDriveCache",
+    "Raid0Volume",
+    "Raid1Volume",
     "SCHEDULERS",
     "SECTOR_BYTES",
     "SSTFScheduler",
     "ScanScheduler",
+    "SingleVolume",
+    "VOLUME_POLICIES",
     "ZBRGeometry",
 ]

@@ -1,10 +1,18 @@
 """The instrumented IDE block driver.
 
-Wraps a :class:`~repro.disk.Disk` with read/write handlers that emit one
-trace record per physical request — *(timestamp, sector, rw flag, pending
-count)* plus size and node id — and exposes ``ioctl`` control of the
-instrumentation level so tracing can be toggled without "rebooting" the
-simulated node, exactly as in the paper.
+Wraps a :class:`~repro.disk.Disk` — or a
+:class:`~repro.disk.volume.LogicalVolume` multiplexing several disks —
+with read/write handlers that emit one trace record per *physical*
+request — *(timestamp, sector, rw flag, pending count)* plus size and
+node id — and exposes ``ioctl`` control of the instrumentation level so
+tracing can be toggled without "rebooting" the simulated node, exactly
+as in the paper.
+
+When the device is a volume, a logical request that maps to several
+members produces one trace record per member sub-request (addressed in
+that member's local sector space, with that member's own pending
+count), so striped and mirrored traffic keeps per-physical-disk trace
+identity.
 """
 
 from __future__ import annotations
@@ -109,8 +117,23 @@ class InstrumentedIDEDriver:
             return outcome
         return self._submit_once(sector, nsectors, is_write, origin)
 
-    def _submit_once(self, sector: int, nsectors: int, is_write: bool,
-                     origin: Any) -> Event:
+    def _targets(self, sector: int, nsectors: int,
+                 is_write: bool) -> tuple:
+        """The physical ``(disk, sector, nsectors)`` parts of one span.
+
+        A bare :class:`Disk` is its own single target; a logical volume
+        resolves the span through its policy's address math.
+        """
+        mapper = getattr(self.disk, "map_extents", None)
+        if mapper is None:
+            return ((self.disk, sector, nsectors),)
+        disks = self.disk.disks
+        return tuple((disks[i], s, n)
+                     for i, s, n in mapper(sector, nsectors, is_write))
+
+    def _submit_part(self, disk, sector: int, nsectors: int,
+                     is_write: bool, origin: Any):
+        """Trace and submit one physical request; returns (request, event)."""
         request = IORequest(sector=sector, nsectors=nsectors,
                             is_write=is_write, origin=origin)
         self.requests_issued += 1
@@ -121,20 +144,52 @@ class InstrumentedIDEDriver:
                 time=self.sim.now - self.time_origin,
                 sector=sector,
                 write=is_write,
-                pending=self.disk.queue_depth + 1,
+                pending=disk.queue_depth + 1,
                 size_kb=nsectors * SECTOR_BYTES / 1024.0,
                 node=self.node_id,
             ))
-        done = self.disk.submit(request)
+        done = disk.submit(request)
         if self.level >= TraceLevel.VERBOSE:
             done.callbacks.append(lambda ev: self.transport.push(TraceRecord(
                 time=self.sim.now - self.time_origin,
                 sector=sector,
                 write=is_write,
-                pending=self.disk.queue_depth,
+                pending=disk.queue_depth,
                 size_kb=nsectors * SECTOR_BYTES / 1024.0,
                 node=self.node_id,
             )))
+        return request, done
+
+    def _submit_once(self, sector: int, nsectors: int, is_write: bool,
+                     origin: Any) -> Event:
+        parts = self._targets(sector, nsectors, is_write)
+        if len(parts) == 1:
+            disk, psector, pnsectors = parts[0]
+            _, done = self._submit_part(disk, psector, pnsectors,
+                                        is_write, origin)
+            return done
+        # A striped/mirrored span: one logical completion event that
+        # fires when every member's sub-request has completed.
+        logical = IORequest(sector=sector, nsectors=nsectors,
+                            is_write=is_write, origin=origin)
+        logical.submit_time = self.sim.now
+        done = self.sim.event()
+        logical.done = done
+        state = {"remaining": len(parts), "failed": False}
+
+        def finish(sub: IORequest) -> None:
+            state["remaining"] -= 1
+            if sub.failed:
+                state["failed"] = True
+            if state["remaining"] == 0:
+                logical.complete_time = self.sim.now
+                logical.failed = state["failed"]
+                done.succeed(logical)
+
+        for disk, psector, pnsectors in parts:
+            sub, ev = self._submit_part(disk, psector, pnsectors,
+                                        is_write, origin)
+            ev.callbacks.append(lambda _ev, sub=sub: finish(sub))
         return done
 
     def _submit_with_retries(self, sector: int, nsectors: int,

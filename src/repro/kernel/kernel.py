@@ -59,22 +59,34 @@ class NodeKernel:
         self.streams = streams
         p = self.params
 
-        geometry = DiskGeometry.from_capacity_mb(p.disk_mb)
-        self.disk = Disk(sim,
-                         service=DiskServiceModel(geometry=geometry),
-                         scheduler=node_config.disk.build_scheduler(),
-                         rng=streams.stream("disk"),
-                         name=f"hda{node_id}",
-                         # default: 128 KB on-drive segment buffer, as
-                         # the era's IDE drives carried
-                         cache=node_config.disk.build_cache(),
-                         media_error_rate=node_config.disk.media_error_rate,
-                         obs=obs)
+        # One Disk per member of the node's volume.  The first member
+        # keeps the historical identity (RNG stream "disk", name
+        # hda<node>) so a default single-disk scenario is bit-identical
+        # to the pre-volume stack; extra members get their own streams
+        # and names (hdb<node>, hdc<node>, ...).
+        disks = []
+        for i, disk_cfg in enumerate(node_config.disks):
+            geometry = DiskGeometry.from_capacity_mb(disk_cfg.capacity_mb)
+            disks.append(Disk(
+                sim,
+                service=DiskServiceModel(geometry=geometry),
+                scheduler=disk_cfg.build_scheduler(),
+                rng=streams.stream("disk" if i == 0 else f"disk{i}"),
+                name=f"hd{chr(ord('a') + i)}{node_id}",
+                # default: 128 KB on-drive segment buffer, as the
+                # era's IDE drives carried
+                cache=disk_cfg.build_cache(),
+                media_error_rate=disk_cfg.media_error_rate,
+                obs=obs))
+        self.disks = tuple(disks)
+        self.volume = node_config.volume.build(self.disks,
+                                               name=f"md{node_id}")
         self.transport = ProcTraceTransport(
             sim, ring_capacity=node_config.driver.ring_capacity,
             drain_interval=node_config.driver.drain_interval,
             sink=self._instrumentation_sink)
-        self.driver = InstrumentedIDEDriver(sim, self.disk, node_id=node_id,
+        self.driver = InstrumentedIDEDriver(sim, self.volume,
+                                            node_id=node_id,
                                             transport=self.transport)
         self.cache = BufferCache(
             sim, self.driver,
@@ -119,6 +131,11 @@ class NodeKernel:
         sim.process(self._bdflush(), name=f"bdflush:{node_id}")
 
         self.apps_running = 0
+
+    @property
+    def disk(self) -> Disk:
+        """The first physical disk (the whole device under ``single``)."""
+        return self.disks[0]
 
     # -- instrumentation plumbing ------------------------------------------
     def _instrumentation_sink(self, nrecords: int) -> None:

@@ -39,24 +39,57 @@ class ObsRecorder:
 
     # -- harvesting ----------------------------------------------------------
     def collect_cluster(self, cluster) -> None:
-        """Harvest every node's lifetime counters into the registry."""
+        """Harvest every node's lifetime counters into the registry.
+
+        ``disk.*{node}`` aggregates over the node's volume members (for a
+        single-disk node that is exactly the one disk, bit-identical to
+        the pre-volume scheme); multi-disk nodes additionally get a
+        ``physdisk.*{hdb3}`` family keyed by physical device name, and
+        every node reports its volume's logical/physical request fan-out.
+        The cluster-wide fabric (Ethernet segments, PVM, PIOUS servers)
+        is harvested once per run under ``net.* / pvm.* / pious.*``.
+        """
         reg = self.registry
         for node in cluster.nodes:
             label = str(node.node_id)
             kernel = node.kernel
 
-            d = kernel.disk.stats
-            for name, value in (("disk.reads", d.reads),
-                                ("disk.writes", d.writes),
-                                ("disk.sectors_read", d.sectors_read),
-                                ("disk.sectors_written", d.sectors_written),
-                                ("disk.busy_seconds", d.busy_time),
-                                ("disk.media_errors", d.media_errors)):
+            disks = getattr(kernel, "disks", (kernel.disk,))
+            stats = [disk.stats for disk in disks]
+            for name, value in (
+                    ("disk.reads", sum(d.reads for d in stats)),
+                    ("disk.writes", sum(d.writes for d in stats)),
+                    ("disk.sectors_read",
+                     sum(d.sectors_read for d in stats)),
+                    ("disk.sectors_written",
+                     sum(d.sectors_written for d in stats)),
+                    ("disk.busy_seconds",
+                     sum(d.busy_time for d in stats)),
+                    ("disk.media_errors",
+                     sum(d.media_errors for d in stats))):
                 reg.counter(name).child(label).inc(value)
             reg.gauge("disk.max_queue_depth").child(label).set(
-                d.max_queue_depth)
+                max(d.max_queue_depth for d in stats))
+            requests = sum(d.requests for d in stats)
             reg.gauge("disk.mean_latency_seconds").child(label).set(
-                d.mean_latency)
+                sum(d.total_latency for d in stats) / requests
+                if requests else 0.0)
+            if len(disks) > 1:
+                for disk, d in zip(disks, stats):
+                    for name, value in (
+                            ("physdisk.reads", d.reads),
+                            ("physdisk.writes", d.writes),
+                            ("physdisk.sectors_read", d.sectors_read),
+                            ("physdisk.sectors_written",
+                             d.sectors_written),
+                            ("physdisk.busy_seconds", d.busy_time)):
+                        reg.counter(name).child(disk.name).inc(value)
+            volume = getattr(kernel, "volume", None)
+            if volume is not None:
+                reg.counter("volume.logical_requests").child(label).inc(
+                    volume.logical_requests)
+                reg.counter("volume.physical_requests").child(label).inc(
+                    volume.physical_requests)
 
             c = kernel.cache.stats
             for name, value in (("cache.hits", c.hits),
@@ -77,6 +110,30 @@ class ObsRecorder:
             reg.counter("driver.requests_issued").child(label).inc(
                 drv.requests_issued)
             reg.counter("driver.retries").child(label).inc(drv.retries)
+
+        network = getattr(cluster, "network", None)
+        if network is not None:
+            n = network.stats
+            reg.counter("net.messages").inc(n.messages)
+            reg.counter("net.frames").inc(n.frames)
+            reg.counter("net.bytes_carried").inc(n.bytes_carried)
+            reg.counter("net.busy_seconds").inc(n.busy_time)
+            for channel in range(network.channels):
+                reg.counter("net.frames").child(f"ch{channel}").inc(
+                    network.channel_frames[channel])
+                reg.counter("net.busy_seconds").child(f"ch{channel}").inc(
+                    network.channel_busy_time[channel])
+        pvm = getattr(cluster, "pvm", None)
+        if pvm is not None:
+            reg.counter("pvm.sends").inc(pvm.sends)
+        pious = getattr(cluster, "pious", None)
+        if pious is not None:
+            reg.counter("pious.requests_served").inc(pious.requests_served)
+            reg.counter("pious.bytes_served").inc(pious.bytes_served)
+            for server_id, count in sorted(
+                    pious.requests_by_server.items()):
+                reg.counter("pious.requests_served").child(
+                    str(server_id)).inc(count)
 
     def collect_capture(self, capture) -> None:
         """Harvest the streaming store writers (records, chunks, bytes).

@@ -62,7 +62,7 @@ def replay_trace(trace, scheduler: str = "clook",
                  service: Optional[DiskServiceModel] = None,
                  seed: int = 0,
                  time_scale: float = 1.0,
-                 drive_cache=None) -> ReplayReport:
+                 drive_cache=None, scenario=None) -> ReplayReport:
     """Replay ``trace`` on a fresh disk; returns the latency report.
 
     ``trace`` may be a :class:`TraceDataset` or a
@@ -70,8 +70,24 @@ def replay_trace(trace, scheduler: str = "clook",
     from disk.  ``time_scale`` < 1 compresses the arrival schedule,
     raising the load (0.1 presents the same requests ten times as fast)
     — the standard trace-driven way to probe saturation behaviour.
+
+    Passing ``scenario`` (a :class:`~repro.config.Scenario`) replays the
+    trace against the scenario's whole node-disk fabric instead of one
+    ad-hoc disk: every member of ``scenario.node.disks`` is built with
+    its own configured scheduler and drive cache, the members are joined
+    by the scenario's volume policy, and requests go through the
+    volume's address math — the what-if "same workload on raid0" in one
+    call.  ``scheduler``/``service``/``drive_cache`` must then be left
+    at their defaults (the scenario owns the stack); the report's busy
+    fraction averages over members and its queue depth is the deepest
+    member's.
     """
-    if scheduler not in SCHEDULERS:
+    if scenario is not None:
+        if scheduler != "clook" or service is not None \
+                or drive_cache is not None:
+            raise ValueError("scenario= replaces scheduler/service/"
+                             "drive_cache; pass one or the other")
+    elif scheduler not in SCHEDULERS:
         raise ValueError(f"unknown scheduler {scheduler!r}; "
                          f"choose from {sorted(SCHEDULERS.names())}")
     if len(trace) == 0:
@@ -80,10 +96,29 @@ def replay_trace(trace, scheduler: str = "clook",
         raise ValueError("time_scale must be positive")
 
     sim = Simulator()
-    service = service or DiskServiceModel()
-    disk = Disk(sim, service=service, scheduler=SCHEDULERS.create(scheduler),
-                rng=np.random.default_rng(seed), cache=drive_cache)
-    total_sectors = service.geometry.total_sectors
+    if scenario is not None:
+        from repro.disk import DiskGeometry
+        node_cfg = scenario.node
+        disks = []
+        for i, disk_cfg in enumerate(node_cfg.disks):
+            geometry = DiskGeometry.from_capacity_mb(disk_cfg.capacity_mb)
+            disks.append(Disk(
+                sim, service=DiskServiceModel(geometry=geometry),
+                scheduler=disk_cfg.build_scheduler(),
+                rng=np.random.default_rng(seed + i),
+                name=f"hd{chr(ord('a') + i)}0",
+                cache=disk_cfg.build_cache(),
+                media_error_rate=disk_cfg.media_error_rate))
+        device = node_cfg.volume.build(disks, name="md0")
+        total_sectors = device.total_sectors
+        scheduler = node_cfg.disks[0].scheduler.kind
+    else:
+        service = service or DiskServiceModel()
+        disks = [Disk(sim, service=service,
+                      scheduler=SCHEDULERS.create(scheduler),
+                      rng=np.random.default_rng(seed), cache=drive_cache)]
+        device = disks[0]
+        total_sectors = service.geometry.total_sectors
     latencies = []
 
     def issuer():
@@ -100,7 +135,7 @@ def replay_trace(trace, scheduler: str = "clook",
                     sector = total_sectors - nsectors
                 request = IORequest(sector=sector, nsectors=nsectors,
                                     is_write=bool(row["write"]))
-                done = disk.submit(request)
+                done = device.submit(request)
                 done.callbacks.append(
                     lambda _ev, r=request: latencies.append(r.latency))
 
@@ -115,8 +150,10 @@ def replay_trace(trace, scheduler: str = "clook",
         mean_latency=float(lat.mean()),
         p95_latency=float(np.percentile(lat, 95)),
         max_latency=float(lat.max()),
-        disk_busy_fraction=float(disk.stats.busy_time / duration),
-        max_queue_depth=disk.stats.max_queue_depth,
+        disk_busy_fraction=float(
+            sum(d.stats.busy_time for d in disks)
+            / (len(disks) * duration)),
+        max_queue_depth=max(d.stats.max_queue_depth for d in disks),
     )
 
 

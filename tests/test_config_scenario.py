@@ -87,7 +87,7 @@ def test_unknown_scheduler_names_exact_path():
     with pytest.raises(ConfigError) as err:
         Scenario().with_override("node.disk.scheduler.kind",
                                  "elevator3000").validate()
-    assert err.value.path == "scenario.node.disk.scheduler.kind"
+    assert err.value.path == "scenario.node.disks[0].scheduler.kind"
     assert "elevator3000" in str(err.value)
     assert "clook" in str(err.value)   # the menu is listed
 
@@ -95,7 +95,7 @@ def test_unknown_scheduler_names_exact_path():
 def test_unknown_drive_cache_names_exact_path():
     with pytest.raises(ConfigError) as err:
         Scenario().with_override("node.disk.cache.kind", "dram").validate()
-    assert err.value.path == "scenario.node.disk.cache.kind"
+    assert err.value.path == "scenario.node.disks[0].cache.kind"
 
 
 def test_unknown_workload_names_exact_path():
@@ -112,7 +112,7 @@ def test_out_of_range_field_names_exact_path():
     with pytest.raises(ConfigError) as err:
         Scenario().with_override("node.disk.media_error_rate",
                                  1.5).validate()
-    assert err.value.path == "scenario.node.disk.media_error_rate"
+    assert err.value.path == "scenario.node.disks[0].media_error_rate"
 
 
 def test_unknown_key_rejected_with_path():
@@ -151,7 +151,8 @@ def test_with_override_coerces_cli_strings():
 def test_with_override_unknown_path_raises():
     with pytest.raises(ConfigError) as err:
         Scenario().with_override("node.disk.rpm", 7200)
-    assert err.value.path == "scenario.node.disk.rpm"
+    # the legacy 'disk' alias resolves to the canonical disks[0] path
+    assert err.value.path == "scenario.node.disks[0].rpm"
 
 
 # -- fingerprints -------------------------------------------------------------

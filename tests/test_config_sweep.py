@@ -20,7 +20,7 @@ from repro.config import (
 def test_parse_axis_spec_alias_and_values():
     axis = parse_axis_spec("scheduler=clook,fifo")
     assert axis.name == "scheduler"
-    assert axis.path == "node.disk.scheduler.kind"
+    assert axis.path == "node.disks[*].scheduler.kind"
     assert axis.values == ("clook", "fifo")
 
 
@@ -45,7 +45,12 @@ def test_aliases_resolve_to_real_scenario_paths():
 def getattr_path(scenario, path):
     obj = scenario
     for part in path.split("."):
-        obj = getattr(obj, part)
+        if part.endswith("]"):               # disks[0] / disks[*]
+            name, index = part[:-1].split("[")
+            seq = getattr(obj, name)
+            obj = seq[0 if index == "*" else int(index)]
+        else:
+            obj = getattr(obj, part)
     return obj
 
 
@@ -71,7 +76,21 @@ def test_expand_grid_cross_product_and_labels():
 def test_expand_grid_validates_eagerly():
     with pytest.raises(ConfigError) as err:
         expand_grid(Scenario(), [parse_axis_spec("scheduler=clook,bogus")])
-    assert err.value.path == "scenario.node.disk.scheduler.kind"
+    assert err.value.path == "scenario.node.disks[0].scheduler.kind"
+
+
+def test_expand_grid_heterogeneous_node_overrides():
+    points = expand_grid(
+        Scenario(), [parse_axis_spec("scheduler=clook,fifo")],
+        node_overrides={3: {"disks[0].cache.nsegments": 0}})
+    assert len(points) == 2
+    for point in points:
+        straggler = point.scenario.node_config_for(3)
+        assert straggler.disks[0].cache.nsegments == 0
+        # the rest of the cluster keeps the grid point's stack
+        assert point.scenario.node_config_for(0).disks[0].cache.nsegments == 4
+    assert points[1].scenario.node_config_for(0).disks[0] \
+        .scheduler.kind == "fifo"
 
 
 # -- running ------------------------------------------------------------------

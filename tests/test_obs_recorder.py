@@ -48,6 +48,24 @@ def test_instrumented_run_yields_nonzero_layer_metrics(obs_result):
     assert flat["run.wall_seconds"] > 0
 
 
+def test_fabric_counters_harvested(sunk_obs_run):
+    # nbody exchanges boundaries every step, so the Ethernet carried load
+    _, result = sunk_obs_run
+    flat = flatten_snapshot(result.obs)
+    assert flat["net.messages"] > 0
+    assert flat["net.frames{ch0}"] + flat["net.frames{ch1}"] == \
+        flat["net.frames"]
+    assert flat["net.bytes_carried"] > 0
+    assert flat["pvm.sends"] > 0
+    # every node reports its volume's fan-out; single-disk defaults map
+    # one physical request per logical request
+    assert flat["volume.logical_requests{0}"] > 0
+    assert flat["volume.physical_requests{0}"] == \
+        flat["volume.logical_requests{0}"]
+    # no PIOUS service was built for this run, so no pious.* family
+    assert not any(k.startswith("pious.") for k in flat)
+
+
 def test_per_node_labels_cover_the_cluster(obs_result):
     flat = flatten_snapshot(obs_result.obs)
     for metric in ("disk.reads", "cache.hits", "driver.requests_issued"):

@@ -32,7 +32,7 @@ def test_sink_produces_manifest_and_per_node_files(sunk_run):
     # v2 manifests carry the fully-resolved scenario
     assert manifest["scenario"]["cluster"]["nnodes"] == 2
     assert manifest["scenario"]["seed"] == 3
-    assert manifest["scenario"]["node"]["disk"]["scheduler"]["kind"] \
+    assert manifest["scenario"]["node"]["disks"][0]["scheduler"]["kind"] \
         == "clook"
     assert set(manifest["traces"]) == {"0", "1"}
     assert manifest["metrics"]["total_requests"] > 0

@@ -115,6 +115,26 @@ def test_replay_validation():
         replay_trace(reference_trace(n=10), time_scale=0)
 
 
+def test_replay_against_scenario_fabric():
+    from repro.config import Scenario
+    trace = reference_trace(n=300)
+    single = replay_trace(trace, scenario=Scenario())
+    raid0 = replay_trace(trace, scenario=Scenario.from_dict(
+        {"node": {"disks": [{}, {}], "volume": {"policy": "raid0"}}}))
+    assert single.requests == raid0.requests == 300
+    assert raid0.scheduler == "clook"      # taken from the scenario stack
+    assert 0 < raid0.disk_busy_fraction <= 1.0
+    # two spindles serve the same request stream: each is busier less
+    assert raid0.disk_busy_fraction < single.disk_busy_fraction
+
+
+def test_replay_scenario_owns_the_stack():
+    from repro.config import Scenario
+    with pytest.raises(ValueError):
+        replay_trace(reference_trace(n=10), scheduler="fifo",
+                     scenario=Scenario())
+
+
 def test_time_compression_raises_queueing():
     trace = reference_trace(n=300)
     relaxed = replay_trace(trace, time_scale=1.0)

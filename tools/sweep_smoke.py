@@ -1,13 +1,15 @@
 #!/usr/bin/env python
 """CI smoke test for the scenario sweep runner.
 
-Drives the ``repro-experiment sweep`` CLI over a small 2x2 grid
-(scheduler x drive-cache segments) with short durations, then asserts:
+Drives the ``repro-experiment sweep`` CLI over two small 2x2 grids —
+disk stack (scheduler x drive-cache segments) and cluster fabric
+(network channels x volume policy) — with short durations, then asserts:
 
 * the comparison table rendered with one row per grid point;
 * every grid point landed in the run catalog as its own run;
 * each manifest is v2 and carries the fully-resolved scenario block
-  with that point's overrides applied;
+  with that point's overrides applied, including the fabric blocks
+  (``network``, ``pious``, ``node.disks``, ``node.volume``);
 * the JSON results file round-trips and the ablated stacks produced
   different scenario fingerprints.
 
@@ -19,6 +21,8 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import io
 import json
 import sys
 import tempfile
@@ -29,31 +33,45 @@ from repro.store import RunCatalog
 
 AXES = {"scheduler": ("clook", "fifo"),
         "drive_cache_segments": ("0", "4")}
+FABRIC_AXES = {"network.channels": ("1", "2"),
+               "node.volume.policy": ("single", "raid0")}
 
 
-def run_smoke(duration: float, workdir: Path) -> int:
-    sink = workdir / "runs"
-    out_json = workdir / "sweep.json"
+def _run_sweep_cli(sink: Path, out_json: Path, duration: float,
+                   axes: dict) -> tuple:
     argv = ["sweep", "--on", "baseline", "--nodes", "1",
-            "--duration", str(duration),
-            "--grid", "scheduler=" + ",".join(AXES["scheduler"]),
-            "--grid", "drive_cache_segments="
-                      + ",".join(AXES["drive_cache_segments"]),
-            "--sink", str(sink), "--json", str(out_json)]
+            "--duration", str(duration)]
+    for name, values in axes.items():
+        argv += ["--grid", f"{name}=" + ",".join(values)]
+    argv += ["--sink", str(sink), "--json", str(out_json)]
     print("repro-experiment", " ".join(argv))
-    rc = cli_main(argv)
+    table = io.StringIO()
+    with contextlib.redirect_stdout(table):
+        rc = cli_main(argv)
+    sys.stdout.write(table.getvalue())
     assert rc == 0, f"sweep CLI exited {rc}"
 
     results = json.loads(out_json.read_text())
     assert len(results) == 4, f"expected 4 grid points, got {len(results)}"
     fingerprints = {r["fingerprint"] for r in results}
     assert len(fingerprints) == 4, "ablated stacks must differ"
+    header = table.getvalue().splitlines()[2]
+    for name in axes:
+        assert name in header, f"table misses the {name} column"
     for r in results:
         assert r["metrics"]["total_requests"] > 0, r["label"]
 
     catalog = RunCatalog(sink)
     runs = catalog.runs()
     assert len(runs) == 4, f"expected 4 catalog runs, got {runs}"
+    return catalog, runs
+
+
+def run_smoke(duration: float, workdir: Path) -> int:
+    # -- grid 1: the disk stack ------------------------------------------
+    sink = workdir / "runs"
+    catalog, runs = _run_sweep_cli(sink, workdir / "sweep.json",
+                                   duration, AXES)
     for run_id in runs:
         manifest = catalog.manifest(run_id)
         assert manifest["format"] == "repro-run-v2", run_id
@@ -61,11 +79,32 @@ def run_smoke(duration: float, workdir: Path) -> int:
         assert scenario is not None, f"{run_id}: no scenario block"
         overrides = dict(pair.split("=") for pair in
                          scenario["name"].split(","))
-        assert scenario["node"]["disk"]["scheduler"]["kind"] == \
+        assert scenario["node"]["disks"][0]["scheduler"]["kind"] == \
             overrides["scheduler"], run_id
-        assert scenario["node"]["disk"]["cache"]["nsegments"] == \
+        assert scenario["node"]["disks"][0]["cache"]["nsegments"] == \
             int(overrides["drive_cache_segments"]), run_id
-    print(f"sweep smoke OK: 4 runs in {sink}, 4 distinct fingerprints")
+
+    # -- grid 2: the cluster fabric --------------------------------------
+    fabric_sink = workdir / "fabric-runs"
+    catalog, runs = _run_sweep_cli(fabric_sink, workdir / "fabric.json",
+                                   duration, FABRIC_AXES)
+    for run_id in runs:
+        scenario = catalog.manifest(run_id)["scenario"]
+        overrides = dict(pair.split("=") for pair in
+                         scenario["name"].split(","))
+        assert scenario["network"]["channels"] == \
+            int(overrides["network.channels"]), run_id
+        assert scenario["node"]["volume"]["policy"] == \
+            overrides["node.volume.policy"], run_id
+        assert "pious" in scenario, f"{run_id}: no pious block"
+        # the manifest scenario rebuilds byte-for-byte
+        from repro.config import Scenario
+        rebuilt = Scenario.from_dict(scenario)
+        assert rebuilt.network.channels == scenario["network"]["channels"]
+        assert rebuilt.node.volume.policy == \
+            scenario["node"]["volume"]["policy"]
+    print(f"sweep smoke OK: 4 stack runs in {sink} and 4 fabric runs "
+          f"in {fabric_sink}, all with distinct fingerprints")
     return 0
 
 
