@@ -246,10 +246,22 @@ class AnalysisEngine:
         from concurrent.futures import ProcessPoolExecutor
         return ProcessPoolExecutor(max_workers=self.workers)
 
-    def _analyze_one(self, run_id: str, pipes: List[Pipeline],
-                     predicates: dict, refresh: bool,
-                     pool) -> Dict[str, object]:
+    def signature(self, run_id: str) -> str:
+        """The cache signature of a whole run, as stored in its entries.
+
+        Derived from every trace file's chunk index plus the run's
+        scenario block — the exact value cache validity is judged
+        against, so it doubles as an HTTP ETag seed for
+        ``repro.serve``: a repeated query with an unchanged signature
+        can be answered 304 without touching a chunk.
+        """
         manifest = self.catalog.manifest(run_id)
+        _, signature = self._scan(run_id, manifest)
+        return signature
+
+    def _scan(self, run_id: str,
+              manifest: dict) -> Tuple[List[FileInfo], str]:
+        """Index-scan a run's files; returns (infos, cache signature)."""
         paths = [path for _, path in
                  sorted(self.catalog.trace_paths(run_id).items())]
         infos = [scan_file(path) for path in paths]
@@ -265,6 +277,15 @@ class AnalysisEngine:
                  if k not in ("name", "seed")},
                 sort_keys=True, separators=(",", ":"))
             signature += f"|scn:{zlib.crc32(canonical.encode()):08x}"
+        return infos, signature
+
+    def _analyze_one(self, run_id: str, pipes: List[Pipeline],
+                     predicates: dict, refresh: bool,
+                     pool) -> Dict[str, object]:
+        manifest = self.catalog.manifest(run_id)
+        paths = [path for _, path in
+                 sorted(self.catalog.trace_paths(run_id).items())]
+        infos, signature = self._scan(run_id, manifest)
         ctx = self._context(manifest, infos)
         pred_key = _predicate_key(predicates)
 
@@ -372,12 +393,23 @@ class AnalysisEngine:
 
     def _store_cache(self, path: Path, cached: Dict[str, dict],
                      fresh: Dict[str, dict]) -> None:
+        # Concurrency-safe by construction: re-read the file so entries
+        # another process stored since our load survive (each entry
+        # carries its own signature, so stale ones are re-checked on the
+        # next load rather than trusted), write to a per-process temp
+        # name, and publish with an atomic rename.  Two racing writers
+        # each produce a complete, valid file; last one wins.
         entries = dict(cached)
+        entries.update(self._load_cache(path))
         entries.update(fresh)
         payload = {"format": ANALYSIS_FORMAT, "entries": entries}
-        tmp = path.with_name(path.name + ".tmp")
-        tmp.write_text(json.dumps(payload, indent=2))
-        os.replace(tmp, path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2))
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():     # failed mid-write: don't leave litter
+                tmp.unlink()
 
 
 def _predicate_key(predicates: dict) -> str:

@@ -101,8 +101,8 @@ def _base_scenario(args):
 
 
 def _run_sweep(args) -> int:
-    from repro.config import (Scenario, parse_axis_spec, run_sweep,
-                              render_sweep_table, sweep_to_json)
+    from repro.config import (ConfigError, Scenario, parse_axis_spec,
+                              run_sweep, render_sweep_table, sweep_to_json)
     base = Scenario.load(args.scenario) if args.scenario else Scenario()
     overrides = {}
     if args.nodes is not None:
@@ -111,10 +111,18 @@ def _run_sweep(args) -> int:
         overrides["seed"] = args.seed
     if overrides:
         base = base.with_overrides(overrides)
-    axes = [parse_axis_spec(spec) for spec in args.grid]
+    try:
+        axes = [parse_axis_spec(spec) for spec in args.grid]
+    except ConfigError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
     if not axes:
         print("sweep needs at least one --grid AXIS=V1,V2",
               file=sys.stderr)
+        return 2
+    if args.on not in EXPERIMENTS + ("serial",):
+        print(f"unknown experiment {args.on!r} for --on; choose from "
+              f"{', '.join(EXPERIMENTS + ('serial',))}", file=sys.stderr)
         return 2
     if args.duration is not None and args.on != "baseline":
         print("--duration only applies to '--on baseline'; application "
@@ -126,8 +134,18 @@ def _run_sweep(args) -> int:
     print(f"sweeping {args.on} over {npoints} scenarios "
           f"({' x '.join(a.name for a in axes)}) ...", file=sys.stderr)
     sink = str(args.sink) if args.sink else None
-    results = run_sweep(base, axes, experiment=args.on,
-                        duration=args.duration, sink=sink)
+    try:
+        results = run_sweep(base, axes, experiment=args.on,
+                            duration=args.duration, sink=sink)
+    except ConfigError as exc:
+        print(f"sweep failed: {exc}", file=sys.stderr)
+        return 2
+    except Exception as exc:
+        # a worker process died or raised: surface one line, not a
+        # traceback, and exit non-zero so scripts notice
+        print(f"sweep failed: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 1
     print(render_sweep_table(
         results, title=f"scenario sweep: {args.on}"))
     if args.json:

@@ -123,28 +123,40 @@ def expand_grid(base: Scenario,
 
 @dataclass(frozen=True)
 class SweepResult:
-    """One completed grid point: its label, overrides, and metrics."""
+    """One completed grid point: its label, overrides, and metrics.
+
+    ``run_id`` is the catalog run id the point landed in when the sweep
+    ran with a ``sink`` (``None`` otherwise), so grid points map back to
+    stored runs without re-deriving names.
+    """
 
     label: str
     overrides: Tuple[Tuple[str, str], ...]
     fingerprint: str
     metrics: Dict[str, Any]
+    run_id: Optional[str] = None
 
     def to_dict(self) -> dict:
         return {"label": self.label,
                 "overrides": dict(self.overrides),
                 "fingerprint": self.fingerprint,
+                "run_id": self.run_id,
                 "metrics": self.metrics}
 
 
-def _sweep_worker(args: tuple) -> dict:
-    """Run one grid point (top-level so it pickles across processes)."""
+def _sweep_worker(args: tuple) -> Tuple[dict, Optional[str]]:
+    """Run one grid point (top-level so it pickles across processes).
+
+    Returns the point's summary metrics plus the catalog run id it was
+    captured under (``None`` when no sink is set).
+    """
     scenario_dict, name, duration, sink = args
     from repro.core.experiments import ExperimentRunner
     scenario = Scenario.from_dict(scenario_dict)
     runner = ExperimentRunner(scenario=scenario, sink=sink)
     result = runner.run(name, duration=duration)
-    return result.metrics.to_dict()
+    run_dir = getattr(runner, "last_run_dir", None)
+    return result.metrics.to_dict(), run_dir.name if run_dir else None
 
 
 def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
@@ -177,8 +189,8 @@ def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
         raw = [_sweep_worker(job) for job in jobs]
     return [SweepResult(label=p.label, overrides=p.overrides,
                         fingerprint=p.scenario.fingerprint(),
-                        metrics=m)
-            for p, m in zip(points, raw)]
+                        metrics=m, run_id=run_id)
+            for p, (m, run_id) in zip(points, raw)]
 
 
 # -- presentation -------------------------------------------------------------

@@ -1,0 +1,60 @@
+"""The persistent experiment service: jobs, workers, HTTP queries.
+
+``repro.serve`` turns the one-shot CLI stack into a long-lived,
+shared daemon — the "serve many users" layer over :class:`RunCatalog`
+and the cached :class:`AnalysisEngine`:
+
+* a **durable job store** (:class:`JobStore`): one JSON state file per
+  job, atomic renames, simexpal-style lifecycle states
+  (``queued → running → finished/failed/cancelled``), crash-safe reload
+  on daemon restart;
+* a **worker pool** (:class:`WorkerPool`): spawn-based processes
+  executing submitted experiments and grid sweeps through the existing
+  :meth:`ExperimentRunner.run` / :func:`run_sweep` fan-out into
+  multi-tenant catalog roots;
+* an **HTTP/JSON API** (:class:`ExperimentService`): submit and track
+  jobs, browse catalogs, and answer analysis queries from the
+  signature-guarded ``analysis.json`` cache with ETag/304 revalidation
+  — no re-simulation, ever;
+* a **client** (:class:`ServeClient`) and the ``repro-serve`` CLI.
+
+Everything is stdlib-only (``http.server``, ``json``,
+``multiprocessing``), matching the rest of the stack.
+"""
+
+from repro.serve.api import ApiError, ExperimentService
+from repro.serve.client import AnalysisAnswer, ServeClient, ServeError
+from repro.serve.jobs import (
+    ACTIVE_STATES,
+    Job,
+    JobError,
+    JobStore,
+    STATES,
+    TERMINAL_STATES,
+    render_jobs_table,
+)
+from repro.serve.pool import (
+    DEFAULT_CATALOG,
+    WorkerPool,
+    catalog_root,
+    execute_job,
+)
+
+__all__ = [
+    "ACTIVE_STATES",
+    "AnalysisAnswer",
+    "ApiError",
+    "DEFAULT_CATALOG",
+    "ExperimentService",
+    "Job",
+    "JobError",
+    "JobStore",
+    "STATES",
+    "ServeClient",
+    "ServeError",
+    "TERMINAL_STATES",
+    "WorkerPool",
+    "catalog_root",
+    "execute_job",
+    "render_jobs_table",
+]

@@ -1,0 +1,246 @@
+"""``repro-serve``: run and talk to the experiment service.
+
+Subcommands::
+
+    repro-serve serve   --root DIR [--host H] [--port P] [--workers N]
+    repro-serve submit  --url URL [--scenario FILE] [--on NAME]
+                        [--duration S] [--grid AXIS=V1,V2]... [--wait]
+    repro-serve status  --url URL [JOB_ID] [--json] [--watch]
+    repro-serve analyze --url URL RUN [--pipeline NAME] [--json]
+    repro-serve cancel  --url URL JOB_ID
+
+``serve`` is the daemon (Ctrl-C to stop; jobs and catalogs persist under
+``--root`` and reload on the next start).  Everything else is a thin
+client over the HTTP/JSON API — see ``repro.serve.api`` for the routes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.jobs import Job, render_jobs_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Persistent experiment service: queue experiment and "
+                    "sweep jobs, browse run catalogs, and query cached "
+                    "analyses over HTTP.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_serve = sub.add_parser("serve", help="run the daemon")
+    p_serve.add_argument("--root", type=Path, default=Path("serve-root"),
+                         help="service root (jobs/ + catalogs/; "
+                              "default ./serve-root)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="TCP port (0 picks an ephemeral one; "
+                              "default 8642)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="concurrent job processes (0 = accept "
+                              "only; default 2)")
+
+    p_submit = sub.add_parser("submit", help="submit a job")
+    _add_url(p_submit)
+    p_submit.add_argument("--scenario", type=Path, default=None,
+                          metavar="FILE",
+                          help="base scenario as TOML or JSON")
+    p_submit.add_argument("--on", default="baseline", metavar="NAME",
+                          help="experiment to run (default baseline)")
+    p_submit.add_argument("--duration", type=float, default=None,
+                          help="baseline observation window (seconds)")
+    p_submit.add_argument("--grid", action="append", default=[],
+                          metavar="AXIS=V1,V2",
+                          help="sweep axis (repeatable); any --grid "
+                               "makes the job a sweep")
+    p_submit.add_argument("--catalog", default=None, metavar="NAME",
+                          help="tenant catalog to run into "
+                               "(default 'default')")
+    p_submit.add_argument("--parallel", action="store_true",
+                          help="sweep jobs: fan grid points out across "
+                               "processes inside the worker")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job is terminal; exit "
+                               "non-zero unless it finished")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          help="--wait limit in seconds (default 600)")
+
+    p_status = sub.add_parser("status",
+                              help="job table, or one job's record")
+    _add_url(p_status)
+    p_status.add_argument("job", nargs="?", default=None,
+                          help="job id (default: every job)")
+    p_status.add_argument("--state", default=None,
+                          help="filter the table by state "
+                               "(queued/running/finished/failed/"
+                               "cancelled/active)")
+    p_status.add_argument("--json", action="store_true")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="query a cached analysis for a stored run")
+    _add_url(p_analyze)
+    p_analyze.add_argument("run", help="catalog run id (see runs)")
+    p_analyze.add_argument("--pipeline", default="metrics",
+                           help="pipeline name (default metrics)")
+    p_analyze.add_argument("--catalog", default=None, metavar="NAME")
+    p_analyze.add_argument("--json", action="store_true",
+                           help="print the full JSON payload")
+
+    p_runs = sub.add_parser("runs", help="browse the stored runs")
+    _add_url(p_runs)
+    p_runs.add_argument("--catalog", default=None, metavar="NAME")
+    p_runs.add_argument("--json", action="store_true")
+
+    p_cancel = sub.add_parser("cancel", help="cancel a job")
+    _add_url(p_cancel)
+    p_cancel.add_argument("job")
+    return parser
+
+
+def _add_url(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="daemon base URL "
+                             "(default http://127.0.0.1:8642)")
+
+
+# -- subcommands -----------------------------------------------------------------
+def cmd_serve(args) -> int:
+    from repro.serve.api import ExperimentService
+    service = ExperimentService(args.root, host=args.host, port=args.port,
+                                workers=args.workers)
+    queued = service.store.counts()["queued"]
+    reloaded = f" ({queued} queued job(s) reloaded)" if queued else ""
+    print(f"repro-serve: listening on {service.url} "
+          f"(root {service.root}, {args.workers} worker(s)){reloaded}",
+          file=sys.stderr, flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("repro-serve: shutting down (jobs persist; restart to "
+              "resume the queue)", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    client = ServeClient(args.url)
+    scenario = None
+    if args.scenario:
+        from repro.config import Scenario
+        scenario = Scenario.load(args.scenario).to_dict()
+    job = client.submit(scenario=scenario, experiment=args.on,
+                        duration=args.duration, grid=args.grid or None,
+                        catalog=args.catalog, parallel=args.parallel)
+    print(f"{job['id']} {job['state']} ({job['kind']}: "
+          f"{job['spec'].get('experiment')})")
+    if not args.wait:
+        return 0
+    final = client.wait(job["id"], timeout=args.timeout)
+    line = f"{final['id']} {final['state']}"
+    if final.get("run_ids"):
+        line += " -> " + ", ".join(final["run_ids"])
+    if final.get("error"):
+        line += f" ({final['error']})"
+    print(line)
+    return 0 if final["state"] == "finished" else 1
+
+
+def cmd_status(args) -> int:
+    client = ServeClient(args.url)
+    if args.job:
+        job = client.job(args.job)
+        if args.json:
+            json.dump(job, sys.stdout, indent=2)
+            print()
+        else:
+            print(render_jobs_table([Job.from_dict(job)]))
+            if job.get("error"):
+                print(f"error: {job['error']}")
+        return 0
+    jobs = client.jobs(state=args.state)
+    if args.json:
+        json.dump(jobs, sys.stdout, indent=2)
+        print()
+    else:
+        print(render_jobs_table([Job.from_dict(j) for j in jobs]))
+    return 0
+
+
+def cmd_runs(args) -> int:
+    client = ServeClient(args.url)
+    catalogs = client.runs(catalog=args.catalog)
+    if args.json:
+        json.dump(catalogs, sys.stdout, indent=2)
+        print()
+        return 0
+    if not any(catalogs.values()):
+        print("no runs stored", file=sys.stderr)
+        return 1
+    print(f"{'catalog':<12} {'run':<28} {'nodes':>5} {'records':>10} "
+          f"{'duration':>9}  fingerprint")
+    for name, rows in catalogs.items():
+        for row in rows:
+            duration = row.get("duration")
+            print(f"{name:<12} {row['run']:<28} "
+                  f"{row.get('nnodes') or '-':>5} "
+                  f"{row.get('records', 0):>10,} "
+                  f"{f'{duration:.0f} s' if duration else '-':>9}  "
+                  f"{row.get('fingerprint') or '-'}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    client = ServeClient(args.url)
+    answer = client.analysis(args.run, pipeline=args.pipeline,
+                             catalog=args.catalog)
+    if args.json:
+        json.dump(answer.payload, sys.stdout, indent=2)
+        print()
+        return 0
+    print(f"{args.run} · {args.pipeline} "
+          f"(etag {answer.etag}, "
+          f"{'revalidated 304' if answer.from_cache else 'fresh'})")
+    result = answer.result
+    if isinstance(result, dict):
+        for key, value in result.items():
+            if isinstance(value, (int, float, str)) or value is None:
+                print(f"  {key:<24} {value}")
+            else:
+                print(f"  {key:<24} {json.dumps(value)[:60]}")
+    else:
+        print(f"  {result}")
+    return 0
+
+
+def cmd_cancel(args) -> int:
+    job = ServeClient(args.url).cancel(args.job)
+    print(f"{job['id']} {job['state']}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {"serve": cmd_serve, "submit": cmd_submit,
+               "status": cmd_status, "runs": cmd_runs,
+               "analyze": cmd_analyze, "cancel": cmd_cancel}[args.command]
+    try:
+        return handler(args)
+    except ServeError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 1
+    except TimeoutError as exc:
+        print(f"repro-serve: error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"repro-serve: error: {exc.filename}: no such file",
+              file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

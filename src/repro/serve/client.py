@@ -1,0 +1,184 @@
+"""A zero-dependency client for the ``repro-serve`` HTTP API.
+
+:class:`ServeClient` wraps :mod:`urllib.request` with the service's
+conventions: JSON bodies both ways, job polling with
+:meth:`~ServeClient.wait`, and ETag-aware analysis queries —
+:meth:`~ServeClient.analysis` remembers the last ETag per query and
+sends ``If-None-Match``, so a repeated query on an unchanged run is
+answered ``304`` and returns the locally-held result.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.jobs import TERMINAL_STATES
+
+
+class ServeError(RuntimeError):
+    """An HTTP-level failure, carrying the server's one-line error."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class AnalysisAnswer:
+    """One analysis response: the payload plus its cache provenance."""
+
+    __slots__ = ("payload", "etag", "from_cache")
+
+    def __init__(self, payload: dict, etag: Optional[str],
+                 from_cache: bool):
+        self.payload = payload
+        self.etag = etag
+        #: True when the server answered 304 and this is the held copy
+        self.from_cache = from_cache
+
+    @property
+    def result(self):
+        return self.payload.get("result")
+
+
+class ServeClient:
+    """Talks to one ``repro-serve`` daemon at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        #: (path, query) -> (etag, payload) for If-None-Match reuse
+        self._etags: Dict[str, Tuple[str, dict]] = {}
+
+    # -- raw transport ----------------------------------------------------------
+    def request(self, method: str, path: str,
+                body: Optional[dict] = None,
+                headers: Optional[dict] = None
+                ) -> Tuple[int, Optional[dict], dict]:
+        """One request; returns ``(status, json_or_None, headers)``."""
+        data = json.dumps(body).encode() if body is not None else None
+        request = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json",
+                     **(headers or {})})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                raw = response.read()
+                kind = response.headers.get("Content-Type", "")
+                if raw.strip() and "json" in kind:
+                    payload = json.loads(raw)
+                elif raw.strip():
+                    payload = raw.decode()       # e.g. ?format=text tables
+                else:
+                    payload = None
+                return response.status, payload, dict(response.headers)
+        except urllib.error.HTTPError as exc:
+            if exc.code == 304:
+                return 304, None, dict(exc.headers)
+            try:
+                message = json.loads(exc.read()).get("error", str(exc))
+            except ValueError:
+                message = str(exc)
+            raise ServeError(exc.code, message) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(0, f"cannot reach {self.base_url}: "
+                                f"{exc.reason}") from None
+
+    # -- jobs --------------------------------------------------------------------
+    def submit(self, scenario=None, experiment: str = "baseline",
+               duration: Optional[float] = None,
+               grid: Optional[List[str]] = None,
+               catalog: Optional[str] = None,
+               parallel: bool = False,
+               workers: Optional[int] = None) -> dict:
+        """Submit a job; ``grid`` axes make it a sweep.  Returns the job."""
+        body: dict = {"experiment": experiment}
+        if scenario is not None:
+            body["scenario"] = scenario if isinstance(scenario, (dict, str)) \
+                else scenario.to_dict()
+        if duration is not None:
+            body["duration"] = duration
+        if grid:
+            body["grid"] = list(grid)
+            body["parallel"] = parallel
+            if workers is not None:
+                body["workers"] = workers
+        if catalog is not None:
+            body["catalog"] = catalog
+        _, payload, _ = self.request("POST", "/v1/jobs", body=body)
+        return payload
+
+    def jobs(self, state: Optional[str] = None) -> List[dict]:
+        path = "/v1/jobs" + (f"?state={state}" if state else "")
+        _, payload, _ = self.request("GET", path)
+        return payload["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        _, payload, _ = self.request("GET", f"/v1/jobs/{job_id}")
+        return payload
+
+    def cancel(self, job_id: str) -> dict:
+        _, payload, _ = self.request("POST", f"/v1/jobs/{job_id}/cancel")
+        return payload
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.2) -> dict:
+        """Poll until the job reaches a terminal state; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in TERMINAL_STATES:
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {job['state']} "
+                    f"after {timeout:.0f}s")
+            time.sleep(poll)
+
+    # -- runs and analysis ---------------------------------------------------------
+    def runs(self, catalog: Optional[str] = None) -> Dict[str, list]:
+        path = "/v1/runs" + (f"?catalog={catalog}" if catalog else "")
+        _, payload, _ = self.request("GET", path)
+        return payload["catalogs"]
+
+    def analysis(self, run_id: str, pipeline: str = "metrics",
+                 catalog: Optional[str] = None,
+                 **predicates) -> AnalysisAnswer:
+        """One cached analysis query, transparently ETag-revalidated.
+
+        ``predicates`` may set ``t0``/``t1``/``node``/``rw``
+        (``rw="reads"|"writes"``), pushed down to the engine's chunk
+        index server-side.
+        """
+        query = []
+        if catalog:
+            query.append(f"catalog={catalog}")
+        for key in ("t0", "t1", "node", "rw"):
+            if predicates.get(key) is not None:
+                query.append(f"{key}={predicates[key]}")
+        path = f"/v1/analysis/{run_id}/{pipeline}" + \
+            ("?" + "&".join(query) if query else "")
+        held = self._etags.get(path)
+        headers = {"If-None-Match": held[0]} if held else {}
+        status, payload, response_headers = self.request(
+            "GET", path, headers=headers)
+        etag = response_headers.get("ETag")
+        if status == 304:
+            return AnalysisAnswer(held[1], etag or held[0],
+                                  from_cache=True)
+        if etag:
+            self._etags[path] = (etag, payload)
+        return AnalysisAnswer(payload, etag, from_cache=False)
+
+    # -- service ---------------------------------------------------------------------
+    def status(self) -> dict:
+        _, payload, _ = self.request("GET", "/v1/status")
+        return payload
+
+    def metrics(self) -> dict:
+        _, payload, _ = self.request("GET", "/v1/metrics")
+        return payload

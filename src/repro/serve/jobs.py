@@ -1,0 +1,252 @@
+"""Durable experiment jobs: one JSON state file per job, atomic renames.
+
+A :class:`Job` is one submitted unit of work — a single experiment or a
+grid sweep — moving through the simexpal-style lifecycle::
+
+    queued ──> running ──> finished
+                  │    └─> failed
+                  └──────> cancelled        (queued jobs cancel directly)
+
+The :class:`JobStore` keeps every job as ``jobs/<id>.json`` under the
+service root.  All writes go through a per-process temp file and
+``os.replace``, so a crash at any instant leaves either the old state or
+the new state on disk — never a torn file.  Two processes legitimately
+write job files (the daemon owns submission/cancellation, the spawned
+worker owns the running→terminal edge); atomic whole-file replacement is
+what makes that safe.
+
+On daemon restart :meth:`JobStore.recover` reloads the directory:
+``queued`` jobs re-enter the queue untouched, and ``running`` jobs whose
+worker process no longer exists (the daemon died mid-run) are re-queued
+— a submitted job is never silently lost.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+JOB_FORMAT = "repro-serve-job-v1"
+
+#: lifecycle states, in order of appearance
+STATES = ("queued", "running", "finished", "failed", "cancelled")
+#: states a job can still move out of
+ACTIVE_STATES = ("queued", "running")
+#: states a job never leaves
+TERMINAL_STATES = ("finished", "failed", "cancelled")
+
+#: legal lifecycle edges (anything else is a store bug)
+_TRANSITIONS = {
+    "queued": {"running", "cancelled", "failed"},
+    "running": {"finished", "failed", "cancelled", "queued"},  # requeue
+}
+
+
+class JobError(ValueError):
+    """An illegal job operation (bad state transition, unknown id)."""
+
+
+@dataclass
+class Job:
+    """One submitted unit of work and its durable state."""
+
+    id: str
+    kind: str                    # "experiment" | "sweep"
+    state: str = "queued"
+    #: what to run: scenario dict, experiment name, duration, grid
+    #: specs, catalog name, parallelism — see ``repro.serve.pool``
+    spec: Dict[str, object] = field(default_factory=dict)
+    created: float = 0.0         # epoch seconds
+    started: Optional[float] = None
+    finished: Optional[float] = None
+    pid: Optional[int] = None    # worker process while running
+    error: Optional[str] = None
+    #: catalog run ids this job produced (one per grid point)
+    run_ids: List[str] = field(default_factory=list)
+    #: summary metrics (experiment) or per-point dicts (sweep)
+    result: Optional[object] = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["format"] = JOB_FORMAT
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        if data.get("format") not in (None, JOB_FORMAT):
+            raise JobError(f"not a {JOB_FORMAT} record")
+        fields = {k: v for k, v in data.items() if k != "format"}
+        job = cls(**fields)
+        if job.state not in STATES:
+            raise JobError(f"job {job.id}: unknown state {job.state!r}")
+        return job
+
+
+def _pid_alive(pid: Optional[int]) -> bool:
+    if not pid:
+        return False
+    try:
+        os.kill(pid, 0)
+    except (OSError, ProcessLookupError):
+        return False
+    return True
+
+
+class JobStore:
+    """The ``jobs/`` directory: create, persist, and reload jobs."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- creation -------------------------------------------------------------
+    def create(self, kind: str, spec: Optional[dict] = None) -> Job:
+        """Claim the next free job id and persist it as ``queued``.
+
+        ``O_CREAT|O_EXCL`` is the atomic primitive: whichever process
+        creates ``<id>.json`` first owns that id, so concurrent
+        submissions never collide.
+        """
+        if kind not in ("experiment", "sweep"):
+            raise JobError(f"unknown job kind {kind!r}")
+        self.root.mkdir(parents=True, exist_ok=True)
+        existing = self.ids()
+        n = 1 + (int(existing[-1].rpartition("-")[2]) if existing else 0)
+        while True:
+            job_id = f"job-{n:06d}"
+            path = self._path(job_id)
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                n += 1
+                continue
+            job = Job(id=job_id, kind=kind, spec=dict(spec or {}),
+                      created=time.time())
+            payload = json.dumps(job.to_dict(), indent=2)
+            try:
+                os.write(fd, payload.encode())
+            finally:
+                os.close(fd)
+            return job
+
+    # -- persistence ----------------------------------------------------------
+    def save(self, job: Job) -> Path:
+        """Atomically (re)write one job's state file."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(job.id)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(job.to_dict(), indent=2))
+        os.replace(tmp, path)
+        return path
+
+    def load(self, job_id: str) -> Job:
+        path = self._path(job_id)
+        try:
+            return Job.from_dict(json.loads(path.read_text()))
+        except FileNotFoundError:
+            raise JobError(f"no job {job_id!r} under {self.root}") from None
+
+    def ids(self) -> List[str]:
+        if not self.root.is_dir():
+            return []
+        return sorted(p.stem for p in self.root.glob("job-*.json"))
+
+    def jobs(self, state: Optional[str] = None) -> List[Job]:
+        """Every stored job (optionally one state), sorted by id."""
+        out = []
+        for job_id in self.ids():
+            try:
+                job = self.load(job_id)
+            except (JobError, ValueError):
+                continue          # torn by hand-editing; never by us
+            if state is None or job.state == state:
+                out.append(job)
+        return out
+
+    # -- lifecycle ------------------------------------------------------------
+    def transition(self, job_id: str, state: str, **fields) -> Job:
+        """Load, legally transition, stamp timestamps, save, return."""
+        job = self.load(job_id)
+        allowed = _TRANSITIONS.get(job.state, set())
+        if state not in allowed:
+            raise JobError(f"job {job_id}: cannot go "
+                           f"{job.state} -> {state}")
+        job.state = state
+        for name, value in fields.items():
+            setattr(job, name, value)
+        if state == "running" and job.started is None:
+            job.started = time.time()
+        if state in TERMINAL_STATES and job.finished is None:
+            job.finished = time.time()
+        if state == "queued":     # requeued after a daemon crash
+            job.pid = None
+            job.started = None
+        self.save(job)
+        return job
+
+    def recover(self) -> List[Job]:
+        """Reload after a restart; returns the jobs ready to execute.
+
+        ``queued`` jobs pass through untouched.  ``running`` jobs whose
+        recorded worker pid is gone are re-queued (the daemon died under
+        them; the simulation is deterministic, so re-running is safe —
+        the partially-written catalog run keeps its own directory and a
+        fresh one is claimed).  Running jobs whose pid is still alive are
+        left alone: their worker will write the terminal state itself.
+        """
+        ready: List[Job] = []
+        for job in self.jobs():
+            if job.state == "queued":
+                ready.append(job)
+            elif job.state == "running" and not _pid_alive(job.pid):
+                ready.append(self.transition(job.id, "queued"))
+        return ready
+
+    def counts(self) -> Dict[str, int]:
+        """Jobs per state (zero-filled), for status endpoints and obs."""
+        out = {state: 0 for state in STATES}
+        for job in self.jobs():
+            out[job.state] += 1
+        return out
+
+    # -- internals ------------------------------------------------------------
+    def _path(self, job_id: str) -> Path:
+        if not job_id.startswith("job-") or "/" in job_id or "\\" in job_id:
+            raise JobError(f"bad job id {job_id!r}")
+        return self.root / f"{job_id}.json"
+
+
+# -- presentation --------------------------------------------------------------
+def render_jobs_table(jobs: Sequence[Job]) -> str:
+    """Fixed-width status table, simexpal-style: one line per job."""
+    if not jobs:
+        return "no jobs"
+    headers = ("job", "kind", "experiment", "state", "runs", "info")
+    rows = []
+    for job in jobs:
+        experiment = str(job.spec.get("experiment", "baseline"))
+        if job.kind == "sweep":
+            grid = job.spec.get("grid") or []
+            experiment += f" x {len(grid)} axis" + \
+                ("es" if len(grid) != 1 else "")
+        info = job.error or ""
+        if job.state == "finished" and job.started and job.finished:
+            info = f"{job.finished - job.started:.1f}s"
+        rows.append((job.id, job.kind, experiment, job.state,
+                     str(len(job.run_ids)) if job.run_ids else "-",
+                     info))
+    widths = [max(len(h), *(len(r[i]) for r in rows))
+              for i, h in enumerate(headers)]
+
+    def line(cells):
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    bar = tuple("-" * w for w in widths)
+    return "\n".join([line(headers), line(bar)] + [line(r) for r in rows])

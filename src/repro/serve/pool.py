@@ -1,0 +1,262 @@
+"""The worker pool: spawned processes executing jobs off the queue.
+
+Each job runs in its own ``multiprocessing`` (spawn) process so a
+simulation crash, a hard kill, or an out-of-memory death never takes the
+daemon down.  The worker owns the ``running -> finished/failed`` edge of
+the job file (written durably via :class:`~repro.serve.jobs.JobStore`);
+the pool's scheduler thread only spawns, reaps, and reconciles — if a
+worker vanishes without writing a terminal state, the pool records
+``failed`` (or ``cancelled`` when the pool itself terminated it).
+
+Execution reuses the existing fan-out machinery unchanged:
+
+* ``kind == "experiment"`` — :meth:`repro.core.ExperimentRunner.run`
+  with the job's scenario, streaming the capture into the job's
+  multi-tenant catalog root;
+* ``kind == "sweep"`` — :func:`repro.config.run_sweep` over the job's
+  grid axes, every grid point cataloged; the stamped
+  ``SweepResult.run_id``s map points back to stored runs.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.serve.jobs import Job, JobError, JobStore
+
+#: subdirectory of the service root holding per-tenant run catalogs
+CATALOGS_DIR = "catalogs"
+#: subdirectory of the service root holding job state files
+JOBS_DIR = "jobs"
+DEFAULT_CATALOG = "default"
+
+
+def catalog_root(root: Union[str, Path], name: str = DEFAULT_CATALOG) -> Path:
+    """The run-catalog directory of one tenant under a service root."""
+    if not name or not all(c.isalnum() or c in "-_." for c in name):
+        raise JobError(f"bad catalog name {name!r}")
+    return Path(root) / CATALOGS_DIR / name
+
+
+def execute_job(job: Job, root: Union[str, Path]) -> dict:
+    """Run one job's work in-process; returns ``{summary, run_ids}``.
+
+    Top-level and importable so both the spawned worker and direct
+    callers (tests, a future synchronous mode) share one code path.
+    """
+    from repro.config import Scenario, parse_axis_spec, run_sweep
+    from repro.core.experiments import ExperimentRunner
+
+    spec = job.spec
+    scenario = Scenario.from_dict(spec["scenario"]) \
+        if spec.get("scenario") else Scenario()
+    experiment = spec.get("experiment", "baseline")
+    duration = spec.get("duration")
+    sink = catalog_root(root, spec.get("catalog", DEFAULT_CATALOG))
+    sink.mkdir(parents=True, exist_ok=True)
+
+    if job.kind == "sweep":
+        axes = [parse_axis_spec(s) for s in spec.get("grid", [])]
+        if not axes:
+            raise JobError("sweep job lists no grid axes")
+        results = run_sweep(scenario, axes, experiment=experiment,
+                            duration=duration, sink=str(sink),
+                            parallel=bool(spec.get("parallel", False)),
+                            workers=spec.get("workers"))
+        return {"summary": [r.to_dict() for r in results],
+                "run_ids": [r.run_id for r in results if r.run_id]}
+
+    runner = ExperimentRunner(scenario=scenario, sink=sink)
+    result = runner.run(experiment, duration=duration)
+    run_dir = getattr(runner, "last_run_dir", None)
+    return {"summary": result.metrics.to_dict(),
+            "run_ids": [run_dir.name] if run_dir else []}
+
+
+def _job_main(root: str, job_id: str) -> None:
+    """Worker process entry point (top level: must pickle under spawn)."""
+    store = JobStore(Path(root) / JOBS_DIR)
+    try:
+        store.transition(job_id, "running", pid=mp.current_process().pid)
+    except JobError:
+        return                    # cancelled between spawn and start
+    try:
+        outcome = execute_job(store.load(job_id), root)
+    except Exception as exc:
+        try:
+            store.transition(job_id, "failed",
+                             error=f"{type(exc).__name__}: {exc}")
+        except JobError:
+            pass                  # cancelled underneath us; keep that
+        return
+    try:
+        store.transition(job_id, "finished",
+                         result=outcome["summary"],
+                         run_ids=outcome["run_ids"])
+    except JobError:
+        pass                      # cancelled in the final instants
+
+
+class WorkerPool:
+    """Spawns up to ``workers`` concurrent job processes off a queue.
+
+    ``workers=0`` makes an accept-only pool: jobs queue durably but
+    nothing executes — the mode a drained or restarting daemon uses, and
+    what the restart-survival tests exercise.
+    """
+
+    def __init__(self, root: Union[str, Path], store: JobStore,
+                 workers: int = 2, obs=None, poll: float = 0.05):
+        self.root = Path(root)
+        self.store = store
+        self.workers = max(int(workers), 0)
+        self.poll = poll
+        if obs is None:
+            from repro.obs import NULL_REGISTRY
+            obs = NULL_REGISTRY
+        self.registry = obs
+        self._ctx = mp.get_context("spawn")
+        self._queue: deque = deque()
+        self._procs: Dict[str, object] = {}
+        self._cancelling: set = set()
+        self._cond = threading.Condition()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Recover durable state and start the scheduler thread."""
+        for job in self.store.recover():
+            self._queue.append(job.id)
+        self._observe_depth()
+        if self.workers > 0:
+            self._thread = threading.Thread(target=self._run,
+                                            name="repro-serve-pool",
+                                            daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, wait: bool = True, timeout: float = 30.0) -> None:
+        """Stop scheduling; optionally wait for running jobs to finish."""
+        with self._cond:
+            self._stopping = True
+            self._cond.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        if wait:
+            for proc in list(self._procs.values()):
+                proc.join(timeout=timeout)
+            self._reap()
+
+    # -- queue ----------------------------------------------------------------
+    def submit(self, job_id: str) -> None:
+        with self._cond:
+            self._queue.append(job_id)
+            self._cond.notify_all()
+        self._observe_depth()
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job; returns its new state."""
+        job = self.store.load(job_id)
+        if job.terminal:
+            raise JobError(f"job {job_id} already {job.state}")
+        with self._cond:
+            if job_id in self._queue:
+                self._queue.remove(job_id)
+            proc = self._procs.get(job_id)
+            if proc is not None:
+                self._cancelling.add(job_id)
+                proc.terminate()
+        if proc is None:
+            # not started (or a worker that just exited): mark directly
+            job = self.store.transition(job_id, "cancelled")
+            self._count_terminal("cancelled")
+        else:
+            proc.join(timeout=10.0)
+            job = self._reconcile(job_id, cancelled=True)
+        self._observe_depth()
+        return job
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._queue)
+
+    def running(self) -> int:
+        with self._cond:
+            return len(self._procs)
+
+    def drain(self, timeout: float = 120.0) -> None:
+        """Block until queue and workers are empty (tests, shutdown)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._cond:
+                if not self._queue and not self._procs:
+                    return
+            time.sleep(self.poll)
+        raise TimeoutError("worker pool did not drain in time")
+
+    # -- scheduler ------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                if self._stopping:
+                    return
+                while self._queue and len(self._procs) < self.workers:
+                    job_id = self._queue.popleft()
+                    proc = self._ctx.Process(
+                        target=_job_main, args=(str(self.root), job_id),
+                        name=f"repro-serve-{job_id}", daemon=True)
+                    proc.start()
+                    self._procs[job_id] = proc
+                self._cond.wait(timeout=self.poll)
+            self._reap()
+            self._observe_depth()
+
+    def _reap(self) -> None:
+        with self._cond:
+            done = [(job_id, proc) for job_id, proc in self._procs.items()
+                    if not proc.is_alive()]
+            for job_id, _ in done:
+                del self._procs[job_id]
+        for job_id, proc in done:
+            proc.join()
+            self._reconcile(job_id,
+                            cancelled=job_id in self._cancelling,
+                            exitcode=proc.exitcode)
+            self._cancelling.discard(job_id)
+
+    def _reconcile(self, job_id: str, cancelled: bool = False,
+                   exitcode: Optional[int] = None) -> Job:
+        """After a worker exits, settle the durable state.
+
+        The worker normally wrote ``finished``/``failed`` itself; if the
+        file still says ``queued``/``running`` the process died first —
+        record ``cancelled`` (we terminated it) or ``failed``.
+        """
+        job = self.store.load(job_id)
+        if job.terminal:
+            self._count_terminal(job.state)
+            return job
+        if cancelled:
+            job = self.store.transition(job_id, "cancelled")
+        else:
+            job = self.store.transition(
+                job_id, "failed",
+                error=f"worker died (exit code {exitcode})")
+        self._count_terminal(job.state)
+        return job
+
+    # -- observability ---------------------------------------------------------
+    def _observe_depth(self) -> None:
+        with self._cond:
+            depth, running = len(self._queue), len(self._procs)
+        self.registry.gauge("serve.queue_depth").set(depth)
+        self.registry.gauge("serve.jobs_running").set(running)
+
+    def _count_terminal(self, state: str) -> None:
+        self.registry.counter("serve.jobs_completed").child(state).inc()

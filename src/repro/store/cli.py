@@ -301,7 +301,11 @@ def cmd_analyze(args) -> int:
         return 1
     names = [n.strip() for n in args.pipelines.split(",")] \
         if args.pipelines else None
-    pipes = {p.name: p for p in make_pipelines(names)}
+    try:
+        pipes = {p.name: p for p in make_pipelines(names)}
+    except ValueError as exc:
+        print(f"repro-trace: error: {exc}", file=sys.stderr)
+        return 2
     registry = MetricsRegistry()
     engine = AnalysisEngine(catalog, workers=args.workers,
                             cache=not args.no_cache, obs=registry)

@@ -1,0 +1,85 @@
+"""Concurrent ``analysis.json`` access: two processes, one cache file.
+
+The engine's cache protocol — per-process temp file, atomic
+``os.replace``, re-read-and-merge before writing, per-entry signatures
+re-checked on every load — must keep the cache valid and the numbers
+bit-identical no matter how two engines interleave.  These tests drive
+real concurrent processes at the same captured run.
+"""
+
+import json
+import multiprocessing as mp
+
+import pytest
+
+from repro.analysis import AnalysisEngine, make_pipelines
+from repro.analysis.engine import ANALYSIS_NAME
+from repro.core.experiments import ExperimentRunner
+from repro.store import RunCatalog
+
+
+@pytest.fixture(scope="module")
+def captured_run(tmp_path_factory):
+    root = tmp_path_factory.mktemp("race-catalog")
+    runner = ExperimentRunner(nnodes=2, seed=4, sink=root)
+    runner.run("baseline", duration=100.0)
+    return root
+
+
+def _analyze(root, pipeline_names):
+    """Worker entry point (top level so it pickles under spawn)."""
+    engine = AnalysisEngine(RunCatalog(root), workers=1, cache=True)
+    pipes = make_pipelines(pipeline_names)
+    out = engine.analyze("baseline", pipes)
+    return {p.name: p.to_json(out[p.name]) for p in pipes}
+
+
+def _run_concurrently(root, jobs):
+    ctx = mp.get_context("spawn")
+    with ctx.Pool(len(jobs)) as pool:
+        return pool.starmap(_analyze, [(str(root), names)
+                                       for names in jobs])
+
+
+def _expected(root, names):
+    engine = AnalysisEngine(RunCatalog(root), workers=1, cache=False)
+    pipes = make_pipelines(names)
+    out = engine.analyze("baseline", pipes)
+    return {p.name: p.to_json(out[p.name]) for p in pipes}
+
+
+def test_same_pipeline_from_two_processes(captured_run):
+    results = _run_concurrently(captured_run,
+                                [["metrics"], ["metrics"]])
+    truth = _expected(captured_run, ["metrics"])
+    assert results[0] == truth
+    assert results[1] == truth
+
+
+def test_disjoint_pipelines_merge_into_one_cache(captured_run):
+    jobs = [["metrics", "sizes"], ["spatial", "arrival"]]
+    results = _run_concurrently(captured_run, jobs)
+    for names, result in zip(jobs, results):
+        assert result == _expected(captured_run, names)
+
+    cache_path = captured_run / "baseline" / ANALYSIS_NAME
+    cache = json.loads(cache_path.read_text())       # valid JSON
+    # both writers' entries survived the concurrent store
+    names = {n for names in jobs for n in names}
+    cached_names = {key.partition("@")[0] for key in cache["entries"]}
+    assert names <= cached_names
+    for entry in cache["entries"].values():
+        assert entry["signature"]
+
+    # no per-process temp litter left next to the cache
+    litter = list((captured_run / "baseline").glob(f"{ANALYSIS_NAME}.*"))
+    assert litter == []
+
+    # a fresh engine answers every pipeline from the merged cache
+    from repro.obs import MetricsRegistry
+    engine = AnalysisEngine(RunCatalog(captured_run), workers=1,
+                            cache=True, obs=MetricsRegistry())
+    pipes = make_pipelines(sorted(names))
+    engine.analyze("baseline", pipes)
+    hits = engine.registry.counter("analysis.cache_hits").value
+    assert hits >= len(names)

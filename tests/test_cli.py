@@ -66,3 +66,34 @@ def test_cli_parallel_all(tmp_path, capsys):
     assert "Table 1" in out
     for name in ("baseline", "ppm", "wavelet", "nbody", "combined"):
         assert name in out
+
+
+def test_cli_sweep_unknown_experiment_exits_2(capsys):
+    rc = main(["sweep", "--on", "bogus", "--grid", "scheduler=fifo"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert "unknown experiment 'bogus'" in err
+    assert "Traceback" not in err
+
+
+def test_cli_sweep_bad_axis_exits_2(capsys):
+    rc = main(["sweep", "--grid", "not-an-axis"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("sweep failed:")
+    assert "Traceback" not in err
+
+
+def test_cli_sweep_worker_failure_is_one_line(capsys, monkeypatch):
+    import repro.config
+
+    def boom(*args, **kwargs):
+        raise RuntimeError("worker exploded")
+
+    monkeypatch.setattr(repro.config, "run_sweep", boom)
+    rc = main(["sweep", "--on", "baseline", "--nodes", "1",
+               "--grid", "scheduler=fifo"])
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "sweep failed: RuntimeError: worker exploded" in err
+    assert "Traceback" not in err

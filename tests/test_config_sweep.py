@@ -147,6 +147,27 @@ def test_sweep_runs_land_in_catalog_with_scenarios(tmp_path):
     assert scenario.name == "scheduler=fifo"
 
 
+def test_sweep_results_stamp_catalog_run_ids(tmp_path):
+    """Each grid point knows the catalog run id it was stored under."""
+    from repro.store import RunCatalog
+    base = Scenario().with_overrides({"cluster.nnodes": 1})
+    results = run_sweep(base, [parse_axis_spec("scheduler=clook,fifo")],
+                        experiment="baseline", duration=40.0,
+                        parallel=False, sink=str(tmp_path))
+    assert [r.run_id for r in results] == [
+        "baseline@scheduler=clook", "baseline@scheduler=fifo"]
+    assert RunCatalog(tmp_path).runs() == \
+        sorted(r.run_id for r in results)
+    data = json.loads(sweep_to_json(results))
+    assert [d["run_id"] for d in data] == [r.run_id for r in results]
+
+
+def test_sweep_without_sink_has_no_run_ids(wavelet_sweep):
+    assert all(r.run_id is None for r in wavelet_sweep)
+    data = json.loads(sweep_to_json(wavelet_sweep))
+    assert all(d["run_id"] is None for d in data)
+
+
 # -- CLI ----------------------------------------------------------------------
 def test_cli_sweep_smoke(tmp_path, capsys):
     from repro.cli import main

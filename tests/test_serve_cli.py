@@ -1,0 +1,111 @@
+"""The ``repro-serve`` command-line client against a live daemon."""
+
+import json
+
+import pytest
+
+from repro.config import Scenario
+from repro.serve import ExperimentService, ServeClient
+from repro.serve.cli import main
+
+SCENARIO = Scenario().with_overrides(
+    {"cluster.nnodes": 2, "seed": 11}).to_dict()
+
+
+@pytest.fixture(scope="module")
+def service(tmp_path_factory):
+    service = ExperimentService(tmp_path_factory.mktemp("serve-cli"),
+                                workers=1).start()
+    yield service
+    service.shutdown()
+
+
+@pytest.fixture(scope="module")
+def scenario_file(tmp_path_factory):
+    path = tmp_path_factory.mktemp("scn") / "small.toml"
+    Scenario.from_dict(SCENARIO).save(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def finished_job(service):
+    # one real run every CLI test below shares
+    client = ServeClient(service.url)
+    job = client.submit(scenario=SCENARIO, duration=80.0)
+    final = client.wait(job["id"], timeout=120)
+    assert final["state"] == "finished"
+    return final["id"]
+
+
+def test_submit_wait_reports_run_ids(service, scenario_file,
+                                     finished_job, capsys):
+    code = main(["submit", "--url", service.url,
+                 "--scenario", str(scenario_file),
+                 "--duration", "80", "--wait"])
+    out = capsys.readouterr().out
+    assert code == 0
+    lines = out.strip().splitlines()
+    assert "queued (experiment: baseline)" in lines[0]
+    assert "finished -> baseline-" in lines[-1]   # deduped run id
+
+
+def test_status_table(service, finished_job, capsys):
+    assert main(["status", "--url", service.url]) == 0
+    out = capsys.readouterr().out
+    assert out.splitlines()[0].split()[:2] == ["job", "kind"]
+    assert finished_job in out and "finished" in out
+
+
+def test_status_single_job_json(service, finished_job, capsys):
+    assert main(["status", "--url", service.url, finished_job,
+                 "--json"]) == 0
+    job = json.loads(capsys.readouterr().out)
+    assert job["id"] == finished_job
+    assert job["state"] == "finished"
+    assert job["run_ids"] == ["baseline"]
+
+
+def test_runs_listing(service, finished_job, capsys):
+    assert main(["runs", "--url", service.url]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "default" in out
+
+
+def test_analyze_pretty_and_json(service, finished_job, capsys):
+    assert main(["analyze", "--url", service.url, "baseline"]) == 0
+    pretty = capsys.readouterr().out
+    assert "baseline · metrics" in pretty and "fresh" in pretty
+
+    assert main(["analyze", "--url", service.url, "baseline",
+                 "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["pipeline"] == "metrics"
+    assert payload["result"]["total_requests"] > 0
+
+
+def test_client_revalidates_304(service, finished_job):
+    # the same client instance holds the ETag across two calls
+    client = ServeClient(service.url)
+    assert not client.analysis("baseline").from_cache
+    assert client.analysis("baseline").from_cache
+
+
+def test_cancel_finished_job_fails_cleanly(service, finished_job,
+                                           capsys):
+    assert main(["cancel", "--url", service.url, finished_job]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("repro-serve: error:")
+    assert "409" in err
+
+
+def test_unreachable_daemon_is_one_line(capsys):
+    assert main(["status", "--url", "http://127.0.0.1:9"]) == 1
+    err = capsys.readouterr().err
+    assert err.startswith("repro-serve: error:")
+    assert "cannot reach" in err
+
+
+def test_missing_scenario_file(service, capsys):
+    assert main(["submit", "--url", service.url,
+                 "--scenario", "/nonexistent/file.toml"]) == 1
+    assert "no such file" in capsys.readouterr().err

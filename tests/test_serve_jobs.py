@@ -1,0 +1,148 @@
+"""The durable job store: lifecycle, atomicity, crash recovery."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.serve import (
+    ACTIVE_STATES,
+    Job,
+    JobError,
+    JobStore,
+    STATES,
+    TERMINAL_STATES,
+    render_jobs_table,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs")
+
+
+def test_states_partition():
+    assert set(STATES) == set(ACTIVE_STATES) | set(TERMINAL_STATES)
+
+
+def test_create_persists_queued_job(store):
+    job = store.create("experiment", {"experiment": "baseline"})
+    assert job.id == "job-000001"
+    assert job.state == "queued"
+    assert job.created > 0
+    on_disk = store.load(job.id)
+    assert on_disk.to_dict() == job.to_dict()
+    data = json.loads((store.root / "job-000001.json").read_text())
+    assert data["format"] == "repro-serve-job-v1"
+
+
+def test_create_ids_are_unique_and_monotonic(store):
+    ids = [store.create("experiment").id for _ in range(3)]
+    assert ids == ["job-000001", "job-000002", "job-000003"]
+    # a second store on the same directory continues, never collides
+    other = JobStore(store.root)
+    assert other.create("sweep").id == "job-000004"
+
+
+def test_create_rejects_unknown_kind(store):
+    with pytest.raises(JobError):
+        store.create("banana")
+
+
+def test_load_unknown_job_raises(store):
+    with pytest.raises(JobError, match="no job"):
+        store.load("job-999999")
+    with pytest.raises(JobError, match="bad job id"):
+        store.load("../escape")
+
+
+def test_save_is_atomic_rename(store):
+    job = store.create("experiment")
+    store.save(job)
+    # no temp litter left behind
+    assert [p.name for p in store.root.iterdir()] == ["job-000001.json"]
+
+
+def test_lifecycle_transitions(store):
+    job = store.create("experiment")
+    job = store.transition(job.id, "running", pid=os.getpid())
+    assert job.state == "running"
+    assert job.started is not None
+    job = store.transition(job.id, "finished", result={"ok": 1},
+                           run_ids=["baseline"])
+    assert job.finished is not None
+    assert job.run_ids == ["baseline"]
+    assert store.load(job.id).result == {"ok": 1}
+
+
+def test_illegal_transitions_raise(store):
+    job = store.create("experiment")
+    with pytest.raises(JobError, match="cannot go"):
+        store.transition(job.id, "finished")      # queued -> finished
+    store.transition(job.id, "running")
+    store.transition(job.id, "finished")
+    for state in ("running", "cancelled", "queued"):
+        with pytest.raises(JobError):
+            store.transition(job.id, state)       # terminal is forever
+
+
+def test_requeue_clears_worker_fields(store):
+    job = store.create("experiment")
+    store.transition(job.id, "running", pid=12345)
+    job = store.transition(job.id, "queued")
+    assert job.pid is None and job.started is None
+
+
+def test_recover_requeues_orphaned_running_jobs(store):
+    queued = store.create("experiment")
+    orphan = store.create("experiment")
+    alive = store.create("experiment")
+    done = store.create("experiment")
+    # a worker pid that no longer exists (a real, already-exited child)
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    store.transition(orphan.id, "running", pid=proc.pid)
+    store.transition(alive.id, "running", pid=os.getpid())
+    store.transition(done.id, "running")
+    store.transition(done.id, "finished")
+
+    ready = store.recover()
+    assert [j.id for j in ready] == [queued.id, orphan.id]
+    assert store.load(orphan.id).state == "queued"
+    assert store.load(alive.id).state == "running"   # its worker lives
+    assert store.load(done.id).state == "finished"
+
+
+def test_counts_zero_filled(store):
+    store.create("experiment")
+    job = store.create("sweep")
+    store.transition(job.id, "running")
+    counts = store.counts()
+    assert counts == {"queued": 1, "running": 1, "finished": 0,
+                      "failed": 0, "cancelled": 0}
+
+
+def test_job_round_trip_rejects_garbage():
+    with pytest.raises(JobError):
+        Job.from_dict({"format": "something-else", "id": "x", "kind": "y"})
+    with pytest.raises(JobError, match="unknown state"):
+        Job.from_dict({"id": "job-000001", "kind": "experiment",
+                       "state": "zombie"})
+
+
+def test_render_jobs_table(store):
+    store.create("experiment", {"experiment": "baseline"})
+    sweep = store.create("sweep", {"experiment": "wavelet",
+                                   "grid": ["scheduler=clook,fifo"]})
+    store.transition(sweep.id, "running")
+    store.transition(sweep.id, "failed", error="boom")
+    table = render_jobs_table(store.jobs())
+    lines = table.splitlines()
+    assert lines[0].split() == ["job", "kind", "experiment", "state",
+                                "runs", "info"]
+    assert "job-000001" in lines[2] and "queued" in lines[2]
+    assert "wavelet x 1 axis" in lines[3]
+    assert "failed" in lines[3] and "boom" in lines[3]
+    assert render_jobs_table([]) == "no jobs"

@@ -174,3 +174,13 @@ def test_analyze_unknown_run_errors(captured_run, capsys):
     root, _ = captured_run
     assert main(["analyze", str(root), "nope"]) == 1
     assert "no run" in capsys.readouterr().err
+
+
+def test_analyze_unknown_pipeline_exits_2(captured_run, capsys):
+    root, _ = captured_run
+    rc = main(["analyze", str(root), "--pipelines", "bogus"])
+    assert rc == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro-trace: error:")
+    assert "bogus" in err
+    assert "Traceback" not in err

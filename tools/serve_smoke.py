@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""CI smoke test for the ``repro-serve`` experiment service.
+
+Boots the real daemon as a subprocess on an ephemeral port, then drives
+the whole serving story over HTTP:
+
+* submit a 2x1 grid sweep (``scheduler=clook,fifo``) and poll the job
+  to ``finished``;
+* assert both grid points landed in the service catalog and the job
+  record stamps their run ids;
+* fetch ``/v1/analysis/{run}/metrics`` for each run and check the
+  numbers are bit-identical to ``repro-trace analyze --json`` reading
+  the same catalog directly;
+* repeat one analysis request and assert the daemon answers it with
+  ``304 Not Modified`` from the held ETag;
+* restart the daemon on the same root and confirm the finished jobs
+  and cached analyses are still served.
+
+Usage::
+
+    PYTHONPATH=src python tools/serve_smoke.py [--duration 60]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.serve import ServeClient
+from repro.store.cli import main as trace_main
+
+GRID = "scheduler=clook,fifo"
+EXPECTED_RUNS = ["baseline@scheduler=clook", "baseline@scheduler=fifo"]
+
+
+def start_daemon(root: Path) -> tuple:
+    """Launch ``repro-serve serve`` on an ephemeral port; returns
+    ``(process, url)`` once the daemon announces itself."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.cli", "serve",
+         "--root", str(root), "--port", "0", "--workers", "2"],
+        stderr=subprocess.PIPE, text=True)
+    line = process.stderr.readline()
+    match = re.search(r"listening on (http://\S+)", line)
+    assert match, f"daemon did not announce a URL: {line!r}"
+    print(line.strip())
+    return process, match.group(1)
+
+
+def stop_daemon(process: subprocess.Popen) -> None:
+    process.send_signal(signal.SIGINT)
+    process.wait(timeout=30)
+    assert process.returncode == 0, \
+        f"daemon exited {process.returncode}"
+
+
+def cli_analysis(root: Path, run_id: str) -> dict:
+    """The same numbers via ``repro-trace analyze --json``."""
+    out = io.StringIO()
+    with contextlib.redirect_stdout(out):
+        rc = trace_main(["analyze", str(root / "catalogs" / "default"),
+                         run_id, "--pipelines", "metrics", "--json"])
+    assert rc == 0, f"repro-trace analyze exited {rc}"
+    return json.loads(out.getvalue())[run_id]["metrics"]
+
+
+def run_smoke(duration: float, root: Path) -> int:
+    from repro.config import Scenario
+    scenario = Scenario().with_overrides(
+        {"cluster.nnodes": 1, "seed": 3}).to_dict()
+
+    process, url = start_daemon(root)
+    try:
+        client = ServeClient(url)
+        job = client.submit(scenario=scenario,
+                            duration=duration, grid=[GRID])
+        print(f"submitted {job['id']} ({job['kind']})")
+        final = client.wait(job["id"], timeout=300)
+        assert final["state"] == "finished", final
+        assert sorted(final["run_ids"]) == EXPECTED_RUNS, final["run_ids"]
+        runs = client.runs()["default"]
+        assert sorted(r["run"] for r in runs) == EXPECTED_RUNS
+
+        for run_id in EXPECTED_RUNS:
+            answer = client.analysis(run_id, pipeline="metrics")
+            assert not answer.from_cache
+            assert answer.etag, "analysis response must carry an ETag"
+            expected = cli_analysis(root, run_id)
+            assert answer.result == expected, \
+                f"{run_id}: HTTP analysis differs from repro-trace"
+
+        again = client.analysis(EXPECTED_RUNS[0], pipeline="metrics")
+        assert again.from_cache, "second identical request must be a 304"
+        served_304s = client.metrics()["serve.analysis_304s"]["value"]
+        assert served_304s >= 1, "daemon never counted a 304"
+        print(f"analysis verified for {len(EXPECTED_RUNS)} runs "
+              f"(revalidation: {served_304s:.0f} x 304)")
+    finally:
+        stop_daemon(process)
+
+    # a fresh daemon on the same root serves the same state
+    process, url = start_daemon(root)
+    try:
+        client = ServeClient(url)
+        job = client.job(final["id"])
+        assert job["state"] == "finished"
+        answer = client.analysis(EXPECTED_RUNS[1], pipeline="metrics")
+        assert answer.result == cli_analysis(root, EXPECTED_RUNS[1])
+    finally:
+        stop_daemon(process)
+    print(f"serve smoke OK: {len(EXPECTED_RUNS)} runs served from {root}")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--duration", type=float, default=60.0,
+                        help="baseline window per grid point (seconds)")
+    parser.add_argument("--keep", type=Path, default=None, metavar="DIR",
+                        help="serve from DIR and keep the artifacts")
+    args = parser.parse_args()
+    if args.keep:
+        args.keep.mkdir(parents=True, exist_ok=True)
+        return run_smoke(args.duration, args.keep)
+    with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
+        return run_smoke(args.duration, Path(tmp))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,9 @@ def _run_sweep_cli(sink: Path, out_json: Path, duration: float,
     catalog = RunCatalog(sink)
     runs = catalog.runs()
     assert len(runs) == 4, f"expected 4 catalog runs, got {runs}"
+    # every result row names the catalog run it was stored under
+    assert sorted(r["run_id"] for r in results) == sorted(runs), \
+        "sweep results must stamp their catalog run ids"
     return catalog, runs
 
 
