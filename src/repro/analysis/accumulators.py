@@ -218,9 +218,11 @@ class TopK(Accumulator):
 class Log2Histogram(Accumulator):
     """Power-of-two bucket tallies of one column.
 
-    Buckets match :func:`repro.obs.bucket_of`: the binary exponent ``e``
-    with ``2**(e-1) <= v < 2**e``, sentinel ``-1024`` for zero and
-    ``-1025`` for negatives — so engine output diffs cleanly against
+    Buckets use the binary exponent ``e`` with ``2**(e-1) <= v < 2**e``,
+    sentinel ``-1024`` for zero and ``-1025`` for negatives (kept as
+    integers here — this is a versioned cached format; the obs layer
+    reports the same observations as an ``underflow`` bucket) — so
+    engine output diffs cleanly against
     runtime observability snapshots.
     """
 

@@ -15,6 +15,7 @@ from repro.config.scenario import (
     DiskConfig,
     DriveCacheConfig,
     DriverConfig,
+    EngineConfig,
     ExperimentConfig,
     LayoutConfig,
     NetworkConfig,
@@ -44,6 +45,7 @@ __all__ = [
     "DiskConfig",
     "DriveCacheConfig",
     "DriverConfig",
+    "EngineConfig",
     "ExperimentConfig",
     "GRID_ALIASES",
     "LayoutConfig",

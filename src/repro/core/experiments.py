@@ -298,7 +298,8 @@ class ExperimentRunner:
             registry = self._recorder.registry
         self.last_obs = self._recorder
         self._wall_start = perf_counter()
-        sim = Simulator(obs=registry)
+        sim = Simulator(obs=registry,
+                        queue=self.scenario.engine.event_queue)
         cluster = BeowulfCluster(sim, scenario=self.scenario, obs=registry)
         #: the most recent cluster, kept for post-experiment inspection
         #: (filesystem checks, kernel statistics)

@@ -11,7 +11,7 @@ import numpy as np
 from repro.disk.request import IORequest
 from repro.disk.scheduler import CLookScheduler
 from repro.disk.service import DiskServiceModel
-from repro.sim import Event, Simulator
+from repro.sim import BatchedDraws, Event, Simulator
 
 
 class LatencyReservoir:
@@ -144,7 +144,11 @@ class Disk:
         self.sim = sim
         self.service = service or DiskServiceModel()
         self.scheduler = scheduler if scheduler is not None else CLookScheduler()
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # the device is this stream's only consumer, so batching the
+        # uniform draws (rotational latency + media-error check) keeps
+        # the value sequence identical while amortising generator calls
+        self.rng = BatchedDraws(
+            rng if rng is not None else np.random.default_rng(0))
         self.name = name
         self._obs: Optional[_DiskInstruments] = None
         if obs is not None and getattr(obs, "enabled", False):

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 #: Bytes per physical disk sector (universal for the drives of the era).
 SECTOR_BYTES = 512
 
@@ -92,6 +94,17 @@ class DiskGeometry:
         if not (0 <= cylinder < self.cylinders):
             raise ValueError(f"cylinder {cylinder} out of range")
         return self.sectors_per_track
+
+    def sectors_per_track_table(self) -> np.ndarray:
+        """Per-cylinder track capacity as a float64 lookup table.
+
+        One call replaces ``cylinders`` calls to
+        :meth:`sectors_per_track_at` when a service model precomputes its
+        zoned-transfer table; entries are elementwise identical to the
+        scalar method (small integers convert to float64 exactly).
+        """
+        return np.array([self.sectors_per_track_at(c)
+                         for c in range(self.cylinders)], dtype=np.float64)
 
 
 @dataclass(frozen=True)

@@ -24,6 +24,7 @@ from repro.obs.registry import (
     NullRegistry,
     NULL_REGISTRY,
     Span,
+    UNDERFLOW,
     bucket_edge,
     bucket_of,
 )
@@ -44,6 +45,7 @@ __all__ = [
     "NullRegistry",
     "ObsRecorder",
     "Span",
+    "UNDERFLOW",
     "bucket_edge",
     "bucket_of",
     "compare_snapshots",

@@ -105,10 +105,11 @@ class Histogram:
     """Distribution sketch over fixed power-of-two buckets.
 
     ``observe(v)`` tallies ``v`` into the bucket ``[2**(e-1), 2**e)`` (the
-    binary exponent from :func:`math.frexp`), with dedicated buckets for
-    zero and negative values.  Log2 buckets need no a-priori range and
-    line up exactly across runs — the property that makes snapshots
-    diffable as regression guards.
+    binary exponent from :func:`math.frexp`); zero and negative values go
+    to a single explicit ``underflow`` bucket (they have no binary
+    exponent).  Log2 buckets need no a-priori range and line up exactly
+    across runs — the property that makes snapshots diffable as
+    regression guards.
 
     The hot path is deliberately an append: observations buffer raw in
     :attr:`raw` (``observe`` *is* ``raw.append`` after the first lookup)
@@ -117,8 +118,8 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "help", "raw", "observe",
-                 "_count", "_sum", "_min", "_max", "_buckets", "_children")
+    __slots__ = ("name", "help", "raw", "observe", "_count", "_sum",
+                 "_min", "_max", "_buckets", "_underflow", "_children")
 
     def __init__(self, name: str, help: str = ""):
         self.name = name
@@ -131,8 +132,10 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = -math.inf
-        #: binary exponent -> observation count (sparse)
+        #: binary exponent -> observation count (sparse, positive values)
         self._buckets: Dict[int, int] = {}
+        #: observations <= 0 (no binary exponent to bucket them under)
+        self._underflow = 0
         self._children: Optional[Dict[str, "Histogram"]] = None
 
     def _fold(self) -> None:
@@ -148,14 +151,15 @@ class Histogram:
         self._sum += float(sum(values))
         buckets = self._buckets
         frexp = _frexp
+        underflow = 0
         for value in values:
             if value > 0:
                 key = frexp(value)[1]
-            elif value == 0:
-                key = -1024
+                buckets[key] = buckets.get(key, 0) + 1
             else:
-                key = -1025
-            buckets[key] = buckets.get(key, 0) + 1
+                underflow += 1
+        if underflow:
+            self._underflow += underflow
 
     @property
     def count(self) -> int:
@@ -179,8 +183,15 @@ class Histogram:
 
     @property
     def buckets(self) -> Dict[int, int]:
+        """Positive-value tallies only; see :attr:`underflow` for v <= 0."""
         self._fold()
         return self._buckets
+
+    @property
+    def underflow(self) -> int:
+        """Observations that were zero or negative."""
+        self._fold()
+        return self._underflow
 
     @property
     def mean(self) -> float:
@@ -203,8 +214,12 @@ class Histogram:
         if self._count:
             out["min"] = _num(self._min)
             out["max"] = _num(self._max)
-            out["buckets"] = {str(k): v
-                              for k, v in sorted(self._buckets.items())}
+            buckets: dict = {}
+            if self._underflow:
+                buckets[UNDERFLOW] = self._underflow
+            buckets.update((str(k), v)
+                           for k, v in sorted(self._buckets.items()))
+            out["buckets"] = buckets
         return out
 
     def snapshot(self) -> dict:
@@ -224,22 +239,29 @@ class Histogram:
                 f"mean={self.mean:.6g}>")
 
 
-def bucket_of(value: float) -> int:
+#: bucket key for observations with no binary exponent (v <= 0)
+UNDERFLOW = "underflow"
+
+
+def bucket_of(value: float):
     """Bucket key: binary exponent ``e`` with ``2**(e-1) <= v < 2**e``.
 
-    Zero maps to the sentinel bucket ``-1024``, negatives to ``-1025``
-    (both far below any exponent ``frexp`` produces for positive data).
+    Zero and negative values map to the explicit :data:`UNDERFLOW`
+    bucket (they have no binary exponent; the historical ``-1024`` /
+    ``-1025`` integer sentinels leaked raw into snapshots and renders).
     """
-    if value == 0:
-        return -1024
-    if value < 0:
-        return -1025
+    if value <= 0:
+        return UNDERFLOW
     return math.frexp(value)[1]
 
 
-def bucket_edge(key: int) -> float:
-    """Inclusive upper edge of a bucket (``0`` for the zero bucket)."""
-    if key == -1024:
+def bucket_edge(key) -> float:
+    """Inclusive upper edge of a bucket (``0`` for the underflow bucket).
+
+    The pre-underflow integer sentinels are still accepted so old
+    persisted snapshots keep rendering.
+    """
+    if key == UNDERFLOW or key == -1024:
         return 0.0
     if key == -1025:
         return -math.inf

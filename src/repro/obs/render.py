@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 #: histogram sub-rows surfaced in flat views, in display order
-_HIST_FIELDS = ("count", "mean", "max")
+_HIST_FIELDS = ("count", "mean", "max", "underflow")
 
 
 def _hist_rows(name: str, value: dict) -> Dict[str, float]:
@@ -22,6 +22,13 @@ def _hist_rows(name: str, value: dict) -> Dict[str, float]:
     if count:
         rows[f"{name}.mean"] = total / count
         rows[f"{name}.max"] = value.get("max", 0)
+        buckets = value.get("buckets") or {}
+        # "-1024"/"-1025" were the pre-underflow sentinel keys; folding
+        # them in keeps old persisted snapshots comparable to new ones
+        underflow = (buckets.get("underflow", 0)
+                     + buckets.get("-1024", 0) + buckets.get("-1025", 0))
+        if underflow:
+            rows[f"{name}.underflow"] = underflow
     return rows
 
 

@@ -21,6 +21,8 @@ Quick example::
 """
 
 from repro.sim.core import (
+    EVENT_QUEUES,
+    QUEUE_KINDS,
     Event,
     Interrupt,
     Process,
@@ -28,16 +30,21 @@ from repro.sim.core import (
     Simulator,
     Timeout,
 )
+from repro.sim.calqueue import CalendarSimulator
 from repro.sim.conditions import AllOf, AnyOf
 from repro.sim.resources import Resource, Store
-from repro.sim.rng import RandomStreams
+from repro.sim.rng import BatchedDraws, RandomStreams
 
 __all__ = [
     "AllOf",
     "AnyOf",
+    "BatchedDraws",
+    "CalendarSimulator",
+    "EVENT_QUEUES",
     "Event",
     "Interrupt",
     "Process",
+    "QUEUE_KINDS",
     "RandomStreams",
     "Resource",
     "SimulationError",

@@ -1,10 +1,24 @@
 """Simulator, events, and generator-based processes.
 
-The engine is a classic event-heap design: :class:`Simulator` owns a binary
-heap of ``(time, priority, seq, event)`` tuples and pops them in order.  An
-:class:`Event` carries callbacks; a :class:`Process` wraps a generator and is
-itself an event that fires when the generator returns, so processes compose
-(one process can ``yield`` another and sleep until it finishes).
+The engine schedules ``(time, priority, seq, event)`` keys and fires them
+in that total order.  Two event-queue implementations sit behind the same
+``_enqueue``/``step``/``run`` API:
+
+* ``"calendar"`` (the default) — a bucketed calendar queue
+  (:class:`~repro.sim.calqueue.CalendarSimulator`) with O(1) amortised
+  enqueue/dequeue and a batch-sorted drain loop;
+* ``"heap"`` — the classic binary heap in this module, kept as the
+  reference fallback.
+
+Both produce *identical* event orderings (property-tested), so the choice
+only affects speed.  ``Simulator(queue="heap")`` selects explicitly;
+experiment drivers thread the choice through
+``Scenario.engine.event_queue``.
+
+An :class:`Event` carries callbacks; a :class:`Process` wraps a generator
+and is itself an event that fires when the generator returns, so
+processes compose (one process can ``yield`` another and sleep until it
+finishes).
 """
 
 from __future__ import annotations
@@ -19,6 +33,12 @@ from typing import Any, Callable, Generator, Iterable, Optional
 # scheduled at that time runs.
 URGENT = 0
 NORMAL = 1
+
+#: selectable event-queue engines, best first (``Simulator(queue=...)``)
+QUEUE_KINDS = ("calendar", "heap")
+
+#: engine name -> Simulator subclass; ``calqueue`` registers on import
+EVENT_QUEUES: dict = {}
 
 
 class SimulationError(RuntimeError):
@@ -237,17 +257,41 @@ class _SimInstruments:
 
 
 class Simulator:
-    """The event loop: owns simulated time and the event heap.
+    """The event loop: owns simulated time and the event queue.
+
+    ``Simulator(queue=...)`` picks the queue engine from
+    :data:`QUEUE_KINDS`: the default ``"calendar"`` resolves to
+    :class:`~repro.sim.calqueue.CalendarSimulator`; ``"heap"`` keeps the
+    binary-heap engine implemented here.  Both fire events in the
+    identical ``(time, priority, seq)`` total order.
 
     ``obs`` takes a :class:`~repro.obs.registry.MetricsRegistry`; when
-    given (and enabled) the loop counts events, samples heap depth, and
+    given (and enabled) the loop counts events, samples queue depth, and
     tracks wall time per simulated second.  The default is no
     instrumentation: the hot path then pays a single ``is None`` test.
     """
 
-    def __init__(self, fail_fast: bool = True, obs=None):
+    #: which engine this class implements (subclasses override)
+    queue_kind = "heap"
+
+    def __new__(cls, fail_fast: bool = True, obs=None,
+                queue: Optional[str] = None):
+        if cls is Simulator:
+            kind = queue if queue is not None else QUEUE_KINDS[0]
+            if kind != "heap":
+                engine = EVENT_QUEUES.get(kind)
+                if engine is None and kind == "calendar":
+                    from repro.sim import calqueue  # noqa: F401 (registers)
+                    engine = EVENT_QUEUES.get(kind)
+                if engine is None:
+                    raise ValueError(f"unknown event queue {kind!r}; "
+                                     f"choose from {QUEUE_KINDS}")
+                cls = engine
+        return object.__new__(cls)
+
+    def __init__(self, fail_fast: bool = True, obs=None,
+                 queue: Optional[str] = None):
         self.now: float = 0.0
-        self._heap: list = []
         self._seq = 0
         self._active_process: Optional[Process] = None
         # fail_fast=True propagates uncaught process exceptions out of run(),
@@ -256,6 +300,11 @@ class Simulator:
         self._instr: Optional[_SimInstruments] = None
         if obs is not None and getattr(obs, "enabled", False):
             self._instr = _SimInstruments(obs)
+        self._init_queue()
+
+    def _init_queue(self) -> None:
+        """Build the engine's queue state (subclasses override)."""
+        self._heap: list = []
 
     # -- construction helpers -------------------------------------------------
     def event(self) -> Event:
@@ -296,8 +345,11 @@ class Simulator:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        time, _prio, _seq, event = heapq.heappop(self._heap)
+        """Process exactly one event (error if nothing is queued)."""
+        heap = self._heap
+        if not heap:
+            raise SimulationError("empty event queue")
+        time, _prio, _seq, event = heapq.heappop(heap)
         if time < self.now:  # pragma: no cover - heap guarantees order
             raise SimulationError("time went backwards")
         self.now = time
@@ -383,3 +435,6 @@ class Simulator:
             gauge.value = len(heap)
             if depth_max > gauge.max:
                 gauge.max = depth_max
+
+
+EVENT_QUEUES["heap"] = Simulator

@@ -44,3 +44,38 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RandomStreams(seed={self.seed})"
+
+
+class BatchedDraws:
+    """Amortise per-draw RNG overhead by prefetching uniform blocks.
+
+    ``gen.random()`` costs a full Generator round-trip per call;
+    ``gen.random(n)`` costs nearly the same once for ``n`` values.  This
+    wrapper prefetches blocks and hands them out one at a time, producing
+    the **exact same value sequence** as repeated scalar calls on the
+    same generator (NumPy fills batch output from the identical
+    bit-stream — property-tested in ``tests/test_sim_calendar.py``).
+
+    Only safe to wrap a stream with a *single* consumer: interleaving a
+    wrapped and an unwrapped handle to the same generator would let the
+    prefetch reorder draws.  The disk's rotational-latency stream is such
+    a single-consumer stream.
+    """
+
+    __slots__ = ("_gen", "_block", "_buf", "_i")
+
+    def __init__(self, gen: np.random.Generator, block: int = 256):
+        self._gen = gen
+        self._block = int(block)
+        self._buf = gen.random(self._block)
+        self._i = 0
+
+    def random(self) -> float:
+        """Next uniform in [0, 1) — identical to ``gen.random()``."""
+        i = self._i
+        buf = self._buf
+        if i >= self._block:
+            buf = self._buf = self._gen.random(self._block)
+            i = 0
+        self._i = i + 1
+        return buf[i]

@@ -74,3 +74,30 @@ def test_both_constructions_resolve_to_same_scenario(legacy_runner,
     assert legacy_runner.scenario == scenario_runner.scenario
     assert legacy_runner.scenario.fingerprint() == \
         scenario_runner.scenario.fingerprint()
+
+
+@pytest.mark.parametrize("name", ["baseline", "ppm"])
+def test_heap_and_calendar_engines_bit_identical(name):
+    # the queue swap must be invisible end to end: identical event order
+    # means an identical request trace (every record, byte for byte),
+    # identical duration, and therefore identical Table-1 metrics
+    import numpy as np
+
+    results = {}
+    for kind in ("heap", "calendar"):
+        scenario = golden_scenario().with_overrides(
+            {"engine.event_queue": kind})
+        results[kind] = ExperimentRunner(scenario=scenario).run(name)
+    heap, calendar = results["heap"], results["calendar"]
+    assert np.array_equal(heap.trace.records, calendar.trace.records)
+    assert heap.duration == calendar.duration
+    _assert_golden(calendar.metrics, name)
+
+
+def test_engine_choice_does_not_change_fingerprint():
+    # engines are interchangeable by construction, so cached analyses
+    # keyed by fingerprint survive an engine switch
+    base = golden_scenario()
+    heap = base.with_overrides({"engine.event_queue": "heap"})
+    assert heap.fingerprint() == base.fingerprint()
+    assert heap != base   # ...but the scenario itself records the choice

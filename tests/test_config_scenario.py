@@ -175,3 +175,29 @@ def test_registries_expose_builtins():
     assert set(SCHEDULERS.names()) >= {"clook", "fifo", "scan", "sstf"}
     assert set(DRIVE_CACHES.names()) >= {"segmented", "none"}
     assert isinstance(SCHEDULERS.create("fifo"), FIFOScheduler)
+
+
+# -- engine selection ---------------------------------------------------------
+def test_engine_defaults_to_calendar_and_round_trips():
+    scenario = Scenario().validate()
+    assert scenario.engine.event_queue == "calendar"
+    heap = scenario.with_override("engine.event_queue", "heap")
+    assert heap.engine.event_queue == "heap"
+    assert Scenario.from_dict(heap.to_dict()) == heap
+    assert Scenario.from_toml(heap.to_toml()) == heap
+
+
+def test_unknown_event_queue_names_exact_path():
+    with pytest.raises(ConfigError) as err:
+        Scenario().with_override("engine.event_queue",
+                                 "splaytree").validate()
+    assert err.value.path == "scenario.engine.event_queue"
+    assert "splaytree" in str(err.value)
+    assert "heap" in str(err.value)   # the menu is listed
+
+
+def test_event_queue_sweep_alias_resolves():
+    from repro.config import GRID_ALIASES, parse_axis_spec
+    axis = parse_axis_spec("event_queue=calendar,heap")
+    assert axis.path == GRID_ALIASES["event_queue"] == "engine.event_queue"
+    assert axis.values == ("calendar", "heap")

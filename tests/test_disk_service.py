@@ -51,6 +51,28 @@ def test_average_random_seek_near_nominal(model):
     assert 0.008 < model.average_random_seek() < 0.025
 
 
+def test_average_random_seek_matches_monte_carlo(model):
+    # The closed form is E[seek(|X - Y|)] for X, Y uniform over the
+    # cylinders — E[sqrt(d)] = (8/15) sqrt(C) and E[d] = C/3, *not*
+    # seek(E[d]) (the Jensen-biased version reads ~3.8% high).
+    rng = np.random.default_rng(5)
+    c = model.geometry.cylinders
+    d = np.abs(rng.integers(0, c, 200_000) - rng.integers(0, c, 200_000))
+    empirical = np.where(
+        d == 0, 0.0,
+        model.seek_settle + model.seek_sqrt_coeff * np.sqrt(d)
+        + model.seek_linear_coeff * d).mean()
+    assert model.average_random_seek() == pytest.approx(empirical, rel=0.005)
+
+
+def test_average_random_seek_below_jensen_biased_value(model):
+    # sqrt is concave, so the true mean sits strictly below seek(E[d]).
+    c = model.geometry.cylinders
+    biased = (model.seek_settle + model.seek_sqrt_coeff * np.sqrt(c / 3.0)
+              + model.seek_linear_coeff * (c / 3.0))
+    assert model.average_random_seek() < biased
+
+
 def test_service_time_includes_all_components(model):
     rng = np.random.default_rng(1)
     req = IORequest(sector=500_000, nsectors=2, is_write=False)
@@ -74,3 +96,44 @@ def test_rotational_latency_bounded(model):
 def test_seek_time_nonnegative_property(a, b):
     model = DiskServiceModel()
     assert model.seek_time(a, b) >= 0.0
+
+
+# -- precomputed tables vs the scalar formulas --------------------------------
+def test_seek_table_matches_scalar_formula(model):
+    import math
+    for d in range(model.geometry.cylinders):
+        expected = 0.0 if d == 0 else (
+            model.seek_settle + model.seek_sqrt_coeff * math.sqrt(d)
+            + model.seek_linear_coeff * d)
+        assert model.tables.seek[d] == expected
+
+
+def test_transfer_table_matches_zone_rates(model):
+    geo = model.geometry
+    for cyl in (0, geo.cylinders // 2, geo.cylinders - 1):
+        rate = geo.sectors_per_track_at(cyl) * 512 / model.rotation_time
+        assert model.transfer_time_at(8, cyl) == 8 * 512 / rate
+
+
+def test_service_time_bitwise_equals_scalar_path(model):
+    # The hot path (table lookups) must reproduce the per-request math
+    # bit for bit — this is what keeps the golden runs byte-identical.
+    import math
+    rng = np.random.default_rng(11)
+    draws = np.random.default_rng(11)
+    geo = model.geometry
+    sectors = np.random.default_rng(3).integers(
+        0, geo.total_sectors - 8, size=500)
+    for sector in sectors.tolist():
+        req = IORequest(sector=sector, nsectors=8, is_write=False)
+        head = sector % geo.cylinders
+        target = sector // geo.sectors_per_cylinder
+        d = abs(target - head)
+        seek = 0.0 if d == 0 else (
+            model.seek_settle + model.seek_sqrt_coeff * math.sqrt(d)
+            + model.seek_linear_coeff * d)
+        rate = geo.sectors_per_track_at(target) * 512 / model.rotation_time
+        expected = (model.controller_overhead + seek
+                    + float(draws.random()) * model.rotation_time
+                    + req.nsectors * 512 / rate)
+        assert model.service_time(req, head, rng) == expected

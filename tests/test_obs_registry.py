@@ -86,8 +86,31 @@ def test_histogram_log2_buckets():
     assert h.buckets[1] == 2
     assert h.buckets[2] == 1
     assert h.buckets[3] == 1
-    assert h.buckets[-1024] == 1   # zero sentinel
-    assert h.buckets[-1025] == 1   # negative sentinel
+    # zero and negative observations go to the explicit underflow
+    # bucket, not to nonsense exponent keys
+    assert h.underflow == 2
+    assert -1024 not in h.buckets and -1025 not in h.buckets
+
+
+def test_histogram_underflow_in_snapshot_and_render():
+    h = Histogram("gap")
+    for v in (0.0, -1.5, 2.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["value"]["buckets"] == {"underflow": 2, "2": 1}
+    from repro.obs import flatten_snapshot
+    flat = flatten_snapshot({"gap": snap})
+    assert flat["gap.underflow"] == 2
+    assert flat["gap.count"] == 3
+
+
+def test_bucket_of_routes_nonpositive_to_underflow():
+    assert bucket_of(0.0) == "underflow"
+    assert bucket_of(-3.0) == "underflow"
+    assert bucket_edge("underflow") == 0.0
+    # legacy integer sentinels from old persisted snapshots still decode
+    assert bucket_edge(-1024) == 0.0
+    assert bucket_edge(-1025) == float("-inf")
 
 
 def test_bucket_of_brackets_every_positive_value():

@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Benchmark the DES core and disk hot paths against a committed baseline.
+
+Three measurements make up the core perf trajectory (``BENCH_core.json``):
+
+* **run_loop** — raw events/sec of ``Simulator.run()`` draining a large
+  pending population (an event storm: N timeouts with uniform-random
+  delays, steady state after a short ``step()`` warm-up), measured for
+  the heap engine (the pre-PR pop-per-event loop, kept verbatim as the
+  reference) and the calendar-queue engine.  The headline number is the
+  calendar/heap *speedup*.
+* **experiment** — wall time and requests/sec of the baseline experiment
+  (``nnodes=2, seed=1``) under both engines; end-to-end sanity that the
+  queue swap helps real runs, not just storms.
+* **service_time** — per-call cost of ``DiskServiceModel.service_time``
+  (the precomputed-table path) versus a scalar reference that redoes the
+  pre-PR per-request ``sqrt``/zone math, as p50/p95 nanoseconds over
+  timed batches.
+
+Absolute numbers are machine-bound, so the CI gate compares *speedups*
+(calendar/heap, table/scalar) — ratios of two measurements taken on the
+same machine moments apart — against the committed ones and fails on a
+>15% regression, the same shape as the obs-overhead gate.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_core.py                 # measure only
+    PYTHONPATH=src python tools/bench_core.py --update        # refresh JSON
+    PYTHONPATH=src python tools/bench_core.py --check BENCH_core.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.config import Scenario
+from repro.core.experiments import ExperimentRunner
+from repro.disk import DiskServiceModel, IORequest
+from repro.sim import Simulator
+
+#: gate keys: (json path, human label) of every gated speedup
+GATED = (
+    (("run_loop", "speedup"), "run-loop events/sec (calendar vs heap)"),
+    (("service_time", "speedup_p50"), "service-time p50 (table vs scalar)"),
+)
+
+
+# -- run loop -----------------------------------------------------------------
+def _drain_rate(kind: str, delays: list, warmup: int) -> float:
+    """Events/sec of ``run()`` draining ``delays`` after ``warmup`` steps."""
+    sim = Simulator(queue=kind)
+    for d in delays:
+        sim.timeout(d)
+    for _ in range(warmup):
+        sim.step()
+    n = len(delays) - warmup
+    t0 = perf_counter()
+    sim.run()
+    return n / (perf_counter() - t0)
+
+
+def bench_run_loop(npending: int = 500_000, repeats: int = 3,
+                   warmup: int = 2_000, seed: int = 7) -> dict:
+    """Best-of-N steady-state drain rate for both engines, interleaved."""
+    rng = np.random.default_rng(seed)
+    delays = (rng.random(npending) * 1000.0).tolist()
+    rates = {"heap": 0.0, "calendar": 0.0}
+    for _ in range(repeats):
+        for kind in rates:
+            rates[kind] = max(rates[kind], _drain_rate(kind, delays, warmup))
+    return {"npending": npending,
+            "heap_events_per_s": rates["heap"],
+            "calendar_events_per_s": rates["calendar"],
+            "speedup": rates["calendar"] / rates["heap"]}
+
+
+# -- baseline experiment ------------------------------------------------------
+def _experiment_wall(kind: str, nnodes: int, seed: int) -> tuple:
+    scenario = Scenario().with_overrides({"engine.event_queue": kind})
+    runner = ExperimentRunner(nnodes=nnodes, seed=seed, scenario=scenario)
+    t0 = perf_counter()
+    result = runner.run("baseline")
+    return perf_counter() - t0, result.metrics.total_requests
+
+
+def bench_experiment(nnodes: int = 2, seed: int = 1,
+                     repeats: int = 3) -> dict:
+    """Best-of-N baseline-experiment wall time under both engines."""
+    _experiment_wall("calendar", nnodes, seed)   # warm importers/caches
+    walls = {"heap": float("inf"), "calendar": float("inf")}
+    requests = 0
+    for _ in range(repeats):
+        for kind in walls:
+            wall, requests = _experiment_wall(kind, nnodes, seed)
+            walls[kind] = min(walls[kind], wall)
+    return {"name": "baseline", "nnodes": nnodes, "seed": seed,
+            "total_requests": requests,
+            "heap_wall_s": walls["heap"],
+            "calendar_wall_s": walls["calendar"],
+            "heap_requests_per_s": requests / walls["heap"],
+            "calendar_requests_per_s": requests / walls["calendar"],
+            "speedup": walls["heap"] / walls["calendar"]}
+
+
+# -- disk service-time compute cost -------------------------------------------
+def _scalar_service_time(model: DiskServiceModel, request: IORequest,
+                         head: int, rng) -> float:
+    """The pre-PR per-request math: sqrt seek + per-call zone lookup."""
+    geo = model.geometry
+    target = request.sector // geo.sectors_per_cylinder
+    d = abs(target - head)
+    seek = 0.0 if d == 0 else (model.seek_settle
+                               + model.seek_sqrt_coeff * math.sqrt(d)
+                               + model.seek_linear_coeff * d)
+    rate = geo.sectors_per_track_at(target) * 512 / model.rotation_time
+    return (model.controller_overhead + seek
+            + float(rng.random()) * model.rotation_time
+            + request.nsectors * 512 / rate)
+
+
+def bench_service_time(nbatches: int = 300, batch: int = 100,
+                       seed: int = 3) -> dict:
+    """p50/p95 per-call nanoseconds: table path vs scalar reference.
+
+    Per-call timer overhead would swamp a ~1 us call, so calls are timed
+    in batches of ``batch`` and the percentiles taken over batch means;
+    both variants run the same request stream.
+    """
+    model = DiskServiceModel()
+    geo = model.geometry
+    rng = np.random.default_rng(seed)
+    sectors = rng.integers(0, geo.total_sectors - 8, size=batch)
+    requests = [IORequest(sector=int(s), nsectors=8, is_write=False)
+                for s in sectors]
+    heads = rng.integers(0, geo.cylinders, size=batch).tolist()
+    model.service_time(requests[0], heads[0], rng)   # build the tables
+
+    def _percentiles(fn) -> dict:
+        draws = np.random.default_rng(seed)
+        samples = []
+        for _ in range(nbatches):
+            t0 = perf_counter()
+            for request, head in zip(requests, heads):
+                fn(model, request, head, draws)
+            samples.append((perf_counter() - t0) / batch * 1e9)
+        arr = np.asarray(samples)
+        return {"p50": float(np.percentile(arr, 50)),
+                "p95": float(np.percentile(arr, 95))}
+
+    table = _percentiles(DiskServiceModel.service_time)
+    scalar = _percentiles(_scalar_service_time)
+    return {"calls_per_batch": batch, "batches": nbatches,
+            "table_ns": table, "scalar_ns": scalar,
+            "speedup_p50": scalar["p50"] / table["p50"],
+            "speedup_p95": scalar["p95"] / table["p95"]}
+
+
+# -- harness ------------------------------------------------------------------
+def measure(npending: int = 500_000, repeats: int = 3) -> dict:
+    return {"schema": 1,
+            "run_loop": bench_run_loop(npending=npending, repeats=repeats),
+            "experiment": bench_experiment(repeats=repeats),
+            "service_time": bench_service_time()}
+
+
+def _get(result: dict, path: tuple) -> float:
+    for key in path:
+        result = result[key]
+    return float(result)
+
+
+def render(result: dict) -> str:
+    run = result["run_loop"]
+    exp = result["experiment"]
+    svc = result["service_time"]
+    return "\n".join([
+        f"run loop   heap {run['heap_events_per_s'] / 1e6:6.3f} M ev/s   "
+        f"calendar {run['calendar_events_per_s'] / 1e6:6.3f} M ev/s   "
+        f"speedup {run['speedup']:5.2f}x",
+        f"experiment heap {exp['heap_wall_s'] * 1e3:8.1f} ms   "
+        f"calendar {exp['calendar_wall_s'] * 1e3:8.1f} ms   "
+        f"({exp['calendar_requests_per_s']:,.0f} req/s)   "
+        f"speedup {exp['speedup']:5.2f}x",
+        f"service    scalar p50 {svc['scalar_ns']['p50']:7.0f} ns   "
+        f"table p50 {svc['table_ns']['p50']:7.0f} ns   "
+        f"speedup {svc['speedup_p50']:5.2f}x "
+        f"(p95 {svc['speedup_p95']:.2f}x)",
+    ])
+
+
+def check(result: dict, baseline: dict, tolerance: float) -> int:
+    """Fail (rc 1) when any gated speedup regressed past ``tolerance``."""
+    rc = 0
+    for path, label in GATED:
+        committed = _get(baseline, path)
+        measured = _get(result, path)
+        floor = committed * (1.0 - tolerance)
+        verdict = "ok" if measured >= floor else "FAIL"
+        print(f"{verdict:>4}  {label}: measured {measured:.2f}x vs "
+              f"committed {committed:.2f}x (floor {floor:.2f}x)")
+        if measured < floor:
+            rc = 1
+    return rc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="DES core / disk hot-path benchmark")
+    parser.add_argument("--update", nargs="?", const="BENCH_core.json",
+                        metavar="PATH",
+                        help="write results to PATH (default BENCH_core.json)")
+    parser.add_argument("--check", metavar="PATH",
+                        help="compare against the committed baseline at PATH")
+    parser.add_argument("--npending", type=int, default=500_000,
+                        help="event-storm population for the run-loop bench")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of N runs per variant")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional speedup regression")
+    args = parser.parse_args(argv)
+
+    result = measure(npending=args.npending, repeats=args.repeats)
+    print(render(result))
+    if args.update:
+        Path(args.update).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"wrote {args.update}")
+    if args.check:
+        baseline = json.loads(Path(args.check).read_text())
+        return check(result, baseline, args.tolerance)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
