@@ -27,4 +27,10 @@ Subpackages (bottom-up):
 Start with ``repro.core.ExperimentRunner`` or ``examples/quickstart.py``.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+#: the top-level package deliberately exports nothing but its version —
+#: every public symbol lives in a subpackage (``repro.core``,
+#: ``repro.config``, ``repro.serve``, ...); tests/test_public_api.py
+#: snapshots this so the surface only changes on purpose
+__all__ = ["__version__"]

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import (Any, Callable, Dict, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 from repro.config.scenario import ConfigError, Scenario
 
@@ -145,19 +146,29 @@ class SweepResult:
                 "metrics": self.metrics}
 
 
-def _sweep_worker(args: tuple) -> Tuple[dict, Optional[str]]:
+def _sweep_worker(args: tuple
+                  ) -> Tuple[dict, Optional[str], Optional[float]]:
     """Run one grid point (top-level so it pickles across processes).
 
-    Returns the point's summary metrics plus the catalog run id it was
-    captured under (``None`` when no sink is set).
+    Returns the point's summary metrics, the catalog run id it was
+    captured under (``None`` when no sink is set), and the simulator's
+    achieved events/sec for the point (``None`` without ``obs``).
     """
-    scenario_dict, name, duration, sink = args
+    from time import perf_counter
+
+    scenario_dict, name, duration, sink, obs = args
     from repro.core.experiments import ExperimentRunner
     scenario = Scenario.from_dict(scenario_dict)
-    runner = ExperimentRunner(scenario=scenario, sink=sink)
+    runner = ExperimentRunner(scenario=scenario, sink=sink, obs=obs)
+    wall = perf_counter()
     result = runner.run(name, duration=duration)
+    wall = perf_counter() - wall
     run_dir = getattr(runner, "last_run_dir", None)
-    return result.metrics.to_dict(), run_dir.name if run_dir else None
+    eps = None
+    if obs:
+        from repro.obs.recorder import events_per_second
+        eps = events_per_second(result.obs, wall)
+    return result.metrics.to_dict(), run_dir.name if run_dir else None, eps
 
 
 def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
@@ -167,7 +178,9 @@ def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
               parallel: bool = True,
               sink: Optional[str] = None,
               node_overrides: Optional[
-                  Mapping[Any, Mapping[str, Any]]] = None
+                  Mapping[Any, Mapping[str, Any]]] = None,
+              obs: bool = False,
+              on_point: Optional[Callable[..., Any]] = None
               ) -> List[SweepResult]:
     """Run ``experiment`` at every grid point; returns one result each.
 
@@ -176,22 +189,42 @@ def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
     sequentially in-process — handy under profilers and in tests.
     ``node_overrides`` passes through to :func:`expand_grid` for
     heterogeneous (per-node) grids.
+
+    ``on_point(done, total, result, events_per_sec)`` fires in the
+    calling process as each grid point completes (in grid order), with
+    ``done`` counting completed points — this is what streams live
+    sweep progress out of ``repro.serve`` workers.  ``obs=True`` runs
+    every point with an :class:`~repro.obs.ObsRecorder` so the
+    callback's ``events_per_sec`` is real (results stay bit-identical;
+    the snapshot additionally lands in each point's run manifest).
     """
     points = expand_grid(base, axes, node_overrides=node_overrides)
-    jobs = [(p.scenario.to_dict(), experiment, duration, sink)
+    jobs = [(p.scenario.to_dict(), experiment, duration, sink, obs)
             for p in points]
+
+    results: List[SweepResult] = []
+
+    def collect(point: SweepPoint, raw: tuple) -> None:
+        metrics, run_id, eps = raw
+        result = SweepResult(label=point.label, overrides=point.overrides,
+                             fingerprint=point.scenario.fingerprint(),
+                             metrics=metrics, run_id=run_id)
+        results.append(result)
+        if on_point is not None:
+            on_point(len(results), len(points), result, eps)
+
     if parallel and len(points) > 1:
         import multiprocessing as mp
         ctx = mp.get_context("spawn")
         nworkers = min(workers or ctx.cpu_count(), len(jobs))
         with ctx.Pool(processes=nworkers) as pool:
-            raw = pool.map(_sweep_worker, jobs)
+            for point, raw in zip(points,
+                                  pool.imap(_sweep_worker, jobs)):
+                collect(point, raw)
     else:
-        raw = [_sweep_worker(job) for job in jobs]
-    return [SweepResult(label=p.label, overrides=p.overrides,
-                        fingerprint=p.scenario.fingerprint(),
-                        metrics=m, run_id=run_id)
-            for p, (m, run_id) in zip(points, raw)]
+        for point, job in zip(points, jobs):
+            collect(point, _sweep_worker(job))
+    return results
 
 
 # -- presentation -------------------------------------------------------------

@@ -119,11 +119,13 @@ class ExperimentResult:
                    obs=meta.get("obs"))
 
 
-def _warn_deprecated(old: str, new: str) -> None:
-    import warnings
-    warnings.warn(f"ExperimentRunner.{old}() is deprecated; "
-                  f"use ExperimentRunner.{new}", DeprecationWarning,
-                  stacklevel=3)
+#: entry points removed after their deprecation cycle -> replacement
+_REMOVED_RUNNERS = {
+    "run_baseline": 'run("baseline", duration=...)',
+    "run_single": "run(app_name)",
+    "run_combined": 'run("combined")',
+    "run_serial": 'run("serial")',
+}
 
 
 def _run_one_experiment(args) -> "ExperimentResult":
@@ -250,27 +252,15 @@ class ExperimentRunner:
             results = list(pool.map(_run_one_experiment, args))
         return dict(zip(names, results))
 
-    # -- deprecated entry points (use run(name) instead) --------------------
-    def run_baseline(self, duration: Optional[float] = None
-                     ) -> ExperimentResult:
-        """Deprecated: use ``run("baseline", duration=...)``."""
-        _warn_deprecated("run_baseline", 'run("baseline")')
-        return self.run("baseline", duration=duration)
-
-    def run_single(self, app_name: str) -> ExperimentResult:
-        """Deprecated: use ``run(app_name)``."""
-        _warn_deprecated("run_single", "run(app_name)")
-        return self.run(app_name)
-
-    def run_combined(self) -> ExperimentResult:
-        """Deprecated: use ``run("combined")``."""
-        _warn_deprecated("run_combined", 'run("combined")')
-        return self.run("combined")
-
-    def run_serial(self) -> ExperimentResult:
-        """Deprecated: use ``run("serial")``."""
-        _warn_deprecated("run_serial", 'run("serial")')
-        return self.run("serial")
+    def __getattr__(self, name: str):
+        # the PR-3 deprecation shims (run_baseline/run_single/
+        # run_combined/run_serial) are gone; point stragglers at run()
+        if name in _REMOVED_RUNNERS:
+            raise AttributeError(
+                f"ExperimentRunner.{name}() was removed; use "
+                f"ExperimentRunner.{_REMOVED_RUNNERS[name]}")
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
 
     # -- workload assembly ---------------------------------------------------
     def make_app(self, app_name: str, node) -> ESSApplication:

@@ -28,7 +28,11 @@ from repro.obs.registry import (
     bucket_edge,
     bucket_of,
 )
-from repro.obs.recorder import NULL_RECORDER, ObsRecorder
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    ObsRecorder,
+    events_per_second,
+)
 from repro.obs.render import (
     compare_snapshots,
     flatten_snapshot,
@@ -49,6 +53,7 @@ __all__ = [
     "bucket_edge",
     "bucket_of",
     "compare_snapshots",
+    "events_per_second",
     "flatten_snapshot",
     "render_snapshot_table",
 ]

@@ -6,24 +6,41 @@ and the cached :class:`AnalysisEngine`:
 
 * a **durable job store** (:class:`JobStore`): one JSON state file per
   job, atomic renames, simexpal-style lifecycle states
-  (``queued → running → finished/failed/cancelled``), crash-safe reload
-  on daemon restart;
-* a **worker pool** (:class:`WorkerPool`): spawn-based processes
-  executing submitted experiments and grid sweeps through the existing
-  :meth:`ExperimentRunner.run` / :func:`run_sweep` fan-out into
-  multi-tenant catalog roots;
+  (``queued → running → finished/failed/cancelled/blocked``),
+  crash-safe reload on daemon restart;
+* a **DAG scheduler** over a **worker pool** (:class:`WorkerPool`):
+  spawn-based processes executing submitted experiments and grid
+  sweeps — highest ``priority`` first, jobs held until their
+  ``depends_on`` dependencies finish, dependents of a failed job
+  settled to ``blocked``;
+* **live progress**: workers append ``started``/``point``/terminal
+  events (with achieved events/sec) to a per-job :class:`EventLog`,
+  streamed by the API as Server-Sent Events and by
+  :meth:`ServeClient.events`;
+* **tenants** (:class:`Tenants`): a ``tenants.toml`` mapping bearer
+  tokens to tenants with queued/running/disk quotas, enforced at
+  ``POST /v1/jobs`` (401/403/429) and in the scheduler;
 * an **HTTP/JSON API** (:class:`ExperimentService`): submit and track
   jobs, browse catalogs, and answer analysis queries from the
   signature-guarded ``analysis.json`` cache with ETag/304 revalidation
   — no re-simulation, ever;
-* a **client** (:class:`ServeClient`) and the ``repro-serve`` CLI.
+* a **client** (:class:`ServeClient`) raising the typed
+  :class:`ServeError` hierarchy, and the ``repro-serve`` CLI.
 
 Everything is stdlib-only (``http.server``, ``json``,
 ``multiprocessing``), matching the rest of the stack.
 """
 
 from repro.serve.api import ApiError, ExperimentService
-from repro.serve.client import AnalysisAnswer, ServeClient, ServeError
+from repro.serve.client import AnalysisAnswer, ServeClient
+from repro.serve.errors import (
+    AuthError,
+    DependencyCycle,
+    JobNotFound,
+    QuotaExceeded,
+    ServeError,
+)
+from repro.serve.events import EventLog
 from repro.serve.jobs import (
     ACTIVE_STATES,
     Job,
@@ -39,20 +56,28 @@ from repro.serve.pool import (
     catalog_root,
     execute_job,
 )
+from repro.serve.tenants import Tenant, Tenants
 
 __all__ = [
     "ACTIVE_STATES",
     "AnalysisAnswer",
     "ApiError",
+    "AuthError",
     "DEFAULT_CATALOG",
+    "DependencyCycle",
+    "EventLog",
     "ExperimentService",
     "Job",
     "JobError",
+    "JobNotFound",
     "JobStore",
+    "QuotaExceeded",
     "STATES",
     "ServeClient",
     "ServeError",
     "TERMINAL_STATES",
+    "Tenant",
+    "Tenants",
     "WorkerPool",
     "catalog_root",
     "execute_job",

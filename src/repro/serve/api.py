@@ -6,9 +6,10 @@ and cached :class:`AnalysisEngine`\\ s behind a small REST surface on a
 :class:`ThreadingHTTPServer`:
 
 ====================================  ========================================
-``POST /v1/jobs``                     submit an experiment or sweep job
+``POST /v1/jobs``                     submit a job (priority, depends_on)
 ``GET /v1/jobs``                      job table (``?state=``, ``?format=text``)
 ``GET /v1/jobs/{id}``                 one job's durable state
+``GET /v1/jobs/{id}/events``          live progress as Server-Sent Events
 ``POST /v1/jobs/{id}/cancel``         cancel a queued or running job
 ``GET /v1/runs``                      browse catalog runs (``?catalog=``)
 ``GET /v1/analysis/{run}/{pipeline}`` cached analysis query (ETag / 304)
@@ -23,6 +24,14 @@ signature (trace chunk CRCs + scenario fingerprint) plus the pipeline
 name/version and any pushdown predicates.  A repeat request with
 ``If-None-Match`` on an unchanged run is a ``304 Not Modified`` that
 touches only file headers.
+
+The events route is a plain-``ThreadingHTTPServer`` SSE stream: one
+``id:``/``event:``/``data:`` frame per progress event off the job's
+append-only event log, resumable via ``Last-Event-ID`` (or ``?after=``),
+closed when the job reaches a terminal state.  When a ``tenants.toml``
+exists in the service root, ``POST /v1/jobs`` authenticates
+``Authorization: Bearer`` tokens and enforces per-tenant quotas — see
+:mod:`repro.serve.tenants`.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 from urllib.parse import parse_qs, urlsplit
 
+from repro.serve.errors import ServeError
 from repro.serve.jobs import (
     ACTIVE_STATES,
     Job,
@@ -52,16 +62,20 @@ from repro.serve.pool import (
     WorkerPool,
     catalog_root,
 )
+from repro.serve.tenants import Tenants, directory_bytes
 
 SERVER_NAME = "repro-serve/1"
+#: filename in the service root that switches tenant enforcement on
+TENANTS_FILE = "tenants.toml"
 
 
 class ApiError(Exception):
-    """An error with an HTTP status attached."""
+    """An error with an HTTP status (and machine code) attached."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, code: str = "error"):
         super().__init__(message)
         self.status = status
+        self.code = code
 
 
 class ExperimentService:
@@ -74,7 +88,8 @@ class ExperimentService:
     """
 
     def __init__(self, root: Union[str, Path], host: str = "127.0.0.1",
-                 port: int = 0, workers: int = 2, obs=None):
+                 port: int = 0, workers: int = 2, obs=None,
+                 tenants: Optional[Union[str, Path, Tenants]] = None):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         (self.root / JOBS_DIR).mkdir(exist_ok=True)
@@ -83,9 +98,14 @@ class ExperimentService:
             from repro.obs import MetricsRegistry
             obs = MetricsRegistry()
         self.registry = obs
+        if isinstance(tenants, Tenants):
+            self.tenants = tenants
+        else:
+            self.tenants = Tenants.load(tenants or
+                                        self.root / TENANTS_FILE)
         self.store = JobStore(self.root / JOBS_DIR)
         self.pool = WorkerPool(self.root, self.store, workers=workers,
-                               obs=self.registry)
+                               obs=self.registry, tenants=self.tenants)
         self.started_at = time.time()
         self._engines: Dict[str, object] = {}
         self._engines_lock = threading.Lock()
@@ -146,8 +166,14 @@ class ExperimentService:
             if base.is_dir() else []
 
     # -- operations (HTTP-independent, reused by tests) -----------------------
-    def submit(self, payload: dict) -> Job:
-        """Validate a submission payload, persist it, queue it."""
+    def submit(self, payload: dict, tenant=None) -> Job:
+        """Validate a submission payload, persist it, queue it.
+
+        ``tenant`` is the authenticated :class:`~repro.serve.tenants.
+        Tenant` (or ``None`` on an open daemon): its catalog ownership
+        and queued/disk quotas gate the submission, and its name is
+        stamped on the job for the scheduler's ``max_running`` cap.
+        """
         if not isinstance(payload, dict):
             raise ApiError(400, "body must be a JSON object")
         from repro.config import ConfigError, Scenario
@@ -161,6 +187,10 @@ class ExperimentService:
             raise ApiError(400, f"unknown job kind {kind!r}")
         if kind == "sweep" and not grid:
             raise ApiError(400, "sweep jobs need at least one grid axis")
+        depends_on = payload.get("depends_on") or []
+        if not isinstance(depends_on, list) or \
+                not all(isinstance(d, str) for d in depends_on):
+            raise ApiError(400, "depends_on must be a list of job ids")
         scenario_data = payload.get("scenario")
         try:
             if isinstance(scenario_data, str):       # TOML text
@@ -169,7 +199,9 @@ class ExperimentService:
                 scenario = Scenario.from_dict(scenario_data)
             else:
                 scenario = Scenario()
-            catalog = str(payload.get("catalog") or DEFAULT_CATALOG)
+            default_catalog = tenant.default_catalog if tenant \
+                else DEFAULT_CATALOG
+            catalog = str(payload.get("catalog") or default_catalog)
             catalog_root(self.root, catalog)         # validates the name
             experiment = str(payload.get("experiment") or "baseline")
             from repro.core.experiments import EXPERIMENTS
@@ -179,6 +211,7 @@ class ExperimentService:
             duration = payload.get("duration")
             if duration is not None:
                 duration = float(duration)
+            priority = int(payload.get("priority") or 0)
             if kind == "sweep":
                 from repro.config import parse_axis_spec, expand_grid
                 expand_grid(scenario,
@@ -189,6 +222,7 @@ class ExperimentService:
             raise ApiError(400, str(exc)) from exc
         except (TypeError, ValueError) as exc:
             raise ApiError(400, str(exc)) from exc
+        self._authorize_submit(tenant, catalog)
         spec = {"scenario": scenario.to_dict(),
                 "experiment": experiment,
                 "duration": duration,
@@ -198,18 +232,48 @@ class ExperimentService:
             spec["parallel"] = bool(payload.get("parallel", False))
             if payload.get("workers") is not None:
                 spec["workers"] = int(payload["workers"])
-        job = self.store.create(kind, spec)
+        try:
+            job = self.store.create(
+                kind, spec, priority=priority, depends_on=depends_on,
+                tenant=tenant.name if tenant else None)
+        except JobError as exc:      # unknown dependency id
+            raise ApiError(400, str(exc)) from exc
+        self.store.events(job.id).append(
+            "queued", job=job.id, kind=kind, priority=priority,
+            depends_on=list(depends_on))
         self.pool.submit(job.id)
         self.registry.counter("serve.jobs_submitted").child(kind).inc()
+        if tenant is not None:
+            self.registry.counter("serve.tenant.jobs_submitted") \
+                .child(tenant.name).inc()
         return job
+
+    def _authorize_submit(self, tenant, catalog: str) -> None:
+        """Enforce the tenant's catalog ownership and quotas (403/429)."""
+        if tenant is None:
+            return
+        queued = sum(1 for job in self.store.jobs("queued")
+                     if job.tenant == tenant.name)
+        usage = directory_bytes(catalog_root(self.root, catalog))
+        self.registry.gauge("serve.tenant.catalog_bytes") \
+            .child(tenant.name).set(usage)
+        try:
+            self.tenants.authorize_submit(tenant, catalog, queued, usage)
+        except ServeError as exc:
+            reason = "catalog" if exc.status == 403 else "quota"
+            self.registry.counter("serve.tenant.rejected") \
+                .child(reason).inc()
+            raise
 
     def cancel(self, job_id: str) -> Job:
         try:
             return self.pool.cancel(job_id)
         except JobError as exc:
             message = str(exc)
-            raise ApiError(404 if "no job" in message else 409,
-                           message) from exc
+            if "no job" in message:
+                raise ApiError(404, message,
+                               code="job_not_found") from exc
+            raise ApiError(409, message) from exc
 
     def status(self) -> dict:
         counts = self.store.counts()
@@ -220,6 +284,8 @@ class ExperimentService:
                 "queue_depth": self.pool.depth(),
                 "running": self.pool.running(),
                 "jobs": counts,
+                "tenants": sorted(self.tenants.tenants)
+                if self.tenants.enforced else None,
                 "catalogs": self.catalogs()}
 
     def runs_index(self, catalog: Optional[str] = None) -> dict:
@@ -270,6 +336,8 @@ _ROUTES = (
     ("GET", re.compile(r"^/v1/jobs/?$"), "_get_jobs"),
     ("POST", re.compile(r"^/v1/jobs/?$"), "_post_jobs"),
     ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[\w.-]+)/?$"), "_get_job"),
+    ("GET", re.compile(r"^/v1/jobs/(?P<job_id>[\w.-]+)/events/?$"),
+     "_get_job_events"),
     ("POST", re.compile(r"^/v1/jobs/(?P<job_id>[\w.-]+)/cancel/?$"),
      "_post_cancel"),
     ("GET", re.compile(r"^/v1/runs/?$"), "_get_runs"),
@@ -314,7 +382,12 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 raise ApiError(404, f"no route {method} {split.path}")
         except ApiError as exc:
-            self._send_json({"error": str(exc)}, status=exc.status)
+            self._send_json({"error": str(exc), "code": exc.code},
+                            status=exc.status)
+        except ServeError as exc:
+            # the typed hierarchy (auth, quota, cycle): status + code
+            self._send_json({"error": exc.message, "code": exc.code},
+                            status=exc.status or 500)
         except BrokenPipeError:
             pass
         except Exception as exc:           # never take the daemon down
@@ -378,16 +451,75 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"jobs": [j.to_dict() for j in jobs]})
 
     def _post_jobs(self) -> None:
-        job = self.service.submit(self._read_body())
+        tenant = self.service.tenants.authenticate(
+            self.headers.get("Authorization"))
+        if tenant is None and self.service.tenants.enforced:
+            raise ApiError(401, "authentication required")
+        job = self.service.submit(self._read_body(), tenant=tenant)
         self._send_json(job.to_dict(), status=201,
                         headers={"Location": f"/v1/jobs/{job.id}"})
 
-    def _get_job(self, job_id: str) -> None:
+    def _load_job(self, job_id: str) -> Job:
         try:
-            job = self.service.store.load(job_id)
+            return self.service.store.load(job_id)
         except JobError as exc:
-            raise ApiError(404, str(exc)) from exc
-        self._send_json(job.to_dict())
+            raise ApiError(404, str(exc), code="job_not_found") from exc
+
+    def _get_job(self, job_id: str) -> None:
+        self._send_json(self._load_job(job_id).to_dict())
+
+    def _get_job_events(self, job_id: str) -> None:
+        """Stream a job's progress events as Server-Sent Events.
+
+        Resumable: ``Last-Event-ID`` (per the SSE spec) or ``?after=N``
+        skips already-seen events.  The stream ends — and the connection
+        closes, which is what delimits the body — once the job is
+        terminal and its log is drained.  ``?poll=`` tunes the follow
+        latency for tests.
+        """
+        job = self._load_job(job_id)
+        try:
+            after = int(self.headers.get("Last-Event-ID")
+                        or self.query.get("after") or 0)
+            poll = float(self.query.get("poll") or 0.2)
+        except ValueError as exc:
+            raise ApiError(400, f"bad event cursor: {exc}") from exc
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        self.service.registry.counter("serve.event_streams").inc()
+        log = self.service.store.events(job_id)
+
+        def job_terminal() -> bool:
+            try:
+                return self.service.store.load(job_id).terminal
+            except JobError:
+                return True
+        sent = 0
+        try:
+            for record in log.follow(after=after, poll=poll,
+                                     done=job_terminal):
+                frame = (f"id: {record['id']}\n"
+                         f"event: {record['event']}\n"
+                         f"data: {json.dumps(record)}\n\n")
+                self.wfile.write(frame.encode())
+                self.wfile.flush()
+                sent += 1
+                self.service.registry.counter("serve.events_sent").inc()
+        except (BrokenPipeError, ConnectionResetError):
+            return                    # client went away mid-stream
+        if sent == 0 and job.terminal and not log.read():
+            # a job that never ran (e.g. cancelled pre-start on an old
+            # root) has no event log at all: synthesize its terminal
+            # event so such streams still end with one
+            frame = (f"event: {job.state}\n"
+                     f"data: {json.dumps({'job': job_id, 'event': job.state})}"
+                     "\n\n")
+            self.wfile.write(frame.encode())
+            self.wfile.flush()
 
     def _post_cancel(self, job_id: str) -> None:
         self._send_json(self.service.cancel(job_id).to_dict())

@@ -3,26 +3,38 @@
 Subcommands::
 
     repro-serve serve   --root DIR [--host H] [--port P] [--workers N]
+                        [--tenants FILE]
     repro-serve submit  --url URL [--scenario FILE] [--on NAME]
-                        [--duration S] [--grid AXIS=V1,V2]... [--wait]
-    repro-serve status  --url URL [JOB_ID] [--json] [--watch]
+                        [--duration S] [--grid AXIS=V1,V2]...
+                        [--priority N] [--after JOB_ID]... [--wait]
+    repro-serve status  --url URL [JOB_ID] [--json] [--state S]
+    repro-serve events  --url URL JOB_ID [--after N] [--json]
     repro-serve analyze --url URL RUN [--pipeline NAME] [--json]
     repro-serve cancel  --url URL JOB_ID
 
 ``serve`` is the daemon (Ctrl-C to stop; jobs and catalogs persist under
-``--root`` and reload on the next start).  Everything else is a thin
-client over the HTTP/JSON API — see ``repro.serve.api`` for the routes.
+``--root`` and reload on the next start; a ``tenants.toml`` in the root
+switches on per-tenant auth/quotas).  Everything else is a thin client
+over the HTTP/JSON API — see ``repro.serve.api`` for the routes.  The
+client commands take ``--token`` (or ``$REPRO_SERVE_TOKEN``) against a
+tenant-enforcing daemon.
+
+Errors are one-liners on stderr, never tracebacks: user errors (unknown
+job id, dependency cycle, bad request) exit 2; environmental failures
+(unreachable daemon, auth, quota, server-side) exit 1.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.serve.client import ServeClient, ServeError
+from repro.serve.client import ServeClient
+from repro.serve.errors import DependencyCycle, JobNotFound, ServeError
 from repro.serve.jobs import Job, render_jobs_table
 
 
@@ -30,7 +42,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-serve",
         description="Persistent experiment service: queue experiment and "
-                    "sweep jobs, browse run catalogs, and query cached "
+                    "sweep jobs with priorities and dependencies, stream "
+                    "live progress, browse run catalogs, and query cached "
                     "analyses over HTTP.")
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -45,6 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--workers", type=int, default=2,
                          help="concurrent job processes (0 = accept "
                               "only; default 2)")
+    p_serve.add_argument("--tenants", type=Path, default=None,
+                         metavar="FILE",
+                         help="tenants.toml enforcing per-tenant "
+                              "auth/quotas (default ROOT/tenants.toml "
+                              "when present)")
 
     p_submit = sub.add_parser("submit", help="submit a job")
     _add_url(p_submit)
@@ -61,13 +79,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "makes the job a sweep")
     p_submit.add_argument("--catalog", default=None, metavar="NAME",
                           help="tenant catalog to run into "
-                               "(default 'default')")
+                               "(default: the tenant's own, else "
+                               "'default')")
     p_submit.add_argument("--parallel", action="store_true",
                           help="sweep jobs: fan grid points out across "
                                "processes inside the worker")
+    p_submit.add_argument("--priority", type=int, default=0,
+                          metavar="N",
+                          help="dispatch priority (higher runs first; "
+                               "default 0)")
+    p_submit.add_argument("--after", action="append", default=[],
+                          metavar="JOB_ID", dest="after",
+                          help="dependency job id (repeatable): hold "
+                               "this job until it finishes")
     p_submit.add_argument("--wait", action="store_true",
-                          help="block until the job is terminal; exit "
-                               "non-zero unless it finished")
+                          help="stream live progress until the job is "
+                               "terminal; exit non-zero unless it "
+                               "finished")
     p_submit.add_argument("--timeout", type=float, default=600.0,
                           help="--wait limit in seconds (default 600)")
 
@@ -79,8 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_status.add_argument("--state", default=None,
                           help="filter the table by state "
                                "(queued/running/finished/failed/"
-                               "cancelled/active)")
+                               "cancelled/blocked/active)")
     p_status.add_argument("--json", action="store_true")
+
+    p_events = sub.add_parser(
+        "events", help="stream a job's live progress events")
+    _add_url(p_events)
+    p_events.add_argument("job", help="job id")
+    p_events.add_argument("--after", type=int, default=0, metavar="N",
+                          help="resume after event id N")
+    p_events.add_argument("--json", action="store_true",
+                          help="raw JSON lines instead of one-liners")
 
     p_analyze = sub.add_parser(
         "analyze", help="query a cached analysis for a stored run")
@@ -107,17 +144,28 @@ def _add_url(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--url", default="http://127.0.0.1:8642",
                         help="daemon base URL "
                              "(default http://127.0.0.1:8642)")
+    parser.add_argument("--token", default=None,
+                        help="tenant bearer token (default "
+                             "$REPRO_SERVE_TOKEN)")
+
+
+def _client(args) -> ServeClient:
+    token = args.token or os.environ.get("REPRO_SERVE_TOKEN")
+    return ServeClient(args.url, token=token)
 
 
 # -- subcommands -----------------------------------------------------------------
 def cmd_serve(args) -> int:
     from repro.serve.api import ExperimentService
     service = ExperimentService(args.root, host=args.host, port=args.port,
-                                workers=args.workers)
+                                workers=args.workers,
+                                tenants=args.tenants)
     queued = service.store.counts()["queued"]
     reloaded = f" ({queued} queued job(s) reloaded)" if queued else ""
+    gated = ", tenants enforced" if service.tenants.enforced else ""
     print(f"repro-serve: listening on {service.url} "
-          f"(root {service.root}, {args.workers} worker(s)){reloaded}",
+          f"(root {service.root}, {args.workers} worker(s){gated})"
+          f"{reloaded}",
           file=sys.stderr, flush=True)
     try:
         service.serve_forever()
@@ -127,19 +175,47 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _event_line(record: dict) -> str:
+    kind = record.get("event", "?")
+    if kind == "point":
+        k, n = record.get("k"), record.get("n")
+        eps = record.get("events_per_sec")
+        rate = f" ({eps:,.0f} events/s)" if eps else ""
+        return (f"point {k}/{n} done: "
+                f"{record.get('label')} -> {record.get('run_id')}{rate}")
+    if kind == "finished":
+        runs = ", ".join(record.get("run_ids") or []) or "-"
+        return f"finished -> {runs}"
+    if kind in ("failed", "blocked"):
+        return f"{kind}: {record.get('error') or record.get('dependency')}"
+    return kind
+
+
 def cmd_submit(args) -> int:
-    client = ServeClient(args.url)
+    client = _client(args)
     scenario = None
     if args.scenario:
         from repro.config import Scenario
         scenario = Scenario.load(args.scenario).to_dict()
     job = client.submit(scenario=scenario, experiment=args.on,
                         duration=args.duration, grid=args.grid or None,
-                        catalog=args.catalog, parallel=args.parallel)
-    print(f"{job['id']} {job['state']} ({job['kind']}: "
-          f"{job['spec'].get('experiment')})")
+                        catalog=args.catalog, parallel=args.parallel,
+                        priority=args.priority,
+                        depends_on=args.after or None)
+    line = f"{job['id']} {job['state']} ({job['kind']}: " \
+           f"{job['spec'].get('experiment')})"
+    if job.get("depends_on"):
+        line += " after " + ",".join(job["depends_on"])
+    print(line)
     if not args.wait:
         return 0
+    # live status: render each progress event as it streams in
+    try:
+        for record in client.events(job["id"], timeout=args.timeout):
+            print(f"{job['id']} {_event_line(record)}", file=sys.stderr,
+                  flush=True)
+    except (ServeError, OSError):
+        pass                          # fall back to polling below
     final = client.wait(job["id"], timeout=args.timeout)
     line = f"{final['id']} {final['state']}"
     if final.get("run_ids"):
@@ -151,7 +227,7 @@ def cmd_submit(args) -> int:
 
 
 def cmd_status(args) -> int:
-    client = ServeClient(args.url)
+    client = _client(args)
     if args.job:
         job = client.job(args.job)
         if args.json:
@@ -171,8 +247,19 @@ def cmd_status(args) -> int:
     return 0
 
 
+def cmd_events(args) -> int:
+    client = _client(args)
+    for record in client.events(args.job, after=args.after):
+        if args.json:
+            print(json.dumps(record), flush=True)
+        else:
+            print(f"{record.get('id', '-')}  {_event_line(record)}",
+                  flush=True)
+    return 0
+
+
 def cmd_runs(args) -> int:
-    client = ServeClient(args.url)
+    client = _client(args)
     catalogs = client.runs(catalog=args.catalog)
     if args.json:
         json.dump(catalogs, sys.stdout, indent=2)
@@ -195,7 +282,7 @@ def cmd_runs(args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    client = ServeClient(args.url)
+    client = _client(args)
     answer = client.analysis(args.run, pipeline=args.pipeline,
                              catalog=args.catalog)
     if args.json:
@@ -218,7 +305,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_cancel(args) -> int:
-    job = ServeClient(args.url).cancel(args.job)
+    job = _client(args).cancel(args.job)
     print(f"{job['id']} {job['state']}")
     return 0
 
@@ -226,12 +313,17 @@ def cmd_cancel(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {"serve": cmd_serve, "submit": cmd_submit,
-               "status": cmd_status, "runs": cmd_runs,
-               "analyze": cmd_analyze, "cancel": cmd_cancel}[args.command]
+               "status": cmd_status, "events": cmd_events,
+               "runs": cmd_runs, "analyze": cmd_analyze,
+               "cancel": cmd_cancel}[args.command]
     try:
         return handler(args)
     except ServeError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)
+        # user errors exit 2, environmental failures exit 1
+        if isinstance(exc, (JobNotFound, DependencyCycle)) or \
+                exc.status == 400:
+            return 2
         return 1
     except TimeoutError as exc:
         print(f"repro-serve: error: {exc}", file=sys.stderr)

@@ -1,11 +1,20 @@
 """A zero-dependency client for the ``repro-serve`` HTTP API.
 
 :class:`ServeClient` wraps :mod:`urllib.request` with the service's
-conventions: JSON bodies both ways, job polling with
-:meth:`~ServeClient.wait`, and ETag-aware analysis queries —
-:meth:`~ServeClient.analysis` remembers the last ETag per query and
-sends ``If-None-Match``, so a repeated query on an unchanged run is
-answered ``304`` and returns the locally-held result.
+conventions: JSON bodies both ways, bearer-token tenancy
+(``ServeClient(url, token=...)``), job polling with
+:meth:`~ServeClient.wait`, live progress streaming with
+:meth:`~ServeClient.events` (Server-Sent Events, ``Last-Event-ID``
+resume), and ETag-aware analysis queries — :meth:`~ServeClient.analysis`
+remembers the last ETag per query and sends ``If-None-Match``, so a
+repeated query on an unchanged run is answered ``304`` and returns the
+locally-held result.
+
+Failures raise the typed :mod:`repro.serve.errors` hierarchy: the
+server's JSON error bodies carry a machine ``code``, and the client
+re-raises the matching class — :class:`JobNotFound`,
+:class:`AuthError`, :class:`QuotaExceeded`, :class:`DependencyCycle` —
+with plain :class:`ServeError` as the catch-all base.
 """
 
 from __future__ import annotations
@@ -14,17 +23,20 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.serve.errors import (
+    AuthError,
+    DependencyCycle,
+    JobNotFound,
+    QuotaExceeded,
+    ServeError,
+    error_for,
+)
 from repro.serve.jobs import TERMINAL_STATES
 
-
-class ServeError(RuntimeError):
-    """An HTTP-level failure, carrying the server's one-line error."""
-
-    def __init__(self, status: int, message: str):
-        super().__init__(f"HTTP {status}: {message}")
-        self.status = status
+__all__ = ["AnalysisAnswer", "AuthError", "DependencyCycle",
+           "JobNotFound", "QuotaExceeded", "ServeClient", "ServeError"]
 
 
 class AnalysisAnswer:
@@ -45,15 +57,28 @@ class AnalysisAnswer:
 
 
 class ServeClient:
-    """Talks to one ``repro-serve`` daemon at ``base_url``."""
+    """Talks to one ``repro-serve`` daemon at ``base_url``.
 
-    def __init__(self, base_url: str, timeout: float = 60.0):
+    ``token`` is the tenant bearer token sent as ``Authorization``;
+    leave it ``None`` against an open (tenant-less) daemon.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 60.0,
+                 token: Optional[str] = None):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.token = token
         #: (path, query) -> (etag, payload) for If-None-Match reuse
         self._etags: Dict[str, Tuple[str, dict]] = {}
 
     # -- raw transport ----------------------------------------------------------
+    def _headers(self, extra: Optional[dict] = None) -> dict:
+        headers = {"Content-Type": "application/json"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        headers.update(extra or {})
+        return headers
+
     def request(self, method: str, path: str,
                 body: Optional[dict] = None,
                 headers: Optional[dict] = None
@@ -62,8 +87,7 @@ class ServeClient:
         data = json.dumps(body).encode() if body is not None else None
         request = urllib.request.Request(
             self.base_url + path, data=data, method=method,
-            headers={"Content-Type": "application/json",
-                     **(headers or {})})
+            headers=self._headers(headers))
         try:
             with urllib.request.urlopen(request,
                                         timeout=self.timeout) as response:
@@ -79,14 +103,17 @@ class ServeClient:
         except urllib.error.HTTPError as exc:
             if exc.code == 304:
                 return 304, None, dict(exc.headers)
+            code = None
             try:
-                message = json.loads(exc.read()).get("error", str(exc))
+                error = json.loads(exc.read())
+                message = error.get("error", str(exc))
+                code = error.get("code")
             except ValueError:
                 message = str(exc)
-            raise ServeError(exc.code, message) from None
+            raise error_for(exc.code, message, code) from None
         except urllib.error.URLError as exc:
-            raise ServeError(0, f"cannot reach {self.base_url}: "
-                                f"{exc.reason}") from None
+            raise ServeError(f"cannot reach {self.base_url}: "
+                             f"{exc.reason}", status=0) from None
 
     # -- jobs --------------------------------------------------------------------
     def submit(self, scenario=None, experiment: str = "baseline",
@@ -94,8 +121,14 @@ class ServeClient:
                grid: Optional[List[str]] = None,
                catalog: Optional[str] = None,
                parallel: bool = False,
-               workers: Optional[int] = None) -> dict:
-        """Submit a job; ``grid`` axes make it a sweep.  Returns the job."""
+               workers: Optional[int] = None,
+               priority: int = 0,
+               depends_on: Optional[Sequence[str]] = None) -> dict:
+        """Submit a job; ``grid`` axes make it a sweep.  Returns the job.
+
+        ``priority`` orders dispatch (higher first); ``depends_on`` job
+        ids hold the job until those jobs finish.
+        """
         body: dict = {"experiment": experiment}
         if scenario is not None:
             body["scenario"] = scenario if isinstance(scenario, (dict, str)) \
@@ -109,6 +142,10 @@ class ServeClient:
                 body["workers"] = workers
         if catalog is not None:
             body["catalog"] = catalog
+        if priority:
+            body["priority"] = int(priority)
+        if depends_on:
+            body["depends_on"] = list(depends_on)
         _, payload, _ = self.request("POST", "/v1/jobs", body=body)
         return payload
 
@@ -138,6 +175,48 @@ class ServeClient:
                     f"job {job_id} still {job['state']} "
                     f"after {timeout:.0f}s")
             time.sleep(poll)
+
+    def events(self, job_id: str, after: int = 0,
+               timeout: Optional[float] = None) -> Iterator[dict]:
+        """Stream a job's progress events live (Server-Sent Events).
+
+        Yields each event as its ``data:`` JSON dict (``id``, ``event``,
+        ``time``, plus kind-specific fields such as ``k``/``n``/
+        ``events_per_sec`` on sweep ``point`` events).  The stream ends
+        when the job reaches a terminal state.  ``after`` resumes past
+        already-seen event ids via ``Last-Event-ID``.
+        """
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events",
+            headers=self._headers(
+                {"Last-Event-ID": str(after)} if after else {}))
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout or self.timeout)
+        except urllib.error.HTTPError as exc:
+            code = None
+            try:
+                error = json.loads(exc.read())
+                message = error.get("error", str(exc))
+                code = error.get("code")
+            except ValueError:
+                message = str(exc)
+            raise error_for(exc.code, message, code) from None
+        except urllib.error.URLError as exc:
+            raise ServeError(f"cannot reach {self.base_url}: "
+                             f"{exc.reason}", status=0) from None
+        with response:
+            data_lines: List[str] = []
+            for raw in response:
+                line = raw.decode().rstrip("\n")
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].strip())
+                elif line == "" and data_lines:
+                    try:
+                        yield json.loads("\n".join(data_lines))
+                    except ValueError:
+                        pass
+                    data_lines = []
 
     # -- runs and analysis ---------------------------------------------------------
     def runs(self, catalog: Optional[str] = None) -> Dict[str, list]:

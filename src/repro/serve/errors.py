@@ -1,0 +1,88 @@
+"""One exception hierarchy for the experiment service.
+
+Every failure the service reports — server-side at the API boundary,
+client-side out of :class:`~repro.serve.client.ServeClient` — is a
+:class:`ServeError`.  Each subclass carries a machine-readable ``code``
+(sent in JSON error bodies and used by the client to re-raise the same
+class on its side of the wire) and a default HTTP status:
+
+=========================  ====================  ======
+:class:`JobNotFound`       ``job_not_found``     404
+:class:`AuthError`         ``auth``              401
+:class:`QuotaExceeded`     ``quota``             429
+:class:`DependencyCycle`   ``dependency_cycle``  400
+=========================  ====================  ======
+
+The CLI maps these onto its exit-code convention: user errors
+(:class:`JobNotFound`, :class:`DependencyCycle`, any 400) exit 2,
+environmental failures (unreachable daemon, :class:`AuthError`,
+:class:`QuotaExceeded`, 5xx) exit 1 — always as a one-line
+``repro-serve: error: ...`` on stderr, never a traceback.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServeError(RuntimeError):
+    """A service failure, carrying an HTTP status and error code.
+
+    ``status`` is 0 for transport-level failures that never got an HTTP
+    response (daemon unreachable).  ``str(exc)`` is the one-line message
+    the CLI prints.
+    """
+
+    #: machine-readable code, mirrored in JSON error bodies
+    code = "error"
+    #: the HTTP status this error maps to when none is given
+    default_status = 500
+
+    def __init__(self, message: str, status: Optional[int] = None):
+        self.status = self.default_status if status is None else status
+        self.message = message
+        super().__init__(f"HTTP {self.status}: {message}"
+                         if self.status else message)
+
+
+class JobNotFound(ServeError):
+    """The named job id does not exist on this daemon."""
+
+    code = "job_not_found"
+    default_status = 404
+
+
+class AuthError(ServeError):
+    """Missing/unknown token (401) or a tenant overreach (403)."""
+
+    code = "auth"
+    default_status = 401
+
+
+class QuotaExceeded(ServeError):
+    """A tenant limit was hit: queued jobs or catalog megabytes."""
+
+    code = "quota"
+    default_status = 429
+
+
+class DependencyCycle(ServeError):
+    """``depends_on`` edges close a cycle; the DAG would never run."""
+
+    code = "dependency_cycle"
+    default_status = 400
+
+
+#: code -> class, for the client to re-raise what the server raised
+ERROR_CODES = {cls.code: cls for cls in
+               (JobNotFound, AuthError, QuotaExceeded, DependencyCycle)}
+
+
+def error_for(status: int, message: str, code: Optional[str] = None
+              ) -> ServeError:
+    """Build the most specific :class:`ServeError` for a wire error."""
+    cls = ERROR_CODES.get(code or "")
+    if cls is None:
+        cls = {401: AuthError, 403: AuthError, 404: ServeError,
+               429: QuotaExceeded}.get(status, ServeError)
+    return cls(message, status=status)

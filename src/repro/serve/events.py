@@ -1,0 +1,95 @@
+"""Per-job progress events: an append-only JSONL file per job.
+
+Workers append one JSON object per line to ``jobs/<id>.events.jsonl``
+while a job runs — ``started``, one ``point`` per finished grid point
+(with the live events/sec the simulator achieved), and a terminal
+``finished``/``failed``/``cancelled``/``blocked``.  Every event carries
+a monotonically increasing ``id`` starting at 1, which is what the SSE
+endpoint emits as the ``id:`` field and what ``Last-Event-ID`` resumes
+from.
+
+Appends are a single ``write()`` on an ``O_APPEND`` descriptor, so the
+daemon and a spawned worker can both append without tearing a line; the
+next id is re-derived from the file on every append, so it stays
+correct across processes and daemon restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+#: event kinds that end a stream (the job will emit nothing further)
+TERMINAL_EVENTS = ("finished", "failed", "cancelled", "blocked")
+
+
+class EventLog:
+    """One job's append-only progress stream."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def append(self, event: str, **data) -> dict:
+        """Durably append one event; returns it with its ``id`` set."""
+        record = {"id": len(self.read()) + 1, "event": event,
+                  "time": time.time(), **data}
+        line = json.dumps(record, separators=(",", ":")) + "\n"
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+        finally:
+            os.close(fd)
+        return record
+
+    def read(self, after: int = 0) -> List[dict]:
+        """Every event with ``id > after``, in order."""
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return []
+        out = []
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue              # torn trailing line mid-append
+            if record.get("id", 0) > after:
+                out.append(record)
+        return out
+
+    def follow(self, after: int = 0, poll: float = 0.2,
+               timeout: Optional[float] = None,
+               done=None) -> Iterator[dict]:
+        """Yield events live until a terminal one (or ``done()`` says so).
+
+        ``done`` is an optional zero-argument callable consulted between
+        polls — the SSE endpoint passes "is the job file terminal", so a
+        stream over a job whose worker died without a terminal event
+        still ends.
+        """
+        deadline = (time.monotonic() + timeout) if timeout else None
+        last = after
+        while True:
+            fresh = self.read(after=last)
+            for record in fresh:
+                last = record["id"]
+                yield record
+                if record.get("event") in TERMINAL_EVENTS:
+                    return
+            if done is not None and done():
+                # drain anything written between read() and done()
+                for record in self.read(after=last):
+                    last = record["id"]
+                    yield record
+                return
+            if deadline and time.monotonic() >= deadline:
+                return
+            time.sleep(poll)

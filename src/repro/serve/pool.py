@@ -1,4 +1,4 @@
-"""The worker pool: spawned processes executing jobs off the queue.
+"""The worker pool: a priority/DAG scheduler over spawned processes.
 
 Each job runs in its own ``multiprocessing`` (spawn) process so a
 simulation crash, a hard kill, or an out-of-memory death never takes the
@@ -7,6 +7,21 @@ the job file (written durably via :class:`~repro.serve.jobs.JobStore`);
 the pool's scheduler thread only spawns, reaps, and reconciles — if a
 worker vanishes without writing a terminal state, the pool records
 ``failed`` (or ``cancelled`` when the pool itself terminated it).
+
+Scheduling is not FIFO: each pass dispatches the highest-``priority``
+*runnable* queued job (ties break by job id, i.e. submit order).  A job
+with ``depends_on`` is held until every dependency is ``finished``; a
+dependency that ends ``failed``/``cancelled``/``blocked`` transitions
+the dependent to ``blocked`` (see :meth:`JobStore.readiness` — the
+verdict is re-derived from job files each pass, so a daemon crash
+between passes loses nothing).  Tenants with a ``max_running`` limit
+are likewise held, not rejected, while at their concurrency cap.
+
+While a job runs its worker appends progress events — ``started``, one
+``point`` per grid point with the simulator's achieved events/sec, and
+a terminal ``finished``/``failed`` — to the job's
+:class:`~repro.serve.events.EventLog`, which the API streams as
+Server-Sent Events.
 
 Execution reuses the existing fan-out machinery unchanged:
 
@@ -23,9 +38,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import threading
 import time
-from collections import deque
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.serve.jobs import Job, JobError, JobStore
 
@@ -43,15 +57,23 @@ def catalog_root(root: Union[str, Path], name: str = DEFAULT_CATALOG) -> Path:
     return Path(root) / CATALOGS_DIR / name
 
 
-def execute_job(job: Job, root: Union[str, Path]) -> dict:
+def execute_job(job: Job, root: Union[str, Path],
+                progress: Optional[Callable[..., object]] = None) -> dict:
     """Run one job's work in-process; returns ``{summary, run_ids}``.
 
     Top-level and importable so both the spawned worker and direct
     callers (tests, a future synchronous mode) share one code path.
+    ``progress(event, **data)`` is called per grid point (and per
+    experiment completion) when given — the worker wires it to the
+    job's event log.
     """
+    from time import perf_counter
+
     from repro.config import Scenario, parse_axis_spec, run_sweep
     from repro.core.experiments import ExperimentRunner
+    from repro.obs.recorder import events_per_second
 
+    emit = progress or (lambda event, **data: None)
     spec = job.spec
     scenario = Scenario.from_dict(spec["scenario"]) \
         if spec.get("scenario") else Scenario()
@@ -64,16 +86,30 @@ def execute_job(job: Job, root: Union[str, Path]) -> dict:
         axes = [parse_axis_spec(s) for s in spec.get("grid", [])]
         if not axes:
             raise JobError("sweep job lists no grid axes")
+
+        def on_point(done, total, result, eps):
+            emit("point", k=done, n=total, label=result.label,
+                 run_id=result.run_id, events_per_sec=eps,
+                 metrics={k: result.metrics.get(k) for k in
+                          ("total_requests", "requests_per_second")})
+
         results = run_sweep(scenario, axes, experiment=experiment,
                             duration=duration, sink=str(sink),
                             parallel=bool(spec.get("parallel", False)),
-                            workers=spec.get("workers"))
+                            workers=spec.get("workers"),
+                            obs=True, on_point=on_point)
         return {"summary": [r.to_dict() for r in results],
                 "run_ids": [r.run_id for r in results if r.run_id]}
 
-    runner = ExperimentRunner(scenario=scenario, sink=sink)
+    runner = ExperimentRunner(scenario=scenario, sink=sink, obs=True)
+    wall = perf_counter()
     result = runner.run(experiment, duration=duration)
+    wall = perf_counter() - wall
     run_dir = getattr(runner, "last_run_dir", None)
+    emit("point", k=1, n=1, label=experiment,
+         run_id=run_dir.name if run_dir else None,
+         events_per_sec=events_per_second(result.obs, wall),
+         metrics={"total_requests": result.metrics.total_requests})
     return {"summary": result.metrics.to_dict(),
             "run_ids": [run_dir.name] if run_dir else []}
 
@@ -82,15 +118,23 @@ def _job_main(root: str, job_id: str) -> None:
     """Worker process entry point (top level: must pickle under spawn)."""
     store = JobStore(Path(root) / JOBS_DIR)
     try:
-        store.transition(job_id, "running", pid=mp.current_process().pid)
+        job = store.transition(job_id, "running",
+                               pid=mp.current_process().pid)
     except JobError:
         return                    # cancelled between spawn and start
+    log = store.events(job_id)
+    log.append("started", job=job_id, kind=job.kind,
+               experiment=job.spec.get("experiment", "baseline"),
+               pid=job.pid)
     try:
-        outcome = execute_job(store.load(job_id), root)
+        outcome = execute_job(job, root,
+                              progress=lambda event, **data:
+                              log.append(event, job=job_id, **data))
     except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
         try:
-            store.transition(job_id, "failed",
-                             error=f"{type(exc).__name__}: {exc}")
+            store.transition(job_id, "failed", error=error)
+            log.append("failed", job=job_id, error=error)
         except JobError:
             pass                  # cancelled underneath us; keep that
         return
@@ -98,31 +142,40 @@ def _job_main(root: str, job_id: str) -> None:
         store.transition(job_id, "finished",
                          result=outcome["summary"],
                          run_ids=outcome["run_ids"])
+        log.append("finished", job=job_id, run_ids=outcome["run_ids"])
     except JobError:
         pass                      # cancelled in the final instants
 
 
 class WorkerPool:
-    """Spawns up to ``workers`` concurrent job processes off a queue.
+    """Runs up to ``workers`` concurrent job processes off the DAG.
 
     ``workers=0`` makes an accept-only pool: jobs queue durably but
     nothing executes — the mode a drained or restarting daemon uses, and
-    what the restart-survival tests exercise.
+    what the restart-survival tests exercise.  ``tenants`` (a
+    :class:`~repro.serve.tenants.Tenants`) supplies per-tenant
+    ``max_running`` concurrency caps.
     """
 
     def __init__(self, root: Union[str, Path], store: JobStore,
-                 workers: int = 2, obs=None, poll: float = 0.05):
+                 workers: int = 2, obs=None, poll: float = 0.05,
+                 tenants=None):
         self.root = Path(root)
         self.store = store
         self.workers = max(int(workers), 0)
         self.poll = poll
+        self.tenants = tenants
         if obs is None:
             from repro.obs import NULL_REGISTRY
             obs = NULL_REGISTRY
         self.registry = obs
         self._ctx = mp.get_context("spawn")
-        self._queue: deque = deque()
+        #: queued job id -> (priority, depends_on, tenant)
+        self._queue: Dict[str, Tuple[int, Tuple[str, ...],
+                                     Optional[str]]] = {}
         self._procs: Dict[str, object] = {}
+        #: running job id -> tenant (for max_running accounting)
+        self._proc_tenants: Dict[str, Optional[str]] = {}
         self._cancelling: set = set()
         self._cond = threading.Condition()
         self._stopping = False
@@ -132,7 +185,8 @@ class WorkerPool:
     def start(self) -> "WorkerPool":
         """Recover durable state and start the scheduler thread."""
         for job in self.store.recover():
-            self._queue.append(job.id)
+            with self._cond:
+                self._enqueue(job)
         self._observe_depth()
         if self.workers > 0:
             self._thread = threading.Thread(target=self._run,
@@ -156,7 +210,7 @@ class WorkerPool:
     # -- queue ----------------------------------------------------------------
     def submit(self, job_id: str) -> None:
         with self._cond:
-            self._queue.append(job_id)
+            self._enqueue(self.store.load(job_id))
             self._cond.notify_all()
         self._observe_depth()
 
@@ -166,8 +220,7 @@ class WorkerPool:
         if job.terminal:
             raise JobError(f"job {job_id} already {job.state}")
         with self._cond:
-            if job_id in self._queue:
-                self._queue.remove(job_id)
+            self._queue.pop(job_id, None)
             proc = self._procs.get(job_id)
             if proc is not None:
                 self._cancelling.add(job_id)
@@ -175,6 +228,7 @@ class WorkerPool:
         if proc is None:
             # not started (or a worker that just exited): mark directly
             job = self.store.transition(job_id, "cancelled")
+            self.store.events(job_id).append("cancelled", job=job_id)
             self._count_terminal("cancelled")
         else:
             proc.join(timeout=10.0)
@@ -201,18 +255,65 @@ class WorkerPool:
         raise TimeoutError("worker pool did not drain in time")
 
     # -- scheduler ------------------------------------------------------------
+    def _enqueue(self, job: Job) -> None:
+        """Record a queued job's dispatch metadata (under the lock)."""
+        self._queue[job.id] = (job.priority, tuple(job.depends_on),
+                               job.tenant)
+
+    def _pick_ready(self) -> Optional[str]:
+        """Highest-priority runnable queued job; settles doomed ones.
+
+        Called under the lock.  Jobs whose dependencies failed are
+        transitioned to ``blocked`` right here (and dropped from the
+        queue), so the cascade happens on the next scheduler pass after
+        the dependency settles — and is re-derived from job files after
+        a crash (see :meth:`JobStore.recover`).
+        """
+        dep_states: Dict[str, str] = {}
+        order = sorted(self._queue,
+                       key=lambda jid: (-self._queue[jid][0], jid))
+        for job_id in order:
+            priority, depends_on, tenant = self._queue[job_id]
+            try:
+                job = self.store.load(job_id)
+            except JobError:
+                del self._queue[job_id]
+                continue
+            if job.state != "queued":     # cancelled under us
+                del self._queue[job_id]
+                continue
+            verdict, dep = self.store.readiness(job, dep_states)
+            if verdict == "doomed":
+                del self._queue[job_id]
+                self.store.block(job_id, dep)
+                self._count_terminal("blocked")
+                continue
+            if verdict == "held":
+                continue
+            limit = self.tenants.running_limit(tenant) \
+                if self.tenants is not None else 0
+            if limit and sum(1 for t in self._proc_tenants.values()
+                             if t == tenant) >= limit:
+                continue                  # at the tenant's running cap
+            return job_id
+        return None
+
     def _run(self) -> None:
         while True:
             with self._cond:
                 if self._stopping:
                     return
-                while self._queue and len(self._procs) < self.workers:
-                    job_id = self._queue.popleft()
+                while len(self._procs) < self.workers:
+                    job_id = self._pick_ready()
+                    if job_id is None:
+                        break
+                    _, _, tenant = self._queue.pop(job_id)
                     proc = self._ctx.Process(
                         target=_job_main, args=(str(self.root), job_id),
                         name=f"repro-serve-{job_id}", daemon=True)
                     proc.start()
                     self._procs[job_id] = proc
+                    self._proc_tenants[job_id] = tenant
                 self._cond.wait(timeout=self.poll)
             self._reap()
             self._observe_depth()
@@ -223,6 +324,7 @@ class WorkerPool:
                     if not proc.is_alive()]
             for job_id, _ in done:
                 del self._procs[job_id]
+                self._proc_tenants.pop(job_id, None)
         for job_id, proc in done:
             proc.join()
             self._reconcile(job_id,
@@ -238,16 +340,21 @@ class WorkerPool:
         file still says ``queued``/``running`` the process died first —
         record ``cancelled`` (we terminated it) or ``failed``.
         """
+        with self._cond:
+            self._procs.pop(job_id, None)
+            self._proc_tenants.pop(job_id, None)
         job = self.store.load(job_id)
         if job.terminal:
             self._count_terminal(job.state)
             return job
         if cancelled:
             job = self.store.transition(job_id, "cancelled")
+            self.store.events(job_id).append("cancelled", job=job_id)
         else:
-            job = self.store.transition(
-                job_id, "failed",
-                error=f"worker died (exit code {exitcode})")
+            error = f"worker died (exit code {exitcode})"
+            job = self.store.transition(job_id, "failed", error=error)
+            self.store.events(job_id).append("failed", job=job_id,
+                                             error=error)
         self._count_terminal(job.state)
         return job
 

@@ -1,0 +1,175 @@
+"""Per-tenant authentication and quotas for a shared daemon.
+
+A ``tenants.toml`` in the service root turns an open daemon into a
+multi-tenant one::
+
+    [tenants.team-a]
+    token = "a-very-secret-token"
+    max_queued = 8        # queued jobs at once (0 = unlimited)
+    max_running = 2       # concurrent running jobs (0 = unlimited)
+    quota_mb = 512        # catalog disk budget in MB (0 = unlimited)
+    catalogs = ["team-a", "scratch"]   # optional; default [tenant name]
+
+    [tenants.team-b]
+    token = "another-token"
+    max_queued = 1
+
+When the file exists, ``POST /v1/jobs`` requires
+``Authorization: Bearer <token>``: an unknown or missing token is 401,
+submitting into a catalog the tenant does not own is 403, and a hit
+limit (queued jobs, catalog megabytes) is 429 — all as JSON bodies
+carrying the error ``code``.  ``max_running`` is enforced by the
+scheduler instead: excess jobs queue normally and dispatch as the
+tenant's running jobs drain.  Without the file every request passes —
+exactly the single-user behaviour of earlier releases.
+
+Token comparison uses :func:`hmac.compare_digest`; tokens never appear
+in job files, logs, or metrics (tenants are named by their table key).
+"""
+
+from __future__ import annotations
+
+import hmac
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.serve.errors import AuthError, QuotaExceeded
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant: its token, limits, and the catalogs it may use."""
+
+    name: str
+    token: str
+    max_queued: int = 0          # 0 = unlimited
+    max_running: int = 0         # 0 = unlimited
+    quota_mb: float = 0.0        # 0 = unlimited
+    catalogs: Tuple[str, ...] = ()
+
+    @property
+    def default_catalog(self) -> str:
+        return self.catalogs[0] if self.catalogs else self.name
+
+    def owns_catalog(self, name: str) -> bool:
+        return name in (self.catalogs or (self.name,))
+
+
+@dataclass
+class Tenants:
+    """The tenant registry: parse, authenticate, enforce quotas."""
+
+    tenants: Dict[str, Tenant] = field(default_factory=dict)
+    path: Optional[Path] = None
+
+    @property
+    def enforced(self) -> bool:
+        """True when a tenants file gates submissions."""
+        return bool(self.tenants)
+
+    # -- loading --------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Tenants":
+        """Parse ``tenants.toml``; a missing file means an open daemon."""
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except FileNotFoundError:
+            return cls(path=path)
+        return cls.parse(text, path=path)
+
+    @classmethod
+    def parse(cls, text: str, path: Optional[Path] = None) -> "Tenants":
+        try:
+            import tomllib
+        except ImportError:                       # Python < 3.11
+            import tomli as tomllib          # type: ignore[no-redef]
+        data = tomllib.loads(text)
+        tenants: Dict[str, Tenant] = {}
+        for name, entry in (data.get("tenants") or {}).items():
+            if not isinstance(entry, dict) or not entry.get("token"):
+                raise ValueError(
+                    f"tenants.{name}: needs a 'token' string")
+            catalogs = tuple(str(c) for c in
+                             entry.get("catalogs") or (name,))
+            tenants[name] = Tenant(
+                name=name,
+                token=str(entry["token"]),
+                max_queued=int(entry.get("max_queued", 0)),
+                max_running=int(entry.get("max_running", 0)),
+                quota_mb=float(entry.get("quota_mb", 0.0)),
+                catalogs=catalogs)
+        return cls(tenants=tenants, path=path)
+
+    # -- authentication -------------------------------------------------------
+    def authenticate(self, authorization: Optional[str]
+                     ) -> Optional[Tenant]:
+        """Resolve an ``Authorization`` header to a tenant.
+
+        Returns ``None`` on an open (tenant-less) daemon.  Raises
+        :class:`AuthError` (401) for a missing, malformed, or unknown
+        token.
+        """
+        if not self.enforced:
+            return None
+        if not authorization:
+            raise AuthError("missing Authorization: Bearer <token> "
+                            "header (this daemon enforces tenants)",
+                            status=401)
+        scheme, _, token = authorization.partition(" ")
+        token = token.strip()
+        if scheme.lower() != "bearer" or not token:
+            raise AuthError("malformed Authorization header; expected "
+                            "'Bearer <token>'", status=401)
+        for tenant in self.tenants.values():
+            if hmac.compare_digest(tenant.token, token):
+                return tenant
+        raise AuthError("unknown token", status=401)
+
+    # -- enforcement ----------------------------------------------------------
+    def authorize_submit(self, tenant: Optional[Tenant], catalog: str,
+                         queued: int, catalog_bytes: int) -> None:
+        """Gate one ``POST /v1/jobs``; raises 403/429 on violation.
+
+        ``queued`` is the tenant's current count of queued jobs and
+        ``catalog_bytes`` the on-disk size of the target catalog.
+        """
+        if tenant is None:
+            return
+        if not tenant.owns_catalog(catalog):
+            raise AuthError(
+                f"tenant {tenant.name!r} may not submit into catalog "
+                f"{catalog!r} (allowed: "
+                f"{', '.join(tenant.catalogs or (tenant.name,))})",
+                status=403)
+        if tenant.max_queued and queued >= tenant.max_queued:
+            raise QuotaExceeded(
+                f"tenant {tenant.name!r} already has {queued} queued "
+                f"job(s) (max_queued {tenant.max_queued})", status=429)
+        if tenant.quota_mb and \
+                catalog_bytes >= tenant.quota_mb * 1024 * 1024:
+            raise QuotaExceeded(
+                f"catalog {catalog!r} holds "
+                f"{catalog_bytes / 1048576:.1f} MB "
+                f"(quota_mb {tenant.quota_mb:g})", status=429)
+
+    def running_limit(self, tenant_name: Optional[str]) -> int:
+        """The tenant's ``max_running`` (0 = unlimited / unknown)."""
+        tenant = self.tenants.get(tenant_name or "")
+        return tenant.max_running if tenant else 0
+
+
+def directory_bytes(root: Union[str, Path]) -> int:
+    """Total size of every regular file under ``root`` (0 if absent)."""
+    total = 0
+    root = Path(root)
+    if not root.is_dir():
+        return 0
+    for path in root.rglob("*"):
+        try:
+            if path.is_file():
+                total += path.stat().st_size
+        except OSError:
+            continue
+    return total

@@ -104,28 +104,16 @@ def test_run_baseline_duration_keyword():
     assert result.trace.duration <= 60.0
 
 
-def test_deprecated_shims_warn_and_delegate(monkeypatch):
+def test_removed_shims_point_at_run():
+    # the PR-3 deprecation shims were retired: the old entry points are
+    # gone, and the error tells stragglers exactly what to call instead
     runner = ExperimentRunner(nnodes=1, seed=1)
-    calls = []
-    monkeypatch.setattr(
-        runner, "run",
-        lambda name, duration=None: calls.append((name, duration)))
-    for invoke, expected in (
-            (lambda: runner.run_baseline(duration=42.0), ("baseline", 42.0)),
-            (lambda: runner.run_single("ppm"), ("ppm", None)),
-            (lambda: runner.run_combined(), ("combined", None)),
-            (lambda: runner.run_serial(), ("serial", None))):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            invoke()
-        assert calls[-1] == expected
-
-
-def test_deprecated_baseline_shim_still_runs():
-    runner = ExperimentRunner(nnodes=1, seed=2)
-    with pytest.warns(DeprecationWarning):
-        result = runner.run_baseline(duration=40.0)
-    assert result.name == "baseline"
-    assert result.duration == 40.0
+    for name in ("run_baseline", "run_single", "run_combined",
+                 "run_serial"):
+        with pytest.raises(AttributeError, match=r"removed; use .*run\("):
+            getattr(runner, name)
+    with pytest.raises(AttributeError, match="no attribute"):
+        runner.run_backwards
 
 
 def test_experiment_result_persistence_roundtrip(tmp_path, runner):

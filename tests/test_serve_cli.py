@@ -49,6 +49,49 @@ def test_submit_wait_reports_run_ids(service, scenario_file,
     assert "finished -> baseline-" in lines[-1]   # deduped run id
 
 
+def test_submit_wait_streams_progress_to_stderr(service, scenario_file,
+                                                finished_job, capsys):
+    code = main(["submit", "--url", service.url,
+                 "--scenario", str(scenario_file),
+                 "--duration", "80", "--priority", "3",
+                 "--after", finished_job, "--wait"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"after {finished_job}" in captured.out.splitlines()[0]
+    # the live event stream renders on stderr, one line per event
+    assert "queued" in captured.err
+    assert "point 1/1 done: baseline ->" in captured.err
+    assert "finished ->" in captured.err
+
+
+def test_events_subcommand_replays_history(service, finished_job,
+                                           capsys):
+    assert main(["events", "--url", service.url, finished_job]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert lines[0].split(None, 1) == ["1", "queued"]
+    assert any("point 1/1 done" in line for line in lines)
+    assert "finished -> baseline" in lines[-1]
+
+    assert main(["events", "--url", service.url, finished_job,
+                 "--json", "--after", "1"]) == 0
+    records = [json.loads(line) for line in
+               capsys.readouterr().out.strip().splitlines()]
+    assert records[0]["id"] == 2
+    assert records[-1]["event"] == "finished"
+
+
+def test_unknown_job_is_user_error_rc2(service, capsys):
+    assert main(["status", "--url", service.url, "job-999999"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("repro-serve: error:") and "404" in err
+
+
+def test_dependency_on_unknown_job_rc2(service, capsys):
+    assert main(["submit", "--url", service.url, "--duration", "50",
+                 "--after", "job-999999"]) == 2
+    assert "unknown dependency" in capsys.readouterr().err
+
+
 def test_status_table(service, finished_job, capsys):
     assert main(["status", "--url", service.url]) == 0
     out = capsys.readouterr().out

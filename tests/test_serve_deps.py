@@ -1,0 +1,223 @@
+"""Job dependencies: chains, diamonds, cycles, cascades, recovery.
+
+Most of these run against the bare :class:`JobStore` / scheduler
+internals — dependency semantics are pure state-file logic, so no
+simulation is needed.  The end-to-end tests at the bottom use a real
+daemon with tiny runs to prove the ordering holds across processes and
+across a daemon restart.
+"""
+
+import pytest
+
+from repro.config import Scenario
+from repro.serve import (
+    DependencyCycle,
+    ExperimentService,
+    JobStore,
+    ServeClient,
+    WorkerPool,
+)
+
+SCENARIO = Scenario().with_overrides(
+    {"cluster.nnodes": 1, "seed": 11}).to_dict()
+DURATION = 60.0
+
+
+@pytest.fixture
+def store(tmp_path):
+    return JobStore(tmp_path / "jobs")
+
+
+# -- readiness verdicts --------------------------------------------------------
+def test_chain_holds_until_each_dep_finishes(store):
+    a = store.create("experiment")
+    b = store.create("experiment", depends_on=[a.id])
+    c = store.create("experiment", depends_on=[b.id])
+
+    assert store.readiness(store.load(a.id)) == ("ready", None)
+    assert store.readiness(store.load(b.id)) == ("held", a.id)
+    assert store.readiness(store.load(c.id)) == ("held", b.id)
+
+    store.transition(a.id, "running")
+    assert store.readiness(store.load(b.id)) == ("held", a.id)
+    store.transition(a.id, "finished")
+    assert store.readiness(store.load(b.id)) == ("ready", None)
+    assert store.readiness(store.load(c.id)) == ("held", b.id)
+
+
+def test_diamond_joins_on_both_branches(store):
+    a = store.create("experiment")
+    b = store.create("experiment", depends_on=[a.id])
+    c = store.create("experiment", depends_on=[a.id])
+    d = store.create("experiment", depends_on=[b.id, c.id])
+
+    store.transition(a.id, "running")
+    store.transition(a.id, "finished")
+    assert store.readiness(store.load(b.id)) == ("ready", None)
+    assert store.readiness(store.load(c.id)) == ("ready", None)
+    assert store.readiness(store.load(d.id))[0] == "held"
+
+    store.transition(b.id, "running")
+    store.transition(b.id, "finished")
+    assert store.readiness(store.load(d.id)) == ("held", c.id)
+    store.transition(c.id, "running")
+    store.transition(c.id, "finished")
+    assert store.readiness(store.load(d.id)) == ("ready", None)
+
+
+def test_vanished_dependency_dooms(store):
+    a = store.create("experiment")
+    b = store.create("experiment", depends_on=[a.id])
+    (store.root / f"{a.id}.json").unlink()
+    assert store.readiness(store.load(b.id)) == ("doomed", a.id)
+
+
+# -- cycle rejection at submit -------------------------------------------------
+def test_cycle_rejected_at_submit(store):
+    a = store.create("experiment")
+    b = store.create("experiment", depends_on=[a.id])
+    # close the loop behind the store's back (what a hand-edited job
+    # file can do); the next submission into the closure must fail
+    loop = store.load(a.id)
+    loop.depends_on = [b.id]
+    store.save(loop)
+    with pytest.raises(DependencyCycle, match="dependency cycle"):
+        store.create("experiment", depends_on=[b.id])
+
+
+def test_self_cycle_rejected(store):
+    a = store.create("experiment")
+    selfish = store.load(a.id)
+    selfish.depends_on = [a.id]
+    store.save(selfish)
+    with pytest.raises(DependencyCycle):
+        store.create("experiment", depends_on=[a.id])
+
+
+# -- failed-dependency cascade -------------------------------------------------
+def test_failed_dep_cascades_to_blocked_in_recover(store):
+    a = store.create("experiment")
+    b = store.create("experiment", depends_on=[a.id])
+    c = store.create("experiment", depends_on=[b.id])
+    store.transition(a.id, "running")
+    store.transition(a.id, "failed", error="boom")
+
+    ready = store.recover()
+    assert ready == []
+    blocked_b = store.load(b.id)
+    assert blocked_b.state == "blocked"
+    assert a.id in blocked_b.error
+    # the cascade is transitive: c blocks because b blocked
+    blocked_c = store.load(c.id)
+    assert blocked_c.state == "blocked"
+    assert b.id in blocked_c.error
+    # each blocked job got a terminal event naming the culprit
+    events = store.events(b.id).read()
+    assert events[-1]["event"] == "blocked"
+    assert events[-1]["dependency"] == a.id
+
+
+def test_recover_requeues_half_dispatched_dag(store, tmp_path):
+    import subprocess
+    import sys
+
+    a = store.create("experiment")
+    b = store.create("experiment", depends_on=[a.id])
+    c = store.create("experiment", depends_on=[b.id])
+    store.transition(a.id, "running")
+    store.transition(a.id, "finished")
+    # b was dispatched, then the daemon died with it: dead worker pid
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    store.transition(b.id, "running", pid=proc.pid)
+
+    ready = store.recover()
+    assert [j.id for j in ready] == [b.id, c.id]
+    assert store.load(b.id).state == "queued"      # resumes, not lost
+    assert store.load(a.id).state == "finished"    # untouched
+
+
+# -- scheduler ordering --------------------------------------------------------
+def test_scheduler_picks_priority_then_readiness(store, tmp_path):
+    pool = WorkerPool(tmp_path, store, workers=0)
+    low = store.create("experiment", priority=1)
+    high = store.create("experiment", priority=5)
+    held = store.create("experiment", priority=9, depends_on=[low.id])
+    for job in (low, high, held):
+        pool.submit(job.id)
+
+    with pool._cond:
+        assert pool._pick_ready() == high.id       # held outranks, but waits
+    store.transition(low.id, "running")
+    store.transition(low.id, "finished")
+    with pool._cond:
+        assert pool._pick_ready() == held.id       # now runnable, and first
+
+    # a doomed job is settled right in the scheduling pass
+    doomed = store.create("experiment", priority=99,
+                          depends_on=[high.id])
+    pool.submit(doomed.id)
+    store.transition(high.id, "running")
+    store.transition(high.id, "failed", error="boom")
+    with pool._cond:
+        assert pool._pick_ready() == held.id       # doomed one settled
+    assert store.load(doomed.id).state == "blocked"
+
+
+# -- end to end ----------------------------------------------------------------
+def test_dependent_starts_only_after_dep_finishes(tmp_path):
+    service = ExperimentService(tmp_path / "root", workers=2).start()
+    try:
+        client = ServeClient(service.url)
+        first = client.submit(scenario=SCENARIO, duration=DURATION)
+        second = client.submit(scenario=SCENARIO, duration=DURATION,
+                               priority=10, depends_on=[first["id"]])
+        done = client.wait(second["id"], timeout=180)
+        dep = client.job(first["id"])
+        assert dep["state"] == "finished"
+        assert done["state"] == "finished"
+        # despite two free workers and a higher priority, the dependent
+        # never starts before its dependency has finished
+        assert done["started"] >= dep["finished"]
+    finally:
+        service.shutdown()
+
+
+def test_failed_dep_blocks_dependent_end_to_end(tmp_path):
+    service = ExperimentService(tmp_path / "root", workers=1).start()
+    try:
+        client = ServeClient(service.url)
+        # a spec no API submission can produce: fails in the worker
+        bad = service.store.create("experiment",
+                                   {"experiment": "does-not-exist"})
+        service.pool.submit(bad.id)
+        child = client.submit(scenario=SCENARIO, duration=DURATION,
+                              depends_on=[bad.id])
+        final = client.wait(child["id"], timeout=120)
+        assert final["state"] == "blocked"
+        assert bad.id in final["error"]
+        assert client.job(bad.id)["state"] == "failed"
+    finally:
+        service.shutdown()
+
+
+def test_dag_survives_daemon_restart(tmp_path):
+    root = tmp_path / "root"
+    first = ExperimentService(root, workers=0).start()   # accept-only
+    client = ServeClient(first.url)
+    head = client.submit(scenario=SCENARIO, duration=DURATION)
+    tail = client.submit(scenario=SCENARIO, duration=DURATION,
+                         depends_on=[head["id"]])
+    first.shutdown()                                     # daemon dies
+
+    second = ExperimentService(root, workers=2).start()
+    try:
+        client = ServeClient(second.url)
+        done = client.wait(tail["id"], timeout=180)
+        dep = client.job(head["id"])
+        assert dep["state"] == "finished"
+        assert done["state"] == "finished"
+        assert done["started"] >= dep["finished"]
+        assert done["depends_on"] == [head["id"]]
+    finally:
+        second.shutdown()

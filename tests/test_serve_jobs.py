@@ -121,7 +121,24 @@ def test_counts_zero_filled(store):
     store.transition(job.id, "running")
     counts = store.counts()
     assert counts == {"queued": 1, "running": 1, "finished": 0,
-                      "failed": 0, "cancelled": 0}
+                      "failed": 0, "cancelled": 0, "blocked": 0}
+
+
+def test_priority_deps_tenant_persist(store):
+    first = store.create("experiment")
+    job = store.create("experiment", priority=7,
+                       depends_on=[first.id], tenant="team-a")
+    on_disk = store.load(job.id)
+    assert on_disk.priority == 7
+    assert on_disk.depends_on == [first.id]
+    assert on_disk.tenant == "team-a"
+    data = json.loads((store.root / f"{job.id}.json").read_text())
+    assert data["priority"] == 7 and data["depends_on"] == [first.id]
+
+
+def test_create_rejects_unknown_dependency(store):
+    with pytest.raises(JobError, match="unknown dependency"):
+        store.create("experiment", depends_on=["job-999999"])
 
 
 def test_job_round_trip_rejects_garbage():
@@ -141,7 +158,7 @@ def test_render_jobs_table(store):
     table = render_jobs_table(store.jobs())
     lines = table.splitlines()
     assert lines[0].split() == ["job", "kind", "experiment", "state",
-                                "runs", "info"]
+                                "pri", "deps", "runs", "info"]
     assert "job-000001" in lines[2] and "queued" in lines[2]
     assert "wavelet x 1 axis" in lines[3]
     assert "failed" in lines[3] and "boom" in lines[3]

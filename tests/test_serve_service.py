@@ -121,6 +121,41 @@ def test_runs_index_covers_all_catalogs(client, baseline_job, sweep_job):
     assert err.value.status == 404
 
 
+# -- progress events over SSE --------------------------------------------------
+def test_event_stream_replays_job_history(client, baseline_job):
+    events = list(client.events(baseline_job["id"]))
+    kinds = [e["event"] for e in events]
+    assert kinds[0] == "queued"
+    assert "started" in kinds
+    assert kinds[-1] == "finished"
+    assert [e["id"] for e in events] == list(range(1, len(events) + 1))
+    point = next(e for e in events if e["event"] == "point")
+    assert point["k"] == 1 and point["n"] == 1
+    assert point["run_id"] == "baseline"
+    assert point["events_per_sec"] is None or point["events_per_sec"] > 0
+
+
+def test_event_stream_resumes_after_cursor(client, baseline_job,
+                                           sweep_job):
+    full = list(client.events(sweep_job["id"]))
+    assert sum(1 for e in full if e["event"] == "point") == 2
+    resumed = list(client.events(sweep_job["id"], after=full[1]["id"]))
+    assert resumed == full[2:]
+    # ?after= is the query-string spelling of Last-Event-ID
+    status, body, _ = client.request(
+        "GET", f"/v1/jobs/{sweep_job['id']}/events?after={full[-1]['id']}")
+    assert status == 200 and body is None
+    metrics = client.metrics()
+    assert metrics["serve.event_streams"]["value"] >= 3
+    assert metrics["serve.events_sent"]["value"] >= len(full) + len(resumed)
+
+
+def test_event_stream_unknown_job_is_404(client):
+    with pytest.raises(ServeError) as err:
+        list(client.events("job-999999"))
+    assert err.value.status == 404
+
+
 # -- analysis: cached, ETagged, bit-identical ----------------------------------
 def test_analysis_matches_trace_cli_bit_for_bit(service, client,
                                                 baseline_job, capsys):

@@ -1,0 +1,178 @@
+"""Multi-tenant auth and quotas: tenants.toml, 401/403/429, metrics.
+
+The end-to-end tests run an accept-only daemon (``workers=0``): quota
+enforcement happens at ``POST /v1/jobs``, so nothing needs to execute.
+"""
+
+import pytest
+
+from repro.serve import (
+    AuthError,
+    ExperimentService,
+    QuotaExceeded,
+    ServeClient,
+    Tenants,
+)
+from repro.serve.tenants import directory_bytes
+
+TENANTS_TOML = """\
+[tenants.team-a]
+token = "token-a"
+max_queued = 2
+quota_mb = 1
+
+[tenants.team-b]
+token = "token-b"
+max_running = 1
+catalogs = ["team-b", "scratch"]
+"""
+
+
+# -- parsing -------------------------------------------------------------------
+def test_parse_tenants_toml():
+    tenants = Tenants.parse(TENANTS_TOML)
+    assert tenants.enforced
+    a = tenants.tenants["team-a"]
+    assert a.token == "token-a"
+    assert a.max_queued == 2 and a.quota_mb == 1.0
+    assert a.catalogs == ("team-a",)          # defaults to the name
+    assert a.default_catalog == "team-a"
+    b = tenants.tenants["team-b"]
+    assert b.owns_catalog("scratch") and not b.owns_catalog("team-a")
+    assert tenants.running_limit("team-b") == 1
+    assert tenants.running_limit("team-a") == 0
+    assert tenants.running_limit(None) == 0
+
+
+def test_parse_rejects_tokenless_tenant():
+    with pytest.raises(ValueError, match="token"):
+        Tenants.parse("[tenants.ghost]\nmax_queued = 1\n")
+
+
+def test_missing_file_means_open_daemon(tmp_path):
+    tenants = Tenants.load(tmp_path / "tenants.toml")
+    assert not tenants.enforced
+    assert tenants.authenticate(None) is None
+    # no quotas on an open daemon either
+    tenants.authorize_submit(None, "default", queued=999,
+                             catalog_bytes=10**12)
+
+
+# -- authentication ------------------------------------------------------------
+def test_authenticate_resolves_and_rejects():
+    tenants = Tenants.parse(TENANTS_TOML)
+    assert tenants.authenticate("Bearer token-a").name == "team-a"
+    assert tenants.authenticate("bearer token-b").name == "team-b"
+    for header in (None, "", "token-a", "Basic token-a",
+                   "Bearer ", "Bearer wrong"):
+        with pytest.raises(AuthError) as err:
+            tenants.authenticate(header)
+        assert err.value.status == 401, header
+
+
+def test_authorize_submit_verdicts():
+    tenants = Tenants.parse(TENANTS_TOML)
+    a = tenants.tenants["team-a"]
+    tenants.authorize_submit(a, "team-a", queued=0, catalog_bytes=0)
+    with pytest.raises(AuthError) as err:
+        tenants.authorize_submit(a, "team-b", queued=0, catalog_bytes=0)
+    assert err.value.status == 403
+    with pytest.raises(QuotaExceeded) as err:
+        tenants.authorize_submit(a, "team-a", queued=2, catalog_bytes=0)
+    assert err.value.status == 429
+    with pytest.raises(QuotaExceeded) as err:
+        tenants.authorize_submit(a, "team-a", queued=0,
+                                 catalog_bytes=2 * 1024 * 1024)
+    assert err.value.status == 429
+
+
+def test_directory_bytes(tmp_path):
+    assert directory_bytes(tmp_path / "nope") == 0
+    (tmp_path / "sub").mkdir()
+    (tmp_path / "sub" / "f").write_bytes(b"x" * 1000)
+    (tmp_path / "g").write_bytes(b"y" * 24)
+    assert directory_bytes(tmp_path) == 1024
+
+
+# -- scheduler cap -------------------------------------------------------------
+def test_max_running_holds_jobs_in_scheduler(tmp_path):
+    from repro.serve import JobStore, WorkerPool
+
+    tenants = Tenants.parse(TENANTS_TOML)
+    store = JobStore(tmp_path / "jobs")
+    pool = WorkerPool(tmp_path, store, workers=0, tenants=tenants)
+    first = store.create("experiment", tenant="team-b")
+    second = store.create("experiment", tenant="team-b")
+    pool.submit(first.id)
+    pool.submit(second.id)
+    with pool._cond:
+        assert pool._pick_ready() == first.id
+        # one team-b job already running: the cap (max_running = 1)
+        # holds the second without rejecting it
+        pool._proc_tenants[first.id] = "team-b"
+        del pool._queue[first.id]
+        assert pool._pick_ready() is None
+        pool._proc_tenants.clear()
+        assert pool._pick_ready() == second.id
+
+
+# -- end to end ----------------------------------------------------------------
+@pytest.fixture
+def service(tmp_path):
+    root = tmp_path / "root"
+    root.mkdir()
+    (root / "tenants.toml").write_text(TENANTS_TOML)
+    service = ExperimentService(root, workers=0).start()
+    yield service
+    service.shutdown()
+
+
+def test_submit_requires_token(service):
+    anonymous = ServeClient(service.url)
+    with pytest.raises(AuthError) as err:
+        anonymous.submit(duration=50.0)
+    assert err.value.status == 401
+    stranger = ServeClient(service.url, token="wrong")
+    with pytest.raises(AuthError):
+        stranger.submit(duration=50.0)
+    # reads stay open: the job table needs no token
+    assert anonymous.jobs() == []
+    assert sorted(anonymous.status()["tenants"]) == ["team-a", "team-b"]
+
+
+def test_tenant_submission_quotas_and_catalogs(service):
+    client = ServeClient(service.url, token="token-a")
+    job = client.submit(duration=50.0)
+    assert job["tenant"] == "team-a"
+    # the tenant's own catalog is the default sink
+    assert service.store.load(job["id"]).spec["catalog"] == "team-a"
+
+    with pytest.raises(AuthError) as err:
+        client.submit(duration=50.0, catalog="team-b")
+    assert err.value.status == 403
+
+    client.submit(duration=50.0)                  # queued = 2 = max
+    with pytest.raises(QuotaExceeded) as err:
+        client.submit(duration=50.0)
+    assert err.value.status == 429
+
+    # team-b has its own limits; team-a's full queue does not gate it
+    other = ServeClient(service.url, token="token-b")
+    assert other.submit(duration=50.0)["tenant"] == "team-b"
+
+    metrics = client.metrics()
+    submitted = metrics["serve.tenant.jobs_submitted"]["children"]
+    assert submitted["team-a"] == 2 and submitted["team-b"] == 1
+    rejected = metrics["serve.tenant.rejected"]["children"]
+    assert rejected["catalog"] == 1 and rejected["quota"] == 1
+
+
+def test_disk_quota_rejects_submit(service):
+    client = ServeClient(service.url, token="token-a")
+    catalog = service.root / "catalogs" / "team-a"
+    catalog.mkdir(parents=True, exist_ok=True)
+    (catalog / "bulk.bin").write_bytes(b"\0" * (2 * 1024 * 1024))
+    with pytest.raises(QuotaExceeded, match="quota_mb"):
+        client.submit(duration=50.0)
+    gauge = client.metrics()["serve.tenant.catalog_bytes"]["children"]
+    assert gauge["team-a"] >= 2 * 1024 * 1024

@@ -16,6 +16,18 @@ the whole serving story over HTTP:
 * restart the daemon on the same root and confirm the finished jobs
   and cached analyses are still served.
 
+A second phase exercises the scheduler and tenancy on a fresh root with
+a ``tenants.toml``:
+
+* reject a missing and a wrong bearer token with 401;
+* queue a three-job priority/dependency DAG under two tenants on an
+  accept-only daemon (``--workers 0``) and assert the over-quota
+  submission is a 429;
+* kill the daemon mid-DAG, restart it with workers, stream the
+  dependent job's progress as Server-Sent Events (at least one
+  ``point`` event must arrive live), and assert the dependent never
+  started before its dependency finished.
+
 Usage::
 
     PYTHONPATH=src python tools/serve_smoke.py [--duration 60]
@@ -34,19 +46,30 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.serve import ServeClient
+from repro.serve import AuthError, QuotaExceeded, ServeClient
 from repro.store.cli import main as trace_main
 
 GRID = "scheduler=clook,fifo"
 EXPECTED_RUNS = ["baseline@scheduler=clook", "baseline@scheduler=fifo"]
 
+TENANTS_TOML = """\
+[tenants.team-a]
+token = "smoke-token-a"
+max_queued = 4
 
-def start_daemon(root: Path) -> tuple:
+[tenants.team-b]
+token = "smoke-token-b"
+max_queued = 1
+"""
+
+
+def start_daemon(root: Path, workers: int = 2) -> tuple:
     """Launch ``repro-serve serve`` on an ephemeral port; returns
     ``(process, url)`` once the daemon announces itself."""
     process = subprocess.Popen(
         [sys.executable, "-m", "repro.serve.cli", "serve",
-         "--root", str(root), "--port", "0", "--workers", "2"],
+         "--root", str(root), "--port", "0",
+         "--workers", str(workers)],
         stderr=subprocess.PIPE, text=True)
     line = process.stderr.readline()
     match = re.search(r"listening on (http://\S+)", line)
@@ -120,6 +143,74 @@ def run_smoke(duration: float, root: Path) -> int:
     return 0
 
 
+def expect_error(kind, status: int, what: str, call) -> None:
+    try:
+        call()
+    except kind as exc:
+        assert exc.status == status, f"{what}: got {exc.status}"
+        print(f"{what}: rejected as expected ({status})")
+        return
+    raise AssertionError(f"{what}: was accepted")
+
+
+def run_phase2(duration: float, root: Path) -> int:
+    """Scheduler + tenancy: DAG under two tenants, SSE, restart."""
+    from repro.config import Scenario
+    scenario = Scenario().with_overrides(
+        {"cluster.nnodes": 1, "seed": 5}).to_dict()
+    root.mkdir(parents=True, exist_ok=True)
+    (root / "tenants.toml").write_text(TENANTS_TOML)
+
+    # accept-only daemon: the DAG queues durably, nothing dispatches
+    process, url = start_daemon(root, workers=0)
+    try:
+        expect_error(AuthError, 401, "tokenless submit",
+                     lambda: ServeClient(url).submit(duration=duration))
+        expect_error(AuthError, 401, "wrong-token submit",
+                     lambda: ServeClient(url, token="nope")
+                     .submit(duration=duration))
+
+        team_a = ServeClient(url, token="smoke-token-a")
+        team_b = ServeClient(url, token="smoke-token-b")
+        head = team_a.submit(scenario=scenario, duration=duration)
+        dependent = team_a.submit(scenario=scenario, duration=duration,
+                                  priority=5, depends_on=[head["id"]])
+        rival = team_b.submit(scenario=scenario, duration=duration,
+                              priority=10)
+        print(f"DAG queued: {head['id']} <- {dependent['id']} "
+              f"(team-a), {rival['id']} (team-b)")
+        assert dependent["depends_on"] == [head["id"]]
+        assert rival["tenant"] == "team-b"
+        expect_error(QuotaExceeded, 429, "over-quota submit",
+                     lambda: team_b.submit(scenario=scenario,
+                                           duration=duration))
+    finally:
+        stop_daemon(process)          # dies with the whole DAG queued
+
+    # the successor inherits the half-dispatched DAG and runs it
+    process, url = start_daemon(root, workers=2)
+    try:
+        team_a = ServeClient(url, token="smoke-token-a")
+        points = 0
+        for record in team_a.events(dependent["id"], timeout=300):
+            points += record["event"] == "point"
+        assert points >= 1, "SSE stream carried no point event"
+        print(f"SSE stream over {dependent['id']}: "
+              f"{points} live point event(s)")
+
+        for job_id in (head["id"], dependent["id"], rival["id"]):
+            final = team_a.wait(job_id, timeout=300)
+            assert final["state"] == "finished", final
+        head_final = team_a.job(head["id"])
+        dep_final = team_a.job(dependent["id"])
+        assert dep_final["started"] >= head_final["finished"], \
+            "dependent started before its dependency finished"
+    finally:
+        stop_daemon(process)
+    print(f"serve smoke phase 2 OK: DAG, tenants, and SSE from {root}")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--duration", type=float, default=60.0,
@@ -129,9 +220,11 @@ def main() -> int:
     args = parser.parse_args()
     if args.keep:
         args.keep.mkdir(parents=True, exist_ok=True)
-        return run_smoke(args.duration, args.keep)
+        return run_smoke(args.duration, args.keep / "phase1") or \
+            run_phase2(args.duration, args.keep / "phase2")
     with tempfile.TemporaryDirectory(prefix="serve-smoke-") as tmp:
-        return run_smoke(args.duration, Path(tmp))
+        return run_smoke(args.duration, Path(tmp) / "phase1") or \
+            run_phase2(args.duration, Path(tmp) / "phase2")
 
 
 if __name__ == "__main__":
