@@ -29,8 +29,10 @@ The events route is a plain-``ThreadingHTTPServer`` SSE stream: one
 ``id:``/``event:``/``data:`` frame per progress event off the job's
 append-only event log, resumable via ``Last-Event-ID`` (or ``?after=``),
 closed when the job reaches a terminal state.  When a ``tenants.toml``
-exists in the service root, ``POST /v1/jobs`` authenticates
-``Authorization: Bearer`` tokens and enforces per-tenant quotas — see
+exists in the service root, **every** ``/v1/jobs`` route authenticates
+``Authorization: Bearer`` tokens: submission enforces per-tenant
+quotas, the job table is scoped to the caller's own jobs, and reading,
+cancelling, or streaming a job another tenant owns is 403 — see
 :mod:`repro.serve.tenants`.
 """
 
@@ -46,7 +48,7 @@ from pathlib import Path
 from typing import Dict, Optional, Union
 from urllib.parse import parse_qs, urlsplit
 
-from repro.serve.errors import ServeError
+from repro.serve.errors import AuthError, ServeError
 from repro.serve.jobs import (
     ACTIVE_STATES,
     Job,
@@ -67,6 +69,10 @@ from repro.serve.tenants import Tenants, directory_bytes
 SERVER_NAME = "repro-serve/1"
 #: filename in the service root that switches tenant enforcement on
 TENANTS_FILE = "tenants.toml"
+#: concurrent SSE streams; each pins one server thread until terminal
+MAX_EVENT_STREAMS = 32
+#: floor/ceiling for the ``?poll=`` follow interval (seconds)
+MIN_EVENT_POLL, MAX_EVENT_POLL = 0.05, 5.0
 
 
 class ApiError(Exception):
@@ -101,14 +107,18 @@ class ExperimentService:
         if isinstance(tenants, Tenants):
             self.tenants = tenants
         else:
+            # an explicitly named tenants file must exist: a typo'd
+            # path silently starting an open daemon would fail open
             self.tenants = Tenants.load(tenants or
-                                        self.root / TENANTS_FILE)
+                                        self.root / TENANTS_FILE,
+                                        required=tenants is not None)
         self.store = JobStore(self.root / JOBS_DIR)
         self.pool = WorkerPool(self.root, self.store, workers=workers,
                                obs=self.registry, tenants=self.tenants)
         self.started_at = time.time()
         self._engines: Dict[str, object] = {}
         self._engines_lock = threading.Lock()
+        self._stream_slots = threading.BoundedSemaphore(MAX_EVENT_STREAMS)
         handler = type("BoundHandler", (_Handler,), {"service": self})
         self.httpd = ThreadingHTTPServer((host, port), handler)
         self.httpd.daemon_threads = True
@@ -435,12 +445,28 @@ class _Handler(BaseHTTPRequestHandler):
     def _get_metrics(self) -> None:
         self._send_json(self.service.registry.snapshot())
 
+    def _tenant(self):
+        """Authenticate the request (None on an open daemon).
+
+        Every ``/v1/jobs`` route calls this: on a tenants-enforcing
+        daemon a missing, malformed, or unknown bearer token is a 401
+        no matter the verb — listing, reading, streaming, and
+        cancelling jobs are as gated as submitting them.
+        """
+        return self.service.tenants.authenticate(
+            self.headers.get("Authorization"))
+
     def _get_jobs(self) -> None:
+        tenant = self._tenant()
         state = self.query.get("state")
         if state is not None and state not in STATES + ("active",):
             raise ApiError(400, f"unknown state {state!r}; choose from "
                                 f"{', '.join(STATES)}")
         jobs = self.service.store.jobs()
+        if tenant is not None:
+            # scope the table to the caller's own jobs (plus un-owned
+            # ones submitted before tenancy was switched on)
+            jobs = [j for j in jobs if j.tenant in (None, tenant.name)]
         if state == "active":
             jobs = [j for j in jobs if j.state in ACTIVE_STATES]
         elif state:
@@ -451,19 +477,22 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json({"jobs": [j.to_dict() for j in jobs]})
 
     def _post_jobs(self) -> None:
-        tenant = self.service.tenants.authenticate(
-            self.headers.get("Authorization"))
-        if tenant is None and self.service.tenants.enforced:
-            raise ApiError(401, "authentication required")
-        job = self.service.submit(self._read_body(), tenant=tenant)
+        job = self.service.submit(self._read_body(),
+                                  tenant=self._tenant())
         self._send_json(job.to_dict(), status=201,
                         headers={"Location": f"/v1/jobs/{job.id}"})
 
     def _load_job(self, job_id: str) -> Job:
+        """Authenticate, load, and authorize one job (401/404/403)."""
+        tenant = self._tenant()
         try:
-            return self.service.store.load(job_id)
+            job = self.service.store.load(job_id)
         except JobError as exc:
             raise ApiError(404, str(exc), code="job_not_found") from exc
+        if tenant is not None and job.tenant not in (None, tenant.name):
+            raise AuthError(f"job {job_id} belongs to another tenant",
+                            status=403)
+        return job
 
     def _get_job(self, job_id: str) -> None:
         self._send_json(self._load_job(job_id).to_dict())
@@ -475,15 +504,29 @@ class _Handler(BaseHTTPRequestHandler):
         skips already-seen events.  The stream ends — and the connection
         closes, which is what delimits the body — once the job is
         terminal and its log is drained.  ``?poll=`` tunes the follow
-        latency for tests.
+        latency for tests (clamped to [``MIN_EVENT_POLL``,
+        ``MAX_EVENT_POLL``] so ``poll=0`` cannot busy-spin a server
+        thread); at most ``MAX_EVENT_STREAMS`` streams run at once
+        (503 beyond that), since each pins one server thread.
         """
         job = self._load_job(job_id)
         try:
-            after = int(self.headers.get("Last-Event-ID")
-                        or self.query.get("after") or 0)
+            after = max(int(self.headers.get("Last-Event-ID")
+                            or self.query.get("after") or 0), 0)
             poll = float(self.query.get("poll") or 0.2)
         except ValueError as exc:
             raise ApiError(400, f"bad event cursor: {exc}") from exc
+        poll = min(max(poll, MIN_EVENT_POLL), MAX_EVENT_POLL)
+        if not self.service._stream_slots.acquire(blocking=False):
+            raise ApiError(503, "too many concurrent event streams",
+                           code="busy")
+        try:
+            self._stream_job_events(job, job_id, after, poll)
+        finally:
+            self.service._stream_slots.release()
+
+    def _stream_job_events(self, job: Job, job_id: str,
+                           after: int, poll: float) -> None:
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-cache")
@@ -522,6 +565,7 @@ class _Handler(BaseHTTPRequestHandler):
             self.wfile.flush()
 
     def _post_cancel(self, job_id: str) -> None:
+        self._load_job(job_id)        # 401/404/403 before any action
         self._send_json(self.service.cancel(job_id).to_dict())
 
     def _get_runs(self) -> None:

@@ -3,15 +3,16 @@
 Workers append one JSON object per line to ``jobs/<id>.events.jsonl``
 while a job runs — ``started``, one ``point`` per finished grid point
 (with the live events/sec the simulator achieved), and a terminal
-``finished``/``failed``/``cancelled``/``blocked``.  Every event carries
-a monotonically increasing ``id`` starting at 1, which is what the SSE
-endpoint emits as the ``id:`` field and what ``Last-Event-ID`` resumes
-from.
+``finished``/``failed``/``cancelled``/``blocked``.  :meth:`EventLog.
+read` stamps every event with a monotonically increasing ``id``
+starting at 1, which is what the SSE endpoint emits as the ``id:``
+field and what ``Last-Event-ID`` resumes from.
 
 Appends are a single ``write()`` on an ``O_APPEND`` descriptor, so the
-daemon and a spawned worker can both append without tearing a line; the
-next id is re-derived from the file on every append, so it stays
-correct across processes and daemon restarts.
+daemon and a spawned worker can both append without tearing a line.
+Ids are **not** persisted: they are derived from line position at read
+time, so two processes appending concurrently can never mint the same
+id (and appending stays O(1) — no re-read of the log per event).
 """
 
 from __future__ import annotations
@@ -33,9 +34,13 @@ class EventLog:
         self.path = Path(path)
 
     def append(self, event: str, **data) -> dict:
-        """Durably append one event; returns it with its ``id`` set."""
-        record = {"id": len(self.read()) + 1, "event": event,
-                  "time": time.time(), **data}
+        """Durably append one event; returns the written record.
+
+        The record carries no ``id`` on disk — ids are assigned by
+        line position in :meth:`read`, which keeps them unique even
+        when several processes append concurrently.
+        """
+        record = {"event": event, "time": time.time(), **data}
         line = json.dumps(record, separators=(",", ":")) + "\n"
         self.path.parent.mkdir(parents=True, exist_ok=True)
         fd = os.open(self.path, os.O_CREAT | os.O_WRONLY | os.O_APPEND,
@@ -47,12 +52,20 @@ class EventLog:
         return record
 
     def read(self, after: int = 0) -> List[dict]:
-        """Every event with ``id > after``, in order."""
+        """Every event with ``id > after``, in order.
+
+        ``id`` is the event's 1-based position among the parseable
+        lines of the file.  Once written a line never moves, so ids are
+        stable across reads, processes, and daemon restarts (any ``id``
+        persisted by an older release is overridden by position — the
+        two agree, since old appenders were sequential).
+        """
         try:
             text = self.path.read_text()
         except FileNotFoundError:
             return []
         out = []
+        position = 0
         for line in text.splitlines():
             line = line.strip()
             if not line:
@@ -61,7 +74,9 @@ class EventLog:
                 record = json.loads(line)
             except ValueError:
                 continue              # torn trailing line mid-append
-            if record.get("id", 0) > after:
+            position += 1
+            record["id"] = position
+            if position > after:
                 out.append(record)
         return out
 
@@ -78,17 +93,26 @@ class EventLog:
         deadline = (time.monotonic() + timeout) if timeout else None
         last = after
         while True:
-            fresh = self.read(after=last)
-            for record in fresh:
+            for record in self.read(after=last):
                 last = record["id"]
                 yield record
                 if record.get("event") in TERMINAL_EVENTS:
                     return
             if done is not None and done():
-                # drain anything written between read() and done()
+                # the writer may have marked the job file terminal just
+                # before appending the terminal event: drain, give it
+                # one poll interval of grace, and drain again so the
+                # stream still carries the event consumers key off
+                terminal_seen = False
                 for record in self.read(after=last):
                     last = record["id"]
                     yield record
+                    terminal_seen = record.get("event") in TERMINAL_EVENTS
+                if not terminal_seen:
+                    time.sleep(poll)
+                    for record in self.read(after=last):
+                        last = record["id"]
+                        yield record
                 return
             if deadline and time.monotonic() >= deadline:
                 return

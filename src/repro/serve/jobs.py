@@ -290,13 +290,16 @@ class JobStore:
         return "ready", None
 
     def block(self, job_id: str, dep_id: str) -> Job:
-        """Settle a queued job whose dependency failed, with an event."""
-        job = self.transition(
-            job_id, "blocked",
-            error=f"dependency {dep_id} did not finish")
+        """Settle a queued job whose dependency failed, with an event.
+
+        The event lands before the terminal state write so a follower
+        closing on "job is terminal" still sees it.
+        """
         self.events(job_id).append("blocked", job=job_id,
                                    dependency=dep_id)
-        return job
+        return self.transition(
+            job_id, "blocked",
+            error=f"dependency {dep_id} did not finish")
 
     def recover(self) -> List[Job]:
         """Reload after a restart; returns the jobs ready to schedule.

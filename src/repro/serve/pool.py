@@ -126,23 +126,26 @@ def _job_main(root: str, job_id: str) -> None:
     log.append("started", job=job_id, kind=job.kind,
                experiment=job.spec.get("experiment", "baseline"),
                pid=job.pid)
+    # terminal events go into the log *before* the terminal job-file
+    # write: SSE followers close once the job file is terminal, so the
+    # reverse order could end a stream without its terminal event
     try:
         outcome = execute_job(job, root,
                               progress=lambda event, **data:
                               log.append(event, job=job_id, **data))
     except Exception as exc:
         error = f"{type(exc).__name__}: {exc}"
+        log.append("failed", job=job_id, error=error)
         try:
             store.transition(job_id, "failed", error=error)
-            log.append("failed", job=job_id, error=error)
         except JobError:
             pass                  # cancelled underneath us; keep that
         return
+    log.append("finished", job=job_id, run_ids=outcome["run_ids"])
     try:
         store.transition(job_id, "finished",
                          result=outcome["summary"],
                          run_ids=outcome["run_ids"])
-        log.append("finished", job=job_id, run_ids=outcome["run_ids"])
     except JobError:
         pass                      # cancelled in the final instants
 
@@ -227,8 +230,9 @@ class WorkerPool:
                 proc.terminate()
         if proc is None:
             # not started (or a worker that just exited): mark directly
-            job = self.store.transition(job_id, "cancelled")
+            # (event before state — see _job_main on ordering)
             self.store.events(job_id).append("cancelled", job=job_id)
+            job = self.store.transition(job_id, "cancelled")
             self._count_terminal("cancelled")
         else:
             proc.join(timeout=10.0)
@@ -348,13 +352,13 @@ class WorkerPool:
             self._count_terminal(job.state)
             return job
         if cancelled:
-            job = self.store.transition(job_id, "cancelled")
             self.store.events(job_id).append("cancelled", job=job_id)
+            job = self.store.transition(job_id, "cancelled")
         else:
             error = f"worker died (exit code {exitcode})"
-            job = self.store.transition(job_id, "failed", error=error)
             self.store.events(job_id).append("failed", job=job_id,
                                              error=error)
+            job = self.store.transition(job_id, "failed", error=error)
         self._count_terminal(job.state)
         return job
 

@@ -14,9 +14,10 @@ multi-tenant one::
     token = "another-token"
     max_queued = 1
 
-When the file exists, ``POST /v1/jobs`` requires
+When the file exists, every ``/v1/jobs`` route requires
 ``Authorization: Bearer <token>``: an unknown or missing token is 401,
-submitting into a catalog the tenant does not own is 403, and a hit
+submitting into a catalog the tenant does not own — or reading,
+cancelling, or streaming another tenant's job — is 403, and a hit
 limit (queued jobs, catalog megabytes) is 429 — all as JSON bodies
 carrying the error ``code``.  ``max_running`` is enforced by the
 scheduler instead: excess jobs queue normally and dispatch as the
@@ -70,12 +71,21 @@ class Tenants:
 
     # -- loading --------------------------------------------------------------
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Tenants":
-        """Parse ``tenants.toml``; a missing file means an open daemon."""
+    def load(cls, path: Union[str, Path],
+             required: bool = False) -> "Tenants":
+        """Parse ``tenants.toml``; a missing file means an open daemon.
+
+        With ``required=True`` a missing file raises instead — the mode
+        for an *explicitly named* path (CLI ``--tenants``), where a typo
+        silently starting an unauthenticated daemon would be a
+        dangerous fail-open.
+        """
         path = Path(path)
         try:
             text = path.read_text()
         except FileNotFoundError:
+            if required:
+                raise
             return cls(path=path)
         return cls.parse(text, path=path)
 

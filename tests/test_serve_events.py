@@ -1,0 +1,81 @@
+"""EventLog: positional ids, multi-process appends, follow() draining."""
+
+import json
+
+from repro.serve.events import EventLog
+
+
+def test_ids_are_derived_at_read_time(tmp_path):
+    log = EventLog(tmp_path / "job.events.jsonl")
+    log.append("started", job="job-000001")
+    log.append("point", k=1, n=2)
+    log.append("finished")
+    # nothing persists an id: position is the id
+    for line in (tmp_path / "job.events.jsonl").read_text().splitlines():
+        assert "id" not in json.loads(line)
+    events = log.read()
+    assert [e["id"] for e in events] == [1, 2, 3]
+    assert [e["event"] for e in events] == ["started", "point",
+                                           "finished"]
+    # resume skips exactly the already-seen prefix
+    assert [e["id"] for e in log.read(after=2)] == [3]
+
+
+def test_interleaved_appenders_never_share_an_id(tmp_path):
+    """Two processes appending concurrently each get a unique id.
+
+    The daemon (cancel/reconcile) and the worker hold independent
+    EventLog instances over the same file; ids minted at read time
+    cannot collide no matter how their appends interleave.
+    """
+    path = tmp_path / "job.events.jsonl"
+    daemon, worker = EventLog(path), EventLog(path)
+    worker.append("started")
+    daemon.append("cancelled")       # daemon races the worker...
+    worker.append("point", k=1, n=1)
+    ids = [e["id"] for e in EventLog(path).read()]
+    assert ids == sorted(set(ids)) == [1, 2, 3]
+
+
+def test_legacy_persisted_ids_are_overridden_by_position(tmp_path):
+    path = tmp_path / "job.events.jsonl"
+    path.write_text('{"id":1,"event":"started"}\n'
+                    '{"id":1,"event":"point"}\n')   # duplicate on disk
+    assert [e["id"] for e in EventLog(path).read()] == [1, 2]
+
+
+def test_torn_trailing_line_is_skipped(tmp_path):
+    path = tmp_path / "job.events.jsonl"
+    log = EventLog(path)
+    log.append("started")
+    with path.open("a") as handle:
+        handle.write('{"event":"poi')           # torn mid-append
+    assert [e["event"] for e in log.read()] == ["started"]
+
+
+def test_follow_stops_at_terminal_event(tmp_path):
+    log = EventLog(tmp_path / "job.events.jsonl")
+    log.append("started")
+    log.append("finished")
+    log.append("ghost")              # never reached: stream ended
+    events = [e["event"] for e in log.follow(poll=0.01)]
+    assert events == ["started", "finished"]
+
+
+def test_follow_grace_drain_delivers_late_terminal_event(tmp_path):
+    """The writer marks the job file terminal *before* its terminal
+    event lands: follow(done=...) must wait one poll and re-drain."""
+    import threading
+
+    log = EventLog(tmp_path / "job.events.jsonl")
+    log.append("started")
+    # done() says "terminal" immediately, but the terminal event only
+    # arrives a beat later — as a writer racing the job-file write does
+    late = threading.Timer(0.05, lambda: log.append("finished"))
+    late.start()
+    try:
+        events = [e["event"]
+                  for e in log.follow(poll=0.3, done=lambda: True)]
+    finally:
+        late.join()
+    assert events == ["started", "finished"]

@@ -58,6 +58,21 @@ def test_missing_file_means_open_daemon(tmp_path):
                              catalog_bytes=10**12)
 
 
+def test_explicitly_named_missing_file_fails_closed(tmp_path):
+    """A typo'd --tenants path must not silently start an open daemon."""
+    with pytest.raises(FileNotFoundError):
+        Tenants.load(tmp_path / "typo.toml", required=True)
+    with pytest.raises(FileNotFoundError):
+        ExperimentService(tmp_path / "root",
+                          tenants=tmp_path / "typo.toml")
+    # the implicit ROOT/tenants.toml default still means open mode
+    service = ExperimentService(tmp_path / "root2", workers=0).start()
+    try:
+        assert not service.tenants.enforced
+    finally:
+        service.shutdown()
+
+
 # -- authentication ------------------------------------------------------------
 def test_authenticate_resolves_and_rejects():
     tenants = Tenants.parse(TENANTS_TOML)
@@ -127,17 +142,41 @@ def service(tmp_path):
     service.shutdown()
 
 
-def test_submit_requires_token(service):
+def test_every_jobs_route_requires_token(service):
     anonymous = ServeClient(service.url)
-    with pytest.raises(AuthError) as err:
-        anonymous.submit(duration=50.0)
-    assert err.value.status == 401
     stranger = ServeClient(service.url, token="wrong")
-    with pytest.raises(AuthError):
-        stranger.submit(duration=50.0)
-    # reads stay open: the job table needs no token
-    assert anonymous.jobs() == []
+    owner = ServeClient(service.url, token="token-a")
+    job = owner.submit(duration=50.0)
+    for client in (anonymous, stranger):
+        for call in (lambda: client.submit(duration=50.0),
+                     lambda: client.jobs(),
+                     lambda: client.job(job["id"]),
+                     lambda: client.cancel(job["id"]),
+                     lambda: list(client.events(job["id"]))):
+            with pytest.raises(AuthError) as err:
+                call()
+            assert err.value.status == 401
+    # service-level routes stay open (no job data in them)
     assert sorted(anonymous.status()["tenants"]) == ["team-a", "team-b"]
+
+
+def test_jobs_are_scoped_to_their_owning_tenant(service):
+    team_a = ServeClient(service.url, token="token-a")
+    team_b = ServeClient(service.url, token="token-b")
+    job = team_a.submit(duration=50.0)
+    # the table only shows the caller's own jobs
+    assert [j["id"] for j in team_a.jobs()] == [job["id"]]
+    assert team_b.jobs() == []
+    # reading, streaming, or cancelling another tenant's job is 403
+    for call in (lambda: team_b.job(job["id"]),
+                 lambda: list(team_b.events(job["id"])),
+                 lambda: team_b.cancel(job["id"])):
+        with pytest.raises(AuthError) as err:
+            call()
+        assert err.value.status == 403
+    # the owner retains full control
+    assert team_a.job(job["id"])["state"] == "queued"
+    assert team_a.cancel(job["id"])["state"] == "cancelled"
 
 
 def test_tenant_submission_quotas_and_catalogs(service):

@@ -23,6 +23,8 @@ a ``tenants.toml``:
 * queue a three-job priority/dependency DAG under two tenants on an
   accept-only daemon (``--workers 0``) and assert the over-quota
   submission is a 429;
+* assert jobs are tenant-scoped: reading or cancelling another
+  tenant's job is 403, and the job table only lists your own;
 * kill the daemon mid-DAG, restart it with workers, stream the
   dependent job's progress as Server-Sent Events (at least one
   ``point`` event must arrive live), and assert the dependent never
@@ -184,6 +186,15 @@ def run_phase2(duration: float, root: Path) -> int:
         expect_error(QuotaExceeded, 429, "over-quota submit",
                      lambda: team_b.submit(scenario=scenario,
                                            duration=duration))
+        # every /v1/jobs route is gated, and jobs are tenant-scoped
+        expect_error(AuthError, 401, "tokenless job read",
+                     lambda: ServeClient(url).job(head["id"]))
+        expect_error(AuthError, 403, "cross-tenant job read",
+                     lambda: team_b.job(head["id"]))
+        expect_error(AuthError, 403, "cross-tenant cancel",
+                     lambda: team_b.cancel(head["id"]))
+        assert all(j["tenant"] == "team-b" for j in team_b.jobs()), \
+            "job table leaked another tenant's jobs"
     finally:
         stop_daemon(process)          # dies with the whole DAG queued
 
@@ -191,6 +202,7 @@ def run_phase2(duration: float, root: Path) -> int:
     process, url = start_daemon(root, workers=2)
     try:
         team_a = ServeClient(url, token="smoke-token-a")
+        team_b = ServeClient(url, token="smoke-token-b")
         points = 0
         for record in team_a.events(dependent["id"], timeout=300):
             points += record["event"] == "point"
@@ -198,8 +210,10 @@ def run_phase2(duration: float, root: Path) -> int:
         print(f"SSE stream over {dependent['id']}: "
               f"{points} live point event(s)")
 
-        for job_id in (head["id"], dependent["id"], rival["id"]):
-            final = team_a.wait(job_id, timeout=300)
+        for client, job_id in ((team_a, head["id"]),
+                               (team_a, dependent["id"]),
+                               (team_b, rival["id"])):
+            final = client.wait(job_id, timeout=300)
             assert final["state"] == "finished", final
         head_final = team_a.job(head["id"])
         dep_final = team_a.job(dependent["id"])
