@@ -8,6 +8,8 @@ Examples::
     repro-experiment wavelet --scenario myscenario.toml
     repro-experiment sweep --on baseline --duration 120 \
         --grid scheduler=clook,fifo --grid drive_cache_segments=0,4
+    repro-experiment baseline --duration 200 --profile \
+        --profile-out baseline.pstats
 """
 
 from __future__ import annotations
@@ -82,12 +84,46 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record runtime observability metrics "
                              "(simulator, disks, caches, trace path) and "
                              "print the snapshot per experiment")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the experiments under cProfile and "
+                             "print the top functions by cumulative "
+                             "time to stderr afterwards")
+    parser.add_argument("--profile-out", type=Path, default=None,
+                        metavar="FILE.pstats",
+                        help="dump the raw profile to FILE.pstats as "
+                             "well (implies --profile; inspect with "
+                             "python -m pstats FILE.pstats)")
     parser.add_argument("--width", type=int, default=72,
                         help="plot width in characters")
     parser.add_argument("--parallel", action="store_true",
                         help="with 'all': run the five experiments in "
                              "separate processes")
     return parser
+
+
+def _profiled(call, out: Optional[Path], limit: int = 25):
+    """Run ``call()`` under cProfile; table to stderr, pstats to ``out``.
+
+    The profile covers only the simulation runs, not figure rendering
+    or analysis, so the table shows the engine hot path.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    try:
+        return profiler.runcall(call)
+    finally:
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative")
+        print(f"profile: top {limit} functions by cumulative time",
+              file=sys.stderr)
+        stats.print_stats(limit)
+        if out is not None:
+            stats.dump_stats(out)
+            print(f"profile data -> {out} "
+                  f"(inspect with: python -m pstats {out})",
+                  file=sys.stderr)
 
 
 def _base_scenario(args):
@@ -134,9 +170,14 @@ def _run_sweep(args) -> int:
     print(f"sweeping {args.on} over {npoints} scenarios "
           f"({' x '.join(a.name for a in axes)}) ...", file=sys.stderr)
     sink = str(args.sink) if args.sink else None
+
+    def execute():
+        return run_sweep(base, axes, experiment=args.on,
+                         duration=args.duration, sink=sink)
+
     try:
-        results = run_sweep(base, axes, experiment=args.on,
-                            duration=args.duration, sink=sink)
+        results = _profiled(execute, args.profile_out) \
+            if args.profile else execute()
     except ConfigError as exc:
         print(f"sweep failed: {exc}", file=sys.stderr)
         return 2
@@ -159,6 +200,8 @@ def _run_sweep(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.profile_out:
+        args.profile = True
     if args.experiment == "sweep":
         return _run_sweep(args)
     scenario = _base_scenario(args)
@@ -168,16 +211,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                               sink=args.sink, obs=args.obs)
     names = list(EXPERIMENTS) if args.experiment == "all" \
         else [args.experiment]
-    results = {}
-    if args.experiment == "all" and args.parallel:
-        print(f"running all experiments in parallel on {runner.nnodes} "
-              f"nodes ...", file=sys.stderr)
-        results = runner.run_all(parallel=True)
-    else:
+
+    def execute():
+        if args.experiment == "all" and args.parallel:
+            print(f"running all experiments in parallel on "
+                  f"{runner.nnodes} nodes ...", file=sys.stderr)
+            return runner.run_all(parallel=True)
+        results = {}
         for name in names:
             print(f"running {name} on {runner.nnodes} nodes ...",
                   file=sys.stderr)
             results[name] = runner.run(name)
+        return results
+
+    results = _profiled(execute, args.profile_out) \
+        if args.profile else execute()
     for name, result in results.items():
         m = result.metrics
         print(f"  {name}: {m.total_requests} requests, "

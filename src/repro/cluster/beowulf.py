@@ -81,10 +81,10 @@ class BeowulfCluster:
         streams = RandomStreams(seed=seed)
         if scenario is not None:
             self.network = scenario.network.build(
-                sim, rng=streams.stream("ethernet"))
+                sim, rng=streams.stream("ethernet"), obs=obs)
         else:
             self.network = EthernetNetwork(
-                sim, rng=streams.stream("ethernet"))
+                sim, rng=streams.stream("ethernet"), obs=obs)
         self.pvm = PVM(sim, self.network)
         #: the parallel file service, once :meth:`make_pious` built it
         self.pious = None

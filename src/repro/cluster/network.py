@@ -30,6 +30,26 @@ class NetworkStats:
     busy_time: float = 0.0
 
 
+class _NetInstruments:
+    """Per-fabric live instruments (built only when obs is enabled).
+
+    Lifetime totals (``net.messages`` etc.) are harvested from
+    :class:`NetworkStats` once per run by the obs recorder; the live
+    histogram here adds the per-frame wire-time *distribution*, which
+    totals can't reconstruct.  One pre-bound ``observe`` per channel, so
+    the instrumented transmit path is a plain call.
+    """
+
+    __slots__ = ("frame_seconds", "observe_frame")
+
+    def __init__(self, registry, channels: int):
+        self.frame_seconds = registry.histogram(
+            "net.frame_seconds",
+            "wire time per frame, including contention jitter")
+        self.observe_frame = [self.frame_seconds.child(f"ch{i}").observe
+                              for i in range(channels)]
+
+
 class EthernetNetwork:
     """Two (by default) parallel shared segments with frame fragmentation.
 
@@ -37,12 +57,19 @@ class EthernetNetwork:
     :class:`~repro.config.NetworkConfig` builds the fabric via
     ``scenario.network.build(sim, rng=...)``; the defaults are the
     prototype's bonded dual 10 Mb/s segments.
+
+    ``obs`` takes a :class:`~repro.obs.registry.MetricsRegistry`.  Like
+    the disk's server variants, instrumentation is *slot-free*: when obs
+    is enabled :meth:`transmit` is rebound at construction to the
+    recording variant, so the plain path carries zero per-frame
+    instrumentation tests.
     """
 
     def __init__(self, sim: Simulator, bandwidth_bps: float = 10e6,
                  latency: float = 0.3e-3, channels: int = 2,
                  rng: Optional[np.random.Generator] = None,
-                 mtu: int = MTU, frame_overhead: int = FRAME_OVERHEAD):
+                 mtu: int = MTU, frame_overhead: int = FRAME_OVERHEAD,
+                 obs=None):
         if bandwidth_bps <= 0 or latency < 0:
             raise ValueError("bad bandwidth/latency")
         if channels < 1:
@@ -61,6 +88,12 @@ class EthernetNetwork:
         #: per-segment lifetime counters (index = channel)
         self.channel_frames = [0] * channels
         self.channel_busy_time = [0.0] * channels
+        self._obs: Optional[_NetInstruments] = None
+        if obs is not None and getattr(obs, "enabled", False):
+            self._obs = _NetInstruments(obs, channels)
+            # construction-time specialization: shadow the class method
+            # with the instrumented variant for this instance only
+            self.transmit = self._transmit_obs
 
     @property
     def channels(self) -> int:
@@ -82,7 +115,9 @@ class EthernetNetwork:
         """Move ``nbytes`` across one segment; generator, returns duration.
 
         Channel choice is round-robin (the prototype's channel bonding);
-        frames of one message stay on their segment.
+        frames of one message stay on their segment.  This is the plain
+        (uninstrumented) variant; obs-enabled fabrics get
+        :meth:`_transmit_obs` bound over it at construction.
         """
         if nbytes < 1:
             raise ValueError("nbytes must be >= 1")
@@ -101,6 +136,37 @@ class EthernetNetwork:
                 if segment.queue_length > 0:
                     duration += float(self.rng.exponential(duration * 0.2))
                 yield self.sim.timeout(duration)
+                self.stats.frames += 1
+                self.stats.busy_time += duration
+                self.channel_frames[channel] += 1
+                self.channel_busy_time[channel] += duration
+            remaining -= payload
+        self.stats.messages += 1
+        self.stats.bytes_carried += nbytes
+        return self.sim.now - start
+
+    def _transmit_obs(self, nbytes: int):
+        """Instrumented :meth:`transmit`: identical timing/stats, plus a
+        per-frame wire-time observation through the pre-bound channel
+        instrument."""
+        if nbytes < 1:
+            raise ValueError("nbytes must be >= 1")
+        channel = self._next_channel
+        segment = self._segments[channel]
+        self._next_channel = (channel + 1) % len(self._segments)
+        observe_frame = self._obs.observe_frame[channel]
+        start = self.sim.now
+        remaining = nbytes
+        yield self.sim.timeout(self.latency)
+        while remaining > 0:
+            payload = min(remaining, self.mtu)
+            with segment.request() as req:
+                yield req
+                duration = self.frame_time(payload)
+                if segment.queue_length > 0:
+                    duration += float(self.rng.exponential(duration * 0.2))
+                yield self.sim.timeout(duration)
+                observe_frame(duration)
                 self.stats.frames += 1
                 self.stats.busy_time += duration
                 self.channel_frames[channel] += 1

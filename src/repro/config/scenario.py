@@ -474,12 +474,12 @@ class NetworkConfig:
         _check(self.mtu >= 1, f"{path}.mtu",
                f"must be >= 1, got {self.mtu}")
 
-    def build(self, sim, rng=None):
+    def build(self, sim, rng=None, obs=None):
         from repro.cluster.network import EthernetNetwork
         return EthernetNetwork(sim, bandwidth_bps=self.bandwidth_bps,
                                latency=self.latency,
                                channels=self.channels, mtu=self.mtu,
-                               rng=rng)
+                               rng=rng, obs=obs)
 
 
 @dataclass(frozen=True)

@@ -9,9 +9,15 @@ from typing import Optional
 import numpy as np
 
 from repro.disk.request import IORequest
-from repro.disk.scheduler import CLookScheduler
+from repro.disk.scheduler import CLookScheduler, supports_batching
 from repro.disk.service import DiskServiceModel
 from repro.sim import BatchedDraws, Event, Simulator
+
+#: requests claimed from the scheduler per server wakeup; bounds how much
+#: claimed work a mid-run submission can force back through ``requeue``
+DRAIN_LIMIT = 64
+#: run length below which numpy precompute costs more than scalar math
+_VECTOR_MIN = 4
 
 
 class LatencyReservoir:
@@ -97,7 +103,8 @@ class _DiskInstruments:
     """Per-device observability instruments (built only when enabled)."""
 
     __slots__ = ("queue_depth", "seek_cylinders", "service_time",
-                 "requests", "sectors_per_cylinder")
+                 "requests", "sectors_per_cylinder",
+                 "observe_queue_depth", "observe_seek", "observe_service")
 
     def __init__(self, registry, disk_name: str, discipline: str,
                  sectors_per_cylinder: int = 1):
@@ -117,6 +124,12 @@ class _DiskInstruments:
         self.requests = registry.counter(
             "disk.scheduled_requests",
             "requests serviced, by scheduler discipline").child(discipline)
+        # pre-bound hot-path entry points (histogram ``observe`` is
+        # already a bound ``list.append``): the instrumented server
+        # variant calls these without per-request attribute chains
+        self.observe_queue_depth = self.queue_depth.observe
+        self.observe_seek = self.seek_cylinders.observe
+        self.observe_service = self.service_time.observe
 
 
 class Disk:
@@ -140,9 +153,13 @@ class Disk:
                  name: str = "hda",
                  cache=None,
                  media_error_rate: float = 0.0,
-                 obs=None):
+                 obs=None,
+                 batch: bool = True):
         self.sim = sim
         self.service = service or DiskServiceModel()
+        # geometry is fixed for the device's lifetime; submit() range-
+        # checks every request against this
+        self._total_sectors = self.service.geometry.total_sectors
         self.scheduler = scheduler if scheduler is not None else CLookScheduler()
         # the device is this stream's only consumer, so batching the
         # uniform draws (rotational latency + media-error check) keeps
@@ -168,38 +185,64 @@ class Disk:
         self._head_sector = 0
         self._in_service: Optional[IORequest] = None
         self._wakeup: Optional[Event] = None
-        sim.process(self._server(), name=f"disk:{name}")
+        #: bumped on every submit; the batched server compares it against
+        #: the value captured at drain time to detect that its claimed
+        #: run went stale and must be handed back for re-ordering
+        self._epoch = 0
+        #: requests drained from the scheduler but not yet (in) service —
+        #: still "waiting" as far as queue-depth accounting is concerned
+        self._drained = 0
+        # Construction-time specialization (the pattern of
+        # ``Simulator._run_loop`` vs ``_run_loop_instr``): pick the server
+        # variant once so the plain path pays zero instrumentation tests
+        # per request.  Disciplines lacking the drain/requeue batch API
+        # (third-party registry entries) get the scalar reference server.
+        if batch and supports_batching(self.scheduler):
+            server = (self._server_batched() if self._obs is None
+                      else self._server_batched_obs())
+        else:
+            server = self._server()
+        sim.process(server, name=f"disk:{name}")
 
     # -- public interface ------------------------------------------------
     @property
     def queue_depth(self) -> int:
         """Requests waiting or in service (the trace's *pending* count)."""
-        return len(self.scheduler) + (1 if self._in_service is not None else 0)
+        return (len(self.scheduler) + self._drained
+                + (1 if self._in_service is not None else 0))
 
     @property
     def total_sectors(self) -> int:
-        return self.service.geometry.total_sectors
+        return self._total_sectors
 
     def submit(self, request: IORequest) -> Event:
         """Queue ``request``; returns its completion event."""
-        if request.last_sector >= self.total_sectors:
+        if request.last_sector >= self._total_sectors:
             raise ValueError(
                 f"request [{request.sector}, {request.last_sector}] "
                 f"beyond end of {self.name} ({self.total_sectors} sectors)")
         request.submit_time = self.sim.now
         request.done = self.sim.event()
         self.scheduler.add(request)
-        depth = self.queue_depth
+        self._epoch += 1
+        # queue_depth, inlined (a property call per submit)
+        depth = (len(self.scheduler) + self._drained
+                 + (1 if self._in_service is not None else 0))
         if depth > self.stats.max_queue_depth:
             self.stats.max_queue_depth = depth
         if self._obs is not None:
-            self._obs.queue_depth.observe(depth)
+            self._obs.observe_queue_depth(depth)
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return request.done
 
     # -- server process ----------------------------------------------------
     def _server(self):
+        # Scalar reference server: one scheduler round-trip per request.
+        # Kept verbatim as (a) the fallback for disciplines without the
+        # drain/requeue batch API and (b) the behavioural definition the
+        # batched variants are property-tested against (``batch=False``
+        # forces it).
         sim = self.sim
         while True:
             request = self.scheduler.next(self._head_sector)
@@ -229,6 +272,217 @@ class Disk:
             self._account(request, duration)
             self._in_service = None
             request.done.succeed(request)
+
+    def _server_batched(self):
+        """Uninstrumented batched server: drain runs, vectorize, direct-fire.
+
+        Per wakeup the server *claims* a run of requests via
+        ``scheduler.drain`` and precomputes their seek/transfer terms in
+        one numpy pass (``service_components``, head carry included).
+        Rotational-latency and media-error draws stay scalar and lazy —
+        they happen at each request's commit/completion point so the RNG
+        stream consumes exactly as the scalar server's does even when a
+        run is cut short.  A submission bumps ``_epoch``; the server
+        compares epochs before committing each claimed request and hands
+        any stale tail back through ``requeue`` so the discipline can
+        re-order around the newcomer — the scalar server's semantics,
+        which re-selects after every service.
+
+        Completions are *direct-fired*: the previous request's done
+        callbacks run from this frame at the instant the scalar path's
+        queued done event would have fired (next commit, or the idle
+        transition), skipping one event round-trip per request.  The
+        ordering is unobservable because service durations are
+        continuous random floats — nothing else is scheduled at that
+        exact timestamp (engine-equivalence property tests guard this).
+        """
+        sim = self.sim
+        scheduler = self.scheduler
+        service = self.service
+        spc = service.geometry.sectors_per_cylinder
+        rotation = service.tables.rotation_time
+        rng = self.rng
+        stats = self.stats
+        cache = self.cache
+        lookahead = (cache is not None
+                     and getattr(cache, "lookahead_sectors", 0) > 0)
+        total_sectors = self.total_sectors
+        merr = self.media_error_rate
+        batch: list = ()
+        base = transfer = None
+        i = 0
+        epoch = -1
+        completed = None  # serviced request whose callbacks haven't run
+        while True:
+            if i >= len(batch) or epoch != self._epoch:
+                if i < len(batch):
+                    # the claimed run went stale: hand the tail back so
+                    # the discipline re-orders around the new arrivals
+                    scheduler.requeue(batch[i:])
+                    self._drained -= len(batch) - i
+                batch = ()
+                i = 0
+                if not len(scheduler):
+                    wakeup = self._wakeup = sim.event()
+                    if completed is not None:
+                        request, completed = completed, None
+                        self._fire_done(request)
+                    yield wakeup
+                    self._wakeup = None
+                epoch = self._epoch
+                batch = scheduler.drain(self._head_sector, DRAIN_LIMIT)
+                self._drained += len(batch)
+                if len(batch) >= _VECTOR_MIN:
+                    base, transfer = service.service_components(
+                        batch, self.head_cylinder)
+                else:
+                    base = None
+            request = batch[i]
+            self._drained -= 1
+            self._in_service = request
+            hit = False
+            if cache is not None:
+                if request.is_write:
+                    cache.invalidate(request.sector, request.nsectors)
+                elif cache.lookup(request.sector, request.nsectors):
+                    hit = True
+            if hit:
+                duration = (service.controller_overhead
+                            + service.transfer_time(request.nsectors))
+            elif base is not None:
+                duration = ((base[i] + float(rng.random()) * rotation)
+                            + transfer[i])
+            else:
+                duration = service.service_time(request, self.head_cylinder,
+                                                rng)
+            if cache is not None and not hit and not request.is_write:
+                cache.fill_after_read(request.sector, request.nsectors,
+                                      disk_sectors=total_sectors)
+                if lookahead:
+                    duration += 0.5 * rotation
+            i += 1
+            timeout = sim.timeout(duration)
+            if completed is not None:
+                prior, completed = completed, None
+                self._fire_done(prior)
+            yield timeout
+            last = request.last_sector
+            # cylinder_of minus the bounds re-check (done at submit)
+            self.head_cylinder = last // spc
+            self._head_sector = last
+            request.complete_time = sim.now
+            if merr > 0.0 and float(rng.random()) < merr:
+                request.failed = True
+                stats.media_errors += 1
+            self._account(request, duration)
+            self._in_service = None
+            completed = request
+
+    def _server_batched_obs(self):
+        """Instrumented batched server.
+
+        Same drain/epoch/vectorize machinery as :meth:`_server_batched`,
+        plus the per-request histogram observes through the instruments'
+        pre-bound entry points.  Completions go through the normal
+        ``done.succeed`` event (no direct fire): instrumented runs count
+        processed events, and the queued event keeps those tallies — and
+        the full event sequence — identical to the scalar server's.
+        """
+        sim = self.sim
+        scheduler = self.scheduler
+        service = self.service
+        rotation = service.tables.rotation_time
+        rng = self.rng
+        stats = self.stats
+        cache = self.cache
+        lookahead = (cache is not None
+                     and getattr(cache, "lookahead_sectors", 0) > 0)
+        total_sectors = self.total_sectors
+        merr = self.media_error_rate
+        obs = self._obs
+        spc = obs.sectors_per_cylinder
+        observe_seek = obs.observe_seek
+        observe_service = obs.observe_service
+        requests_counter = obs.requests
+        batch: list = ()
+        base = transfer = None
+        i = 0
+        epoch = -1
+        while True:
+            if i >= len(batch) or epoch != self._epoch:
+                if i < len(batch):
+                    scheduler.requeue(batch[i:])
+                    self._drained -= len(batch) - i
+                batch = ()
+                i = 0
+                if not len(scheduler):
+                    self._wakeup = sim.event()
+                    yield self._wakeup
+                    self._wakeup = None
+                epoch = self._epoch
+                batch = scheduler.drain(self._head_sector, DRAIN_LIMIT)
+                self._drained += len(batch)
+                if len(batch) >= _VECTOR_MIN:
+                    base, transfer = service.service_components(
+                        batch, self.head_cylinder)
+                else:
+                    base = None
+            request = batch[i]
+            self._drained -= 1
+            self._in_service = request
+            observe_seek(abs(request.sector // spc - self.head_cylinder))
+            hit = False
+            if cache is not None:
+                if request.is_write:
+                    cache.invalidate(request.sector, request.nsectors)
+                elif cache.lookup(request.sector, request.nsectors):
+                    hit = True
+            if hit:
+                duration = (service.controller_overhead
+                            + service.transfer_time(request.nsectors))
+            elif base is not None:
+                duration = ((base[i] + float(rng.random()) * rotation)
+                            + transfer[i])
+            else:
+                duration = service.service_time(request, self.head_cylinder,
+                                                rng)
+            if cache is not None and not hit and not request.is_write:
+                cache.fill_after_read(request.sector, request.nsectors,
+                                      disk_sectors=total_sectors)
+                if lookahead:
+                    duration += 0.5 * rotation
+            observe_service(duration)
+            requests_counter.value += 1
+            i += 1
+            yield sim.timeout(duration)
+            last = request.last_sector
+            self.head_cylinder = last // spc
+            self._head_sector = last
+            request.complete_time = sim.now
+            if merr > 0.0 and float(rng.random()) < merr:
+                request.failed = True
+                stats.media_errors += 1
+            self._account(request, duration)
+            self._in_service = None
+            request.done.succeed(request)
+
+    def _fire_done(self, request: IORequest) -> None:
+        """Run ``request``'s completion callbacks without a queue round-trip.
+
+        Equivalent to ``done.succeed(request)`` followed by the engine
+        popping and firing the event at the same timestamp — inlined
+        here (mirroring :meth:`Event.succeed` + ``Event._fire``) because
+        the batched server already stands at exactly the point in the
+        event order where that pop would happen.
+        """
+        done = request.done
+        done._ok = True
+        done._value = request
+        callbacks = done.callbacks
+        done.callbacks = None
+        for callback in callbacks:
+            callback(done)
+        done.processed = True
 
     def _service_duration(self, request: IORequest) -> float:
         """Mechanical service time, or electronic time on a drive-cache hit.
@@ -266,5 +520,8 @@ class Disk:
             stats.reads += 1
             stats.sectors_read += request.nsectors
         stats.busy_time += duration
-        stats.total_latency += request.latency
-        stats._latencies.append(request.latency)
+        # request.latency, minus the property frames (complete_time is
+        # always stamped just before accounting)
+        latency = request.complete_time - request.submit_time
+        stats.total_latency += latency
+        stats._latencies.append(latency)

@@ -35,7 +35,7 @@ instruments, and the instrumented driver emits one trace record per
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.disk.request import IORequest
 from repro.registry import Registry
@@ -127,6 +127,10 @@ class LogicalVolume:
         self.logical_requests = 0
         self.physical_requests = 0
         self._next_mirror = 0
+        # member set and geometry are fixed at construction; capacity is
+        # resolved on first use (subclass ``capacity`` hooks) and reused
+        # by the per-request range check in ``map_extents``
+        self._total_sectors: Optional[int] = None
 
     # -- capacity ----------------------------------------------------------
     @classmethod
@@ -136,8 +140,12 @@ class LogicalVolume:
 
     @property
     def total_sectors(self) -> int:
-        return type(self).capacity(
-            tuple(d.total_sectors for d in self.disks), self.stripe_sectors)
+        cached = self._total_sectors
+        if cached is None:
+            cached = self._total_sectors = type(self).capacity(
+                tuple(d.total_sectors for d in self.disks),
+                self.stripe_sectors)
+        return cached
 
     # -- aggregate device surface ------------------------------------------
     @property

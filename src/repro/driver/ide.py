@@ -51,6 +51,10 @@ class InstrumentedIDEDriver:
         self.sim = sim
         self.disk = disk
         self.node_id = node_id
+        # volume-vs-bare-disk dispatch resolved once: the per-request
+        # path then skips a getattr per submit (the device behind a
+        # driver never changes after construction)
+        self._map_extents = getattr(disk, "map_extents", None)
         self.transport = transport or ProcTraceTransport(sim)
         self.level = TraceLevel(level)
         #: experiment-start offset subtracted from record timestamps
@@ -61,6 +65,19 @@ class InstrumentedIDEDriver:
         self.requests_issued = 0
         self.retries = 0
         self.hard_failures = 0
+
+    @property
+    def level(self) -> TraceLevel:
+        """Instrumentation level; setting it refreshes the cached flags."""
+        return self._level
+
+    @level.setter
+    def level(self, value) -> None:
+        self._level = TraceLevel(value)
+        # plain-bool level tests: IntEnum comparisons cost a dunder
+        # dispatch each, and the submit path asks twice per request
+        self._basic = self._level >= TraceLevel.BASIC
+        self._verbose = self._level >= TraceLevel.VERBOSE
 
     # -- ioctl ---------------------------------------------------------------
     def ioctl(self, cmd: int, arg: Any = None) -> Any:
@@ -124,7 +141,7 @@ class InstrumentedIDEDriver:
         A bare :class:`Disk` is its own single target; a logical volume
         resolves the span through its policy's address math.
         """
-        mapper = getattr(self.disk, "map_extents", None)
+        mapper = self._map_extents
         if mapper is None:
             return ((self.disk, sector, nsectors),)
         disks = self.disk.disks
@@ -134,22 +151,43 @@ class InstrumentedIDEDriver:
     def _submit_part(self, disk, sector: int, nsectors: int,
                      is_write: bool, origin: Any):
         """Trace and submit one physical request; returns (request, event)."""
-        request = IORequest(sector=sector, nsectors=nsectors,
-                            is_write=is_write, origin=origin)
+        # IORequest construction, fused: same field defaults and the same
+        # validation as the dataclass __init__/__post_init__, minus their
+        # call frames (one request object per trace record makes this the
+        # driver's hottest allocation)
+        if sector < 0:
+            raise ValueError(f"negative sector {sector}")
+        if nsectors < 1:
+            raise ValueError(
+                f"request must cover >= 1 sector, got {nsectors}")
+        request = IORequest.__new__(IORequest)
+        request.sector = sector
+        request.nsectors = nsectors
+        request.is_write = is_write
+        request.submit_time = 0.0
+        request.complete_time = None
+        request.origin = origin
+        request.done = None
+        request.failed = False
+        request.seq = 0
         self.requests_issued += 1
-        if self.level >= TraceLevel.BASIC:
+        if self._basic:
             # Pending count *includes* this request, i.e. "remaining I/O
             # requests to be processed" as logged by the paper's driver.
-            self.transport.push(TraceRecord(
-                time=self.sim.now - self.time_origin,
-                sector=sector,
-                write=is_write,
-                pending=disk.queue_depth + 1,
-                size_kb=nsectors * SECTOR_BYTES / 1024.0,
-                node=self.node_id,
+            # Pushed as a raw schema row (TraceRecord.as_tuple layout):
+            # the ring only ever feeds the structured-array drain, and a
+            # frozen-dataclass construction per request is the single
+            # most expensive step of the trace fast path.
+            self.transport.push((
+                self.sim.now - self.time_origin,
+                sector,
+                int(is_write),
+                disk.queue_depth + 1,
+                nsectors * SECTOR_BYTES / 1024.0,
+                self.node_id,
             ))
         done = disk.submit(request)
-        if self.level >= TraceLevel.VERBOSE:
+        if self._verbose:
             done.callbacks.append(lambda ev: self.transport.push(TraceRecord(
                 time=self.sim.now - self.time_origin,
                 sector=sector,

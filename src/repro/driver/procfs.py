@@ -55,18 +55,23 @@ class ProcTraceTransport:
     def ring_fill(self) -> int:
         return len(self._ring)
 
-    def push(self, record: TraceRecord) -> None:
+    def push(self, record) -> None:
         """Called from the driver's interrupt path; never blocks.
 
-        When the ring is full the record is dropped and counted, matching
-        printk-ring semantics.
+        ``record`` is a :class:`TraceRecord` or its ``as_tuple()`` row
+        (the driver's fast path pushes rows to skip the per-request
+        dataclass construction; both drain identically).  When the ring
+        is full the record is dropped and counted, matching printk-ring
+        semantics.
         """
-        if len(self._ring) >= self.ring_capacity:
+        ring = self._ring
+        if len(ring) >= self.ring_capacity:
             self.dropped += 1
             return
-        self._ring.append(record)
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        ring.append(record)
+        wakeup = self._wakeup
+        if wakeup is not None and wakeup._ok is None:
+            wakeup.succeed()
 
     def drain_now(self) -> int:
         """Move everything currently in the ring to user space.
@@ -77,7 +82,8 @@ class ProcTraceTransport:
         """
         if not self._ring:
             return 0
-        rows = [record.as_tuple() for record in self._ring]
+        rows = [record if type(record) is tuple else record.as_tuple()
+                for record in self._ring]
         self._ring.clear()
         batch = np.array(rows, dtype=TRACE_DTYPE)
         self.records_drained += len(batch)

@@ -25,9 +25,13 @@ TRACE_DTYPE = np.dtype([
 ])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceRecord:
-    """One instrumentation entry, in object form (handy for tests/streams)."""
+    """One instrumentation entry, in object form (handy for tests/streams).
+
+    Slotted: every traced request allocates one of these on the submit
+    path, so construction cost is part of the request hot path.
+    """
 
     time: float
     sector: int

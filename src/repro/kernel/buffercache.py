@@ -59,6 +59,15 @@ class BufferCache:
         self.cluster_blocks = max(1, cluster_blocks)
         self.stats = CacheStats()
         self._buffers: "OrderedDict[int, _Buffer]" = OrderedDict()
+        # Dirty-set bookkeeping so the flush daemons never walk clean
+        # buffers: the dirty residents keyed by block number (membership
+        # mirrors ``buf.dirty`` exactly), plus a *floor* on the dirty
+        # timestamps.  ``_earliest_dirty`` may drift below the true
+        # minimum after flushes (costing at most one harmless scan), but
+        # is never above it — so ``has_aged_dirty() == False`` guarantees
+        # an unconditional scan would have selected nothing.
+        self._dirty: dict = {}
+        self._earliest_dirty = float("inf")
 
     # -- inspection ---------------------------------------------------------
     def __len__(self) -> int:
@@ -73,7 +82,7 @@ class BufferCache:
 
     @property
     def dirty_count(self) -> int:
-        return sum(1 for b in self._buffers.values() if b.dirty)
+        return len(self._dirty)
 
     # -- reads ---------------------------------------------------------------
     def read_block(self, blockno: int):
@@ -105,34 +114,99 @@ class BufferCache:
             yield from self._fetch(run_start, start + nblocks - run_start)
 
     # -- writes --------------------------------------------------------------
-    def write_block(self, blockno: int):
-        """Delayed write: dirty the buffer; disk I/O happens at flush time."""
+    def note_write(self, blockno: int) -> bool:
+        """Dirty ``blockno`` if it is resident; ``False`` on a miss.
+
+        The no-I/O fast path of the write syscalls: a plain call, not a
+        generator, so callers only pay generator-frame overhead when a
+        miss actually needs room made.  On ``False`` nothing happened —
+        the caller must drive :meth:`write_block`.
+        """
         buf = self._buffers.get(blockno)
         if buf is None:
-            yield from self._make_room(1)
-            buf = _Buffer(blockno)
-            self._buffers[blockno] = buf
-        else:
-            self._touch(blockno)
+            return False
+        self._buffers.move_to_end(blockno)
         if not buf.dirty:
             buf.dirty = True
-            buf.dirty_since = self.sim.now
+            now = self.sim.now
+            buf.dirty_since = now
+            self._dirty[blockno] = buf
+            if now < self._earliest_dirty:
+                self._earliest_dirty = now
+        return True
+
+    def note_write_range(self, start: int, nblocks: int) -> bool:
+        """Dirty a fully-resident range; ``False`` (no effect) otherwise.
+
+        Residency is checked for the whole range before any buffer is
+        touched, so a ``False`` return leaves LRU order and dirty state
+        exactly as they were.
+        """
+        buffers = self._buffers
+        for blockno in range(start, start + nblocks):
+            if blockno not in buffers:
+                return False
+        for blockno in range(start, start + nblocks):
+            self.note_write(blockno)
+        return True
+
+    def write_block(self, blockno: int):
+        """Delayed write: dirty the buffer; disk I/O happens at flush time."""
+        if self.note_write(blockno):
+            return
+        yield from self._make_room(1)
+        buf = _Buffer(blockno)
+        self._buffers[blockno] = buf
+        buf.dirty = True
+        now = self.sim.now
+        buf.dirty_since = now
+        self._dirty[blockno] = buf
+        if now < self._earliest_dirty:
+            self._earliest_dirty = now
 
     def write_range(self, start: int, nblocks: int):
+        if self.note_write_range(start, nblocks):
+            return
         for blockno in range(start, start + nblocks):
             yield from self.write_block(blockno)
 
     # -- flushing ------------------------------------------------------------
     def sync(self):
         """Write back every dirty buffer."""
-        yield from self._flush([b.blockno for b in self._buffers.values()
-                                if b.dirty])
+        yield from self._flush(list(self._dirty))
+
+    def has_aged_dirty(self, age_limit: float) -> bool:
+        """Could :meth:`flush_aged` select anything right now?
+
+        Cheap enough for every daemon tick: when this is ``False`` a
+        full scan is guaranteed to select nothing, so callers skip the
+        generator entirely (the bdflush fast path).
+        """
+        return (bool(self._dirty)
+                and self._earliest_dirty <= self.sim.now - age_limit)
 
     def flush_aged(self, age_limit: float):
-        """Write back dirty buffers older than ``age_limit`` seconds."""
+        """Write back dirty buffers older than ``age_limit`` seconds.
+
+        Scans the dirty set only — on a quiescent node that is a handful
+        of log blocks, not the whole resident cache (``_flush`` sorts,
+        so selection order does not matter).
+        """
         cutoff = self.sim.now - age_limit
-        yield from self._flush([b.blockno for b in self._buffers.values()
-                                if b.dirty and b.dirty_since <= cutoff])
+        if not self._dirty or self._earliest_dirty > cutoff:
+            return
+        aged: List[int] = []
+        floor = float("inf")
+        for b in self._dirty.values():
+            if b.dirty_since < floor:
+                floor = b.dirty_since
+            if b.dirty_since <= cutoff:
+                aged.append(b.blockno)
+        # exact at scan time (includes buffers another in-flight flush
+        # has selected but not yet written); only drifts low afterwards
+        self._earliest_dirty = floor
+        if aged:
+            yield from self._flush(aged)
 
     def drop_clean(self) -> int:
         """Drop every clean buffer (cold-start; like /proc drop_caches).
@@ -177,8 +251,14 @@ class BufferCache:
             buf = self._buffers[victim]
             if buf.dirty:
                 yield from self._flush([victim])
-            if victim in self._buffers:
-                del self._buffers[victim]
+            evicted = self._buffers.pop(victim, None)
+            if evicted is not None:
+                if evicted.dirty:
+                    # re-dirtied while its flush was in flight; the write
+                    # is lost with the buffer (pre-existing semantics)
+                    self._dirty.pop(victim, None)
+                    if not self._dirty:
+                        self._earliest_dirty = float("inf")
                 self.stats.evictions += 1
 
     def _pick_victim(self) -> Optional[int]:
@@ -201,17 +281,27 @@ class BufferCache:
         return oldest
 
     def _flush(self, blocknos: Iterable[int]):
-        dirty = sorted(b for b in set(blocknos)
-                       if b in self._buffers and self._buffers[b].dirty)
-        for start, count in self._contiguous_runs(dirty):
+        buffers = self._buffers
+        dirty = [b for b in blocknos
+                 if b in buffers and buffers[b].dirty]
+        if len(dirty) == 1:
+            # the dominant bdflush case: one aged log block, no run
+            # merging possible — skip the sort and the runs generator
+            runs = ((dirty[0], 1),)
+        else:
+            runs = self._contiguous_runs(sorted(set(dirty)))
+        for start, count in runs:
             yield self.driver.write_sectors(start * self.spb,
                                             count * self.spb,
                                             origin="bcache-wb")
             self.stats.writeback_requests += 1
             for blockno in range(start, start + count):
-                buf = self._buffers.get(blockno)
-                if buf is not None:
+                buf = buffers.get(blockno)
+                if buf is not None and buf.dirty:
                     buf.dirty = False
+                    del self._dirty[blockno]
+                    if not self._dirty:
+                        self._earliest_dirty = float("inf")
                 self.stats.writebacks += 1
 
     def _contiguous_runs(self, blocks: List[int]):

@@ -142,6 +142,15 @@ class FileSystem:
     def _dirty_inode(self, inode: Inode):
         yield from self.cache.write_block(self.inode_table_block(inode.ino))
 
+    def note_dirty_inode(self, inode: Inode) -> bool:
+        """Dirty the inode's table block if resident; ``False`` on a miss.
+
+        Plain-call fast path of :meth:`_dirty_inode` (see
+        :meth:`BufferCache.note_write`); on ``False`` the caller drives
+        the generator instead.
+        """
+        return self.cache.note_write(self.inode_table_block(inode.ino))
+
     def _dirty_bitmap(self, block: int):
         bitmap_block = (self._meta_first_block + 1
                         + (block // (self.block_kb * 8192)) % self._bitmap_blocks)
@@ -281,7 +290,25 @@ class FileSystem:
         while inode.nblocks < needed:
             yield from self._alloc_block(inode)
         inode.size_bytes = new_size
-        yield from self._dirty_inode(inode)
+        if not self.note_dirty_inode(inode):
+            yield from self._dirty_inode(inode)
+
+    def note_extend(self, inode: Inode, new_size: int) -> bool:
+        """No-allocation fast path of :meth:`truncate_extend`.
+
+        Succeeds only when the file already has the blocks and the inode
+        table block is resident; ``False`` leaves everything untouched
+        (including validation — the generator raises on a shrink).
+        """
+        if new_size < inode.size_bytes:
+            return False
+        block_bytes = self.block_kb * 1024
+        if inode.nblocks < -(-new_size // block_bytes):
+            return False
+        if not self.cache.note_write(self.inode_table_block(inode.ino)):
+            return False
+        inode.size_bytes = new_size
+        return True
 
     # -- block mapping ------------------------------------------------------
     def _indirect_block_for(self, inode: Inode, index: int) -> Optional[int]:
@@ -309,6 +336,46 @@ class FileSystem:
             if ind is not None and ind not in seen_indirect:
                 seen_indirect.add(ind)
                 yield from self.cache.read_block(ind)
+        runs: List[Tuple[int, int]] = []
+        for idx in range(first_index, first_index + nblocks):
+            block = inode.blocks[idx]
+            if runs and runs[-1][0] + runs[-1][1] == block:
+                runs[-1] = (runs[-1][0], runs[-1][1] + 1)
+            else:
+                runs.append((block, 1))
+        return runs
+
+    def note_map_blocks(self, inode: Inode, first_index: int,
+                        nblocks: int) -> Optional[List[Tuple[int, int]]]:
+        """Resolve a range whose indirect blocks are all cache-resident.
+
+        The plain-call fast path of :meth:`map_blocks`: returns the same
+        runs — with the same cache-hit accounting and LRU touches, in
+        the same order — or ``None``, with *no* effect at all, when any
+        needed indirect block would miss (or the range is invalid); the
+        caller then drives the generator.
+        """
+        if (first_index < 0 or nblocks < 1
+                or first_index + nblocks > inode.nblocks):
+            return None
+        cache = self.cache
+        indirects = inode.indirect_blocks
+        needed: List[int] = []
+        if indirects and first_index + nblocks > DIRECT_BLOCKS:
+            # _indirect_block_for, inlined across the range (consecutive
+            # data blocks nearly always share one indirect block)
+            last_which = len(indirects) - 1
+            for idx in range(max(first_index, DIRECT_BLOCKS),
+                             first_index + nblocks):
+                which = (idx - DIRECT_BLOCKS) // POINTERS_PER_INDIRECT
+                ind = indirects[which if which < last_which else last_which]
+                if ind not in needed:
+                    if not cache.contains(ind):
+                        return None
+                    needed.append(ind)
+        for ind in needed:
+            cache.stats.hits += 1
+            cache._touch(ind)
         runs: List[Tuple[int, int]] = []
         for idx in range(first_index, first_index + nblocks):
             block = inode.blocks[idx]

@@ -213,7 +213,16 @@ class NodeKernel:
 
     # -- daemons ---------------------------------------------------------------
     def _bdflush(self):
-        p = self.params
+        sim = self.sim
+        cache = self.cache
+        interval = self.params.bdflush_interval
+        age = self.params.bdflush_age
         while self._bdflush_on:
-            yield self.sim.timeout(p.bdflush_interval)
-            yield from self.cache.flush_aged(p.bdflush_age)
+            yield sim.timeout(interval)
+            # ``has_aged_dirty`` is the quiescent-tick fast path: most
+            # ticks have nothing old enough, and skipping the generator
+            # avoids a full buffer scan per tick (it was the hottest
+            # non-request path in profiles).  When it fires, flush_aged
+            # does its own (identical) selection.
+            if cache.has_aged_dirty(age):
+                yield from cache.flush_aged(age)

@@ -29,10 +29,12 @@ The events route is a plain-``ThreadingHTTPServer`` SSE stream: one
 ``id:``/``event:``/``data:`` frame per progress event off the job's
 append-only event log, resumable via ``Last-Event-ID`` (or ``?after=``),
 closed when the job reaches a terminal state.  When a ``tenants.toml``
-exists in the service root, **every** ``/v1/jobs`` route authenticates
-``Authorization: Bearer`` tokens: submission enforces per-tenant
-quotas, the job table is scoped to the caller's own jobs, and reading,
-cancelling, or streaming a job another tenant owns is 403 — see
+exists in the service root, **every** ``/v1/jobs`` route — and the
+catalog read routes ``/v1/runs`` and ``/v1/analysis/...`` —
+authenticates ``Authorization: Bearer`` tokens: submission enforces
+per-tenant quotas, the job table and the runs index are scoped to the
+caller's own jobs and catalogs, and reading, cancelling, or streaming
+a job — or reading a catalog — another tenant owns is 403 — see
 :mod:`repro.serve.tenants`.
 """
 
@@ -569,18 +571,42 @@ class _Handler(BaseHTTPRequestHandler):
         self._send_json(self.service.cancel(job_id).to_dict())
 
     def _get_runs(self) -> None:
+        tenant = self._tenant()
         catalog = self.query.get("catalog")
-        if catalog is not None and catalog not in self.service.catalogs():
-            raise ApiError(404, f"no catalog {catalog!r}")
-        self._send_json(self.service.runs_index(catalog))
+        if catalog is not None:
+            # authorization before existence: a foreign catalog 403s
+            # whether or not it exists (no probing for names)
+            if tenant is not None:
+                self.service.tenants.authorize_read(tenant, catalog)
+            if catalog not in self.service.catalogs():
+                raise ApiError(404, f"no catalog {catalog!r}")
+            self._send_json(self.service.runs_index(catalog))
+            return
+        if tenant is None:
+            self._send_json(self.service.runs_index())
+            return
+        # no explicit catalog on a tenants-enforcing daemon: index only
+        # the caller's own catalogs
+        catalogs: dict = {}
+        for name in self.service.catalogs():
+            if tenant.owns_catalog(name):
+                catalogs.update(
+                    self.service.runs_index(name)["catalogs"])
+        self._send_json({"catalogs": catalogs})
 
     def _get_analysis(self, run_id: str, pipeline: str) -> None:
         from repro.analysis import make_pipelines
+        tenant = self._tenant()
         try:
             pipe = make_pipelines([pipeline])[0]
         except ValueError as exc:
             raise ApiError(404, str(exc)) from exc
-        catalog = self.query.get("catalog", DEFAULT_CATALOG)
+        catalog = self.query.get("catalog")
+        if catalog is None:
+            catalog = tenant.default_catalog if tenant is not None \
+                else DEFAULT_CATALOG
+        if tenant is not None:
+            self.service.tenants.authorize_read(tenant, catalog)
         predicates = self._predicates()
         service = self.service
         try:

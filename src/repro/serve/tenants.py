@@ -14,11 +14,12 @@ multi-tenant one::
     token = "another-token"
     max_queued = 1
 
-When the file exists, every ``/v1/jobs`` route requires
+When the file exists, every ``/v1/jobs`` route — and the catalog read
+routes ``/v1/runs`` and ``/v1/analysis/...`` — requires
 ``Authorization: Bearer <token>``: an unknown or missing token is 401,
-submitting into a catalog the tenant does not own — or reading,
-cancelling, or streaming another tenant's job — is 403, and a hit
-limit (queued jobs, catalog megabytes) is 429 — all as JSON bodies
+submitting into or reading a catalog the tenant does not own — or
+reading, cancelling, or streaming another tenant's job — is 403, and a
+hit limit (queued jobs, catalog megabytes) is 429 — all as JSON bodies
 carrying the error ``code``.  ``max_running`` is enforced by the
 scheduler instead: excess jobs queue normally and dispatch as the
 tenant's running jobs drain.  Without the file every request passes —
@@ -163,6 +164,23 @@ class Tenants:
                 f"catalog {catalog!r} holds "
                 f"{catalog_bytes / 1048576:.1f} MB "
                 f"(quota_mb {tenant.quota_mb:g})", status=429)
+
+    def authorize_read(self, tenant: Optional[Tenant],
+                       catalog: str) -> None:
+        """Gate one catalog read (runs index / analysis); 403 foreign.
+
+        Read routes call this *before* touching the catalog, so a
+        foreign name 403s whether or not it exists — no probing a
+        shared daemon for other tenants' catalog names.
+        """
+        if tenant is None:
+            return
+        if not tenant.owns_catalog(catalog):
+            raise AuthError(
+                f"tenant {tenant.name!r} may not read catalog "
+                f"{catalog!r} (allowed: "
+                f"{', '.join(tenant.catalogs or (tenant.name,))})",
+                status=403)
 
     def running_limit(self, tenant_name: Optional[str]) -> int:
         """The tenant's ``max_running`` (0 = unlimited / unknown)."""

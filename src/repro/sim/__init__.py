@@ -33,7 +33,8 @@ from repro.sim.core import (
 from repro.sim.calqueue import CalendarSimulator
 from repro.sim.conditions import AllOf, AnyOf
 from repro.sim.resources import Resource, Store
-from repro.sim.rng import BatchedDraws, RandomStreams
+from repro.sim.rng import (BatchedDraws, RandomStreams,
+                           uniform_index_drawer)
 
 __all__ = [
     "AllOf",
@@ -50,5 +51,6 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "uniform_index_drawer",
     "Timeout",
 ]

@@ -32,11 +32,12 @@ O(n) once instead of spinning over empty virtual days.
 from __future__ import annotations
 
 from bisect import insort
-from typing import Optional
+from typing import Any, Optional
 
 import numpy as np
 
-from repro.sim.core import EVENT_QUEUES, Event, SimulationError, Simulator
+from repro.sim.core import (EVENT_QUEUES, NORMAL, Event, SimulationError,
+                            Simulator, Timeout)
 
 
 class CalendarSimulator(Simulator):
@@ -73,6 +74,38 @@ class CalendarSimulator(Simulator):
         #: latest event time ever queued — lets _advance prove that no
         #: bucket holds items from a future lap (the single-lap fast path)
         self._max_time = 0.0
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        # The base class already hand-inlines Timeout construction; this
+        # override additionally fuses the calendar insert (the object is
+        # fresh, so the ``_scheduled`` re-check and the _enqueue call
+        # frame are pure overhead).  One timeout per sleep, per request,
+        # per frame makes this the hottest allocation site in a run.
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._scheduled = True
+        event.processed = False
+        event.delay = delay
+        self._seq = seq = self._seq + 1
+        time = self.now + delay
+        item = (time, NORMAL, seq, event)
+        if time > self._max_time:
+            self._max_time = time
+        vb = int(time / self._width)
+        if vb <= self._cur_vb:
+            insort(self._drain, item, lo=self._di)
+        else:
+            self._buckets[vb & self._mask].append(item)
+        count = self._count + 1
+        self._count = count
+        if count > (self._nbuckets << 3):
+            self._grow = True
+        return event
 
     # -- engine ---------------------------------------------------------------
     def _enqueue(self, delay: float, priority: int, event: Event) -> None:

@@ -311,7 +311,22 @@ class Simulator:
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        return Timeout(self, delay, value)
+        # Hand-inlined Timeout construction (one per sleep, per request,
+        # per frame — the most-allocated event kind): skips the
+        # Timeout.__init__ → Event.__init__ chain but produces an
+        # identical object.  ``Timeout(sim, delay)`` remains supported.
+        if delay < 0:
+            raise ValueError(f"negative timeout delay {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.sim = self
+        event.callbacks = []
+        event._value = value
+        event._ok = True
+        event._scheduled = False
+        event.processed = False
+        event.delay = delay
+        self._enqueue(delay, NORMAL, event)
+        return event
 
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         return Process(self, generator, name=name)

@@ -46,6 +46,64 @@ class RandomStreams:
         return f"RandomStreams(seed={self.seed})"
 
 
+def uniform_index_drawer(gen: np.random.Generator, n: int):
+    """A callable equivalent to ``lambda: int(gen.integers(n))``, cheaper.
+
+    ``Generator.integers`` costs several microseconds per scalar call,
+    almost all of it argument handling.  Underneath it is Lemire's
+    bounded sampler over 32-bit half-words (low half of each 64-bit
+    word first, the unused high half buffered across calls): draw
+    ``u``, form ``m = u * n``, redraw while the low 32 bits of ``m``
+    fall under ``2**32 % n``, return ``m >> 32``.  This drawer
+    reproduces that consumption directly from
+    ``bit_generator.random_raw`` at a fraction of the cost.
+
+    The fast path is *self-verifying*: at construction it replays a
+    window of draws against the real ``integers`` on a state snapshot
+    and silently falls back to the plain call on any mismatch (say, a
+    numpy release changing the sampler), so the value stream is
+    identical to scalar ``integers`` by construction, not by assumption.
+
+    Like :class:`BatchedDraws`, only safe when this drawer is the sole
+    consumer of *bounded-integer* draws on ``gen`` (whole-word draws
+    such as ``random()``/``exponential()`` interleave fine: they do not
+    touch the 32-bit half-word buffer).
+    """
+    if n < 1:
+        raise ValueError("need n >= 1")
+    fallback = gen.integers
+    if n == 1:
+        # numpy skips the stream entirely for a single-value range
+        return lambda: 0
+    raw = gen.bit_generator.random_raw
+    threshold = (1 << 32) % n  # Lemire rejection bound (0 for pow2 n)
+    buffered = [None]
+
+    def fast() -> int:
+        while True:
+            half = buffered[0]
+            if half is not None:
+                buffered[0] = None
+                u = half
+            else:
+                word = int(raw())
+                buffered[0] = word >> 32
+                u = word & 0xFFFFFFFF
+            m = u * n
+            if (m & 0xFFFFFFFF) >= threshold:
+                return m >> 32
+
+    state = gen.bit_generator.state
+    expected = [int(fallback(n)) for _ in range(64)]
+    gen.bit_generator.state = state
+    if [fast() for _ in range(64)] != expected:
+        gen.bit_generator.state = state
+        return lambda: int(fallback(n))  # pragma: no cover - numpy drift
+    gen.bit_generator.state = state
+    buffered[0] = None
+    return fast
+
+
 class BatchedDraws:
     """Amortise per-draw RNG overhead by prefetching uniform blocks.
 

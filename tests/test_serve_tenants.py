@@ -206,6 +206,45 @@ def test_tenant_submission_quotas_and_catalogs(service):
     assert rejected["catalog"] == 1 and rejected["quota"] == 1
 
 
+def test_read_routes_are_tenant_scoped(service):
+    # seed two tenant catalogs on disk (empty is enough for the index)
+    for name in ("team-a", "team-b"):
+        (service.root / "catalogs" / name).mkdir(parents=True,
+                                                 exist_ok=True)
+    anonymous = ServeClient(service.url)
+    team_a = ServeClient(service.url, token="token-a")
+    team_b = ServeClient(service.url, token="token-b")
+
+    # unauthenticated reads are 401 on a tenants-enforcing daemon
+    for call in (lambda: anonymous.runs(),
+                 lambda: anonymous.analysis("r1", catalog="team-a")):
+        with pytest.raises(AuthError) as err:
+            call()
+        assert err.value.status == 401
+
+    # a foreign catalog is 403 — whether it exists ("team-b") or not
+    # ("ghost"), so names cannot be probed
+    for catalog in ("team-b", "ghost"):
+        for call in (lambda: team_a.runs(catalog=catalog),
+                     lambda: team_a.analysis("r1", catalog=catalog)):
+            with pytest.raises(AuthError) as err:
+                call()
+            assert err.value.status == 403
+
+    # the default index is scoped to the caller's own catalogs
+    assert sorted(team_a.runs()) == ["team-a"]
+    assert sorted(team_b.runs()) == ["team-b"]
+    assert sorted(team_a.runs(catalog="team-a")) == ["team-a"]
+
+    # with no explicit ?catalog=, the tenant's own catalog is the
+    # default (404 proves it resolved there: no such run yet)
+    from repro.serve import ServeError
+    with pytest.raises(ServeError) as err:
+        team_a.analysis("no-such-run")
+    assert err.value.status == 404
+    assert "team-a" in str(err.value)
+
+
 def test_disk_quota_rejects_submit(service):
     client = ServeClient(service.url, token="token-a")
     catalog = service.root / "catalogs" / "team-a"

@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Benchmark the DES core and disk hot paths against a committed baseline.
 
-Three measurements make up the core perf trajectory (``BENCH_core.json``):
+Four measurements make up the core perf trajectory (``BENCH_core.json``):
 
 * **run_loop** — raw events/sec of ``Simulator.run()`` draining a large
   pending population (an event storm: N timeouts with uniform-random
@@ -12,15 +12,24 @@ Three measurements make up the core perf trajectory (``BENCH_core.json``):
 * **experiment** — wall time and requests/sec of the baseline experiment
   (``nnodes=2, seed=1``) under both engines; end-to-end sanity that the
   queue swap helps real runs, not just storms.
+* **batched_drain** — a deep-queue storm on one disk: every request
+  submitted at t=0, so the batched server claims full scheduler runs
+  and vectorizes their service terms while the scalar reference server
+  (``Disk(batch=False)``) does one scheduler round-trip and one queued
+  completion event per request.  The headline is the batched/scalar
+  *speedup* on the same stream.
 * **service_time** — per-call cost of ``DiskServiceModel.service_time``
   (the precomputed-table path) versus a scalar reference that redoes the
   pre-PR per-request ``sqrt``/zone math, as p50/p95 nanoseconds over
   timed batches.
 
-Absolute numbers are machine-bound, so the CI gate compares *speedups*
-(calendar/heap, table/scalar) — ratios of two measurements taken on the
-same machine moments apart — against the committed ones and fails on a
->15% regression, the same shape as the obs-overhead gate.
+Absolute numbers are machine-bound, so the CI gate mostly compares
+*speedups* (calendar/heap, batched/scalar, table/scalar) — ratios of
+two measurements taken on the same machine moments apart — against the
+committed ones and fails on a >15% regression, the same shape as the
+obs-overhead gate.  One absolute number is gated too: the end-to-end
+``experiment.calendar_requests_per_s``, so a change that slows every
+variant equally (where ratios stay flat) still trips the gate.
 
 Usage::
 
@@ -41,13 +50,23 @@ import numpy as np
 
 from repro.config import Scenario
 from repro.core.experiments import ExperimentRunner
-from repro.disk import DiskServiceModel, IORequest
+from repro.disk import Disk, DiskServiceModel, IORequest
+from repro.disk.scheduler import SCHEDULERS
 from repro.sim import Simulator
 
-#: gate keys: (json path, human label) of every gated speedup
+#: gate keys: (json path, human label, unit) of every gated metric.
+#: Speedups are machine-independent ratios; the end-to-end experiment
+#: throughput is gated too so the batched hot path cannot silently rot
+#: back to scalar request rates.
 GATED = (
-    (("run_loop", "speedup"), "run-loop events/sec (calendar vs heap)"),
-    (("service_time", "speedup_p50"), "service-time p50 (table vs scalar)"),
+    (("run_loop", "speedup"),
+     "run-loop events/sec (calendar vs heap)", "x"),
+    (("service_time", "speedup_p50"),
+     "service-time p50 (table vs scalar)", "x"),
+    (("batched_drain", "speedup"),
+     "deep-queue drain (batched vs scalar server)", "x"),
+    (("experiment", "calendar_requests_per_s"),
+     "experiment throughput (calendar engine)", " req/s"),
 )
 
 
@@ -108,6 +127,62 @@ def bench_experiment(nnodes: int = 2, seed: int = 1,
             "speedup": walls["heap"] / walls["calendar"]}
 
 
+# -- batched drain storm ------------------------------------------------------
+def _drain_wall(workload, seed: int, batch: bool) -> float:
+    """Wall time for one disk to drain ``workload`` submitted at t=0."""
+    sim = Simulator(queue="calendar")
+    disk = Disk(sim,
+                service=DiskServiceModel(),
+                scheduler=SCHEDULERS.create("clook"),
+                rng=np.random.default_rng(seed),
+                batch=batch)
+
+    def submitter():
+        for sector, nsectors, is_write in workload:
+            disk.submit(IORequest(sector=sector, nsectors=nsectors,
+                                  is_write=is_write))
+        return
+        yield
+
+    sim.process(submitter(), name="submitter")
+    t0 = perf_counter()
+    sim.run()
+    wall = perf_counter() - t0
+    assert disk.stats.reads + disk.stats.writes == len(workload)
+    return wall
+
+
+def bench_batched_drain(nrequests: int = 4_000, repeats: int = 3,
+                        seed: int = 11) -> dict:
+    """Best-of-N deep-queue storm: batched server vs scalar reference.
+
+    Every request is submitted at the same instant, the regime the
+    drain path exists for: the batched server claims multi-request runs
+    from the scheduler and vectorizes their service terms; the scalar
+    server pays one round-trip per request.
+    """
+    model = DiskServiceModel()
+    rng = np.random.default_rng(seed)
+    workload = list(zip(
+        rng.integers(0, model.geometry.total_sectors - 64,
+                     size=nrequests).tolist(),
+        rng.integers(1, 65, size=nrequests).tolist(),
+        (rng.random(nrequests) < 0.5).tolist()))
+    _drain_wall(workload, seed, batch=True)          # warm tables/caches
+    walls = {"scalar": float("inf"), "batched": float("inf")}
+    for _ in range(repeats):
+        walls["scalar"] = min(walls["scalar"],
+                              _drain_wall(workload, seed, batch=False))
+        walls["batched"] = min(walls["batched"],
+                               _drain_wall(workload, seed, batch=True))
+    return {"nrequests": nrequests, "scheduler": "clook",
+            "scalar_wall_s": walls["scalar"],
+            "batched_wall_s": walls["batched"],
+            "scalar_requests_per_s": nrequests / walls["scalar"],
+            "batched_requests_per_s": nrequests / walls["batched"],
+            "speedup": walls["scalar"] / walls["batched"]}
+
+
 # -- disk service-time compute cost -------------------------------------------
 def _scalar_service_time(model: DiskServiceModel, request: IORequest,
                          head: int, rng) -> float:
@@ -163,9 +238,10 @@ def bench_service_time(nbatches: int = 300, batch: int = 100,
 
 # -- harness ------------------------------------------------------------------
 def measure(npending: int = 500_000, repeats: int = 3) -> dict:
-    return {"schema": 1,
+    return {"schema": 2,
             "run_loop": bench_run_loop(npending=npending, repeats=repeats),
             "experiment": bench_experiment(repeats=repeats),
+            "batched_drain": bench_batched_drain(repeats=repeats),
             "service_time": bench_service_time()}
 
 
@@ -178,6 +254,7 @@ def _get(result: dict, path: tuple) -> float:
 def render(result: dict) -> str:
     run = result["run_loop"]
     exp = result["experiment"]
+    drain = result["batched_drain"]
     svc = result["service_time"]
     return "\n".join([
         f"run loop   heap {run['heap_events_per_s'] / 1e6:6.3f} M ev/s   "
@@ -187,6 +264,10 @@ def render(result: dict) -> str:
         f"calendar {exp['calendar_wall_s'] * 1e3:8.1f} ms   "
         f"({exp['calendar_requests_per_s']:,.0f} req/s)   "
         f"speedup {exp['speedup']:5.2f}x",
+        f"drain      scalar {drain['scalar_wall_s'] * 1e3:8.1f} ms   "
+        f"batched  {drain['batched_wall_s'] * 1e3:8.1f} ms   "
+        f"({drain['batched_requests_per_s']:,.0f} req/s)   "
+        f"speedup {drain['speedup']:5.2f}x",
         f"service    scalar p50 {svc['scalar_ns']['p50']:7.0f} ns   "
         f"table p50 {svc['table_ns']['p50']:7.0f} ns   "
         f"speedup {svc['speedup_p50']:5.2f}x "
@@ -195,15 +276,16 @@ def render(result: dict) -> str:
 
 
 def check(result: dict, baseline: dict, tolerance: float) -> int:
-    """Fail (rc 1) when any gated speedup regressed past ``tolerance``."""
+    """Fail (rc 1) when any gated metric regressed past ``tolerance``."""
     rc = 0
-    for path, label in GATED:
+    for path, label, unit in GATED:
         committed = _get(baseline, path)
         measured = _get(result, path)
         floor = committed * (1.0 - tolerance)
         verdict = "ok" if measured >= floor else "FAIL"
-        print(f"{verdict:>4}  {label}: measured {measured:.2f}x vs "
-              f"committed {committed:.2f}x (floor {floor:.2f}x)")
+        print(f"{verdict:>4}  {label}: measured {measured:,.2f}{unit} vs "
+              f"committed {committed:,.2f}{unit} "
+              f"(floor {floor:,.2f}{unit})")
         if measured < floor:
             rc = 1
     return rc

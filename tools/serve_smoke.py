@@ -25,6 +25,9 @@ a ``tenants.toml``:
   submission is a 429;
 * assert jobs are tenant-scoped: reading or cancelling another
   tenant's job is 403, and the job table only lists your own;
+* assert the catalog read routes are tenant-scoped too: tokenless
+  ``GET /v1/runs`` is 401, and a foreign-tenant catalog 403s on both
+  the runs index and ``GET /v1/analysis/...``;
 * kill the daemon mid-DAG, restart it with workers, stream the
   dependent job's progress as Server-Sent Events (at least one
   ``point`` event must arrive live), and assert the dependent never
@@ -195,6 +198,13 @@ def run_phase2(duration: float, root: Path) -> int:
                      lambda: team_b.cancel(head["id"]))
         assert all(j["tenant"] == "team-b" for j in team_b.jobs()), \
             "job table leaked another tenant's jobs"
+        # the catalog read routes are gated the same way
+        expect_error(AuthError, 401, "tokenless runs read",
+                     lambda: ServeClient(url).runs())
+        expect_error(AuthError, 403, "cross-tenant runs read",
+                     lambda: team_b.runs(catalog="team-a"))
+        expect_error(AuthError, 403, "cross-tenant analysis read",
+                     lambda: team_b.analysis("r", catalog="team-a"))
     finally:
         stop_daemon(process)          # dies with the whole DAG queued
 
@@ -219,6 +229,11 @@ def run_phase2(duration: float, root: Path) -> int:
         dep_final = team_a.job(dependent["id"])
         assert dep_final["started"] >= head_final["finished"], \
             "dependent started before its dependency finished"
+        # with runs on disk, the default index only shows your catalogs
+        assert sorted(team_a.runs()) == ["team-a"], \
+            "runs index leaked another tenant's catalog"
+        assert sorted(team_b.runs()) == ["team-b"], \
+            "runs index leaked another tenant's catalog"
     finally:
         stop_daemon(process)
     print(f"serve smoke phase 2 OK: DAG, tenants, and SSE from {root}")
