@@ -50,8 +50,25 @@ class AppStats:
         return self.finished_at - self.started_at
 
 
+#: AppStats fields carried through a resume token
+_STATS_FIELDS = ("started_at", "finished_at", "bytes_read", "bytes_written",
+                 "compute_seconds", "pages_touched", "messages_sent")
+
+
 class ESSApplication:
-    """Base class of the workload models."""
+    """Base class of the workload models.
+
+    An application's behaviour is a sequence of *bodies* — numbered
+    generator sections returned by :meth:`bodies` (setup, one per time
+    step, epilogue).  The base :meth:`run` drives them under a cursor,
+    which is what makes the workloads checkpointable: between bodies the
+    app owns no in-flight I/O and holds no queue entries, so a
+    :class:`~repro.checkpoint.CheckpointCoordinator` can park it there,
+    capture ``(cursor, rng state, regions, handles)`` as a plain resume
+    token, and a restored process continues from the same boundary
+    bit-identically.  Without a coordinator the driver loop adds no
+    events and no draws — byte-for-byte the old monolithic ``run()``.
+    """
 
     #: application name; used for file paths and address-space labels
     name = "app"
@@ -77,6 +94,12 @@ class ESSApplication:
         self.aspace: Optional[AddressSpace] = None
         self._next_page = 0
         self._binary_pages = 0
+        #: bodies completed so far (the checkpoint-safe progress marker)
+        self.cursor = 0
+        self._coordinator = None
+        self._resume_token: Optional[dict] = None
+        self._started = False
+        self._finished = False
 
     # -- paths ---------------------------------------------------------------
     @property
@@ -101,10 +124,113 @@ class ESSApplication:
             inode = yield from fs.create(self.binary_path, zone="binary")
             yield from fs.truncate_extend(inode, self.binary_kb * 1024)
 
-    def run(self):
-        """Generator: the application process.  Subclasses override."""
+    def bodies(self) -> list:
+        """The run's numbered sections, each a no-arg generator callable.
+
+        Subclasses return ``[setup, step_0 ... step_n, epilogue]``;
+        state shared between bodies lives on instance attributes.
+        Bodies must be *communication-closed*: any send/recv/barrier
+        pairing between family members happens within one body index,
+        with sends preceding receives.
+        """
         raise NotImplementedError
-        yield  # pragma: no cover
+
+    def run(self):
+        """Generator: the application process (drives :meth:`bodies`)."""
+        bodies = self.bodies()
+        token = self._resume_token
+        coordinator = self._coordinator
+        if token is not None and token["finished"]:
+            # ran to completion before the checkpoint: nothing to
+            # replay, just carry the final statistics forward
+            self._apply_stats(token["stats"])
+            self._started = self._finished = True
+            return self.stats
+        if token is not None and token["started"]:
+            self._restore_token(token)
+            self._started = True
+            if coordinator is not None:
+                coordinator.started(self)
+                # park before the next body; the runner releases every
+                # resumed app (in sorted order) once the drain settles
+                yield coordinator.hold(self)
+        else:
+            self._setup_address_space()
+            self.stats.started_at = self.kernel.sim.now
+            self._started = True
+            if coordinator is not None:
+                coordinator.started(self)
+        try:
+            while self.cursor < len(bodies):
+                if coordinator is not None \
+                        and coordinator.should_hold(self):
+                    yield coordinator.hold(self)
+                yield from bodies[self.cursor]()
+                self.cursor += 1
+        finally:
+            self.stats.finished_at = self.kernel.sim.now
+            self._teardown_address_space()
+            self._finished = True
+            if coordinator is not None:
+                coordinator.finished(self)
+        return self.stats
+
+    # -- checkpoint state surface ------------------------------------------
+    def attach_coordinator(self, coordinator) -> None:
+        self._coordinator = coordinator
+
+    @property
+    def space_name(self) -> str:
+        return f"{self.name}@{self.node_id}"
+
+    def snapshot_token(self) -> dict:
+        """This instance's resume token (a plain tree)."""
+        token = {
+            "started": self._started,
+            "finished": self._finished,
+            "cursor": self.cursor,
+            "stats": {field: getattr(self.stats, field)
+                      for field in _STATS_FIELDS},
+        }
+        if self._started and not self._finished:
+            token["rng"] = self.rng.bit_generator.state
+            token["next_page"] = self._next_page
+            token["binary_pages"] = self._binary_pages
+            token["app"] = self.snapshot_app_state()
+        return token
+
+    def resume_from(self, token: dict) -> None:
+        """Stage ``token`` for the next :meth:`run` (restore happens
+        inside the spawned process, after layer state is back)."""
+        self._resume_token = token
+
+    def _apply_stats(self, fields: dict) -> None:
+        for field in _STATS_FIELDS:
+            setattr(self.stats, field, fields[field])
+
+    def _restore_token(self, token: dict) -> None:
+        self._apply_stats(token["stats"])
+        self.cursor = int(token["cursor"])
+        self.rng.bit_generator.state = token["rng"]
+        self._next_page = int(token["next_page"])
+        self._binary_pages = int(token["binary_pages"])
+        # the address space survives in the restored VM; reattach
+        self.aspace = self.kernel.vm.space_by_name(self.space_name)
+        self.restore_app_state(token["app"])
+
+    def snapshot_app_state(self) -> dict:
+        """Subclass hook: regions and open handles shared across bodies."""
+        return {}
+
+    def restore_app_state(self, state: dict) -> None:
+        """Subclass hook: inverse of :meth:`snapshot_app_state`."""
+
+    def _reopen_handle(self, path: str, state: dict):
+        """Reopen ``path`` against the restored filesystem and put back
+        the handle's position and readahead window."""
+        handle = self.kernel.open(path)
+        handle.restore_state(state)
+        return handle
 
     # -- memory behaviour ---------------------------------------------------
     def _setup_address_space(self) -> None:

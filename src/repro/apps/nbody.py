@@ -63,39 +63,59 @@ class NBodyApplication(ESSApplication):
         super().__init__(node, seed=seed)
         self.params = params
 
-    def run(self):
+    @property
+    def summary_path(self) -> str:
+        return f"{self.output_dir}/summary.{self.node_id}"
+
+    def bodies(self) -> list:
+        from functools import partial
+        return ([self._body_setup]
+                + [partial(self._body_step, step)
+                   for step in range(self.params.steps)]
+                + [self._body_finish])
+
+    def _body_setup(self):
         p = self.params
-        kernel = self.kernel
-        self._setup_address_space()
-        self.stats.started_at = kernel.sim.now
-        try:
-            binary = self.map_binary()
-            yield from self.load_pages(binary)
-            particles = self.allocate(p.footprint_kb)
-            yield from self.load_pages(particles, write=True)
+        self._binary = self.map_binary()
+        yield from self.load_pages(self._binary)
+        self._particles = self.allocate(p.footprint_kb)
+        yield from self.load_pages(self._particles, write=True)
+        self._summary_h = yield from self.kernel.create(self.summary_path)
 
-            summary_h = yield from kernel.create(
-                f"{self.output_dir}/summary.{self.node_id}")
-            for step in range(p.steps):
-                # Tree rebuild + force evaluation: touches spread across
-                # the whole footprint, many of them writes.
-                yield from self.compute(p.compute_per_step, region=particles,
-                                        touches_per_slice=8,
-                                        dirty_fraction=0.5)
-                if p.nnodes > 1 and step % p.exchange_interval == 0:
-                    # exchange of locally-essential tree (bodies near the
-                    # domain boundary)
-                    yield from self.exchange_with_neighbors(
-                        tag=200 + step,
-                        nbytes=p.particles // 8 * 32,
-                        nnodes=p.nnodes)
-                yield from self.append_stats(summary_h, p.summary_bytes)
+    def _body_step(self, step: int):
+        p = self.params
+        # Tree rebuild + force evaluation: touches spread across
+        # the whole footprint, many of them writes.
+        yield from self.compute(p.compute_per_step, region=self._particles,
+                                touches_per_slice=8,
+                                dirty_fraction=0.5)
+        if p.nnodes > 1 and step % p.exchange_interval == 0:
+            # exchange of locally-essential tree (bodies near the
+            # domain boundary)
+            yield from self.exchange_with_neighbors(
+                tag=200 + step,
+                nbytes=p.particles // 8 * 32,
+                nnodes=p.nnodes)
+        yield from self.append_stats(self._summary_h, p.summary_bytes)
 
-            out_h = yield from kernel.create(
-                f"{self.output_dir}/snapshot.{self.node_id}")
-            yield from self.write_file(out_h, p.output_kb * 1024)
-            yield from self.barrier("done", p.nnodes)
-        finally:
-            self.stats.finished_at = kernel.sim.now
-            self._teardown_address_space()
-        return self.stats
+    def _body_finish(self):
+        p = self.params
+        out_h = yield from self.kernel.create(
+            f"{self.output_dir}/snapshot.{self.node_id}")
+        yield from self.write_file(out_h, p.output_kb * 1024)
+        yield from self.barrier("done", p.nnodes)
+
+    def snapshot_app_state(self) -> dict:
+        if self.cursor < 1:
+            return {}
+        return {"binary": list(self._binary),
+                "particles": list(self._particles),
+                "summary": self._summary_h.snapshot_state()}
+
+    def restore_app_state(self, state: dict) -> None:
+        if not state:
+            return
+        self._binary = tuple(int(v) for v in state["binary"])
+        self._particles = tuple(int(v) for v in state["particles"])
+        self._summary_h = self._reopen_handle(self.summary_path,
+                                              state["summary"])

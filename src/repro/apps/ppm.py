@@ -64,42 +64,62 @@ class PPMApplication(ESSApplication):
         super().__init__(node, seed=seed)
         self.params = params
 
-    def run(self):
+    @property
+    def stats_path(self) -> str:
+        return f"{self.output_dir}/stats.{self.node_id}"
+
+    def bodies(self) -> list:
+        from functools import partial
+        return ([self._body_setup]
+                + [partial(self._body_step, step)
+                   for step in range(self.params.steps)]
+                + [self._body_finish])
+
+    def _body_setup(self):
         p = self.params
-        kernel = self.kernel
-        self._setup_address_space()
-        self.stats.started_at = kernel.sim.now
-        try:
-            # Program load: demand-page the main section only; the
-            # post-processing pages stay untouched until the end.
-            binary = self.map_binary()
-            yield from self.load_pages(self.subregion(binary, 0.0, 0.75))
+        # Program load: demand-page the main section only; the
+        # post-processing pages stay untouched until the end.
+        self._binary = self.map_binary()
+        yield from self.load_pages(self.subregion(self._binary, 0.0, 0.75))
 
-            grids = self.allocate(p.grid_kb)
-            yield from self.load_pages(grids, write=True)
+        self._grids = self.allocate(p.grid_kb)
+        yield from self.load_pages(self._grids, write=True)
 
-            stats_h = yield from kernel.create(
-                f"{self.output_dir}/stats.{self.node_id}")
-            for step in range(p.steps):
-                yield from self.compute(p.compute_per_step, region=grids,
-                                        touches_per_slice=6,
-                                        dirty_fraction=0.6)
-                if p.nnodes > 1 and step % p.exchange_interval == 0:
-                    # ghost-cell exchange: two grid rows of doubles
-                    yield from self.exchange_with_neighbors(
-                        tag=100 + step, nbytes=2 * p.grid_ny * 8,
-                        nnodes=p.nnodes)
-                if step % p.stats_interval == 0:
-                    yield from self.append_stats(stats_h, p.stats_bytes)
+        self._stats_h = yield from self.kernel.create(self.stats_path)
 
-            # Post-processing: first call into the output section demand-
-            # loads its pages -- the paper's late 4 KB paging blip.
-            yield from self.load_pages(self.subregion(binary, 0.75, 1.0))
-            out_h = yield from kernel.create(
-                f"{self.output_dir}/result.{self.node_id}")
-            yield from self.write_file(out_h, p.output_kb * 1024)
-            yield from self.barrier("done", p.nnodes)
-        finally:
-            self.stats.finished_at = kernel.sim.now
-            self._teardown_address_space()
-        return self.stats
+    def _body_step(self, step: int):
+        p = self.params
+        yield from self.compute(p.compute_per_step, region=self._grids,
+                                touches_per_slice=6,
+                                dirty_fraction=0.6)
+        if p.nnodes > 1 and step % p.exchange_interval == 0:
+            # ghost-cell exchange: two grid rows of doubles
+            yield from self.exchange_with_neighbors(
+                tag=100 + step, nbytes=2 * p.grid_ny * 8,
+                nnodes=p.nnodes)
+        if step % p.stats_interval == 0:
+            yield from self.append_stats(self._stats_h, p.stats_bytes)
+
+    def _body_finish(self):
+        p = self.params
+        # Post-processing: first call into the output section demand-
+        # loads its pages -- the paper's late 4 KB paging blip.
+        yield from self.load_pages(self.subregion(self._binary, 0.75, 1.0))
+        out_h = yield from self.kernel.create(
+            f"{self.output_dir}/result.{self.node_id}")
+        yield from self.write_file(out_h, p.output_kb * 1024)
+        yield from self.barrier("done", p.nnodes)
+
+    def snapshot_app_state(self) -> dict:
+        if self.cursor < 1:
+            return {}
+        return {"binary": list(self._binary),
+                "grids": list(self._grids),
+                "stats": self._stats_h.snapshot_state()}
+
+    def restore_app_state(self, state: dict) -> None:
+        if not state:
+            return
+        self._binary = tuple(int(v) for v in state["binary"])
+        self._grids = tuple(int(v) for v in state["grids"])
+        self._stats_h = self._reopen_handle(self.stats_path, state["stats"])

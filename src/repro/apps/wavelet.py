@@ -82,57 +82,84 @@ class WaveletApplication(ESSApplication):
                 inode = yield from fs.create(path, zone="data")
                 yield from fs.truncate_extend(inode, self.params.image_bytes)
 
-    def run(self):
+    def bodies(self) -> list:
+        return [self._body_startup, self._body_image_read,
+                self._body_transform_1, self._body_reference_read,
+                self._body_transform_2, self._body_output]
+
+    @property
+    def _active(self):
+        return self.subregion(self._workspace, 0.0,
+                              self.params.active_fraction)
+
+    def _body_startup(self):
         p = self.params
-        kernel = self.kernel
-        self._setup_address_space()
-        self.stats.started_at = kernel.sim.now
-        try:
-            # Startup: demand-load the whole (large) program image and
-            # build the working set -- the early 4 KB storm.
-            binary = self.map_binary()
-            yield from self.load_pages(binary)
-            workspace = self.allocate(p.footprint_kb)
-            yield from self.load_pages(workspace, write=True)
-            yield from self.compute(p.startup_compute, region=workspace,
-                                    touches_per_slice=10,
-                                    dirty_fraction=0.4,
-                                    code_region=binary, code_touches=3)
+        # Startup: demand-load the whole (large) program image and
+        # build the working set -- the early 4 KB storm.
+        self._binary = self.map_binary()
+        yield from self.load_pages(self._binary)
+        self._workspace = self.allocate(p.footprint_kb)
+        yield from self.load_pages(self._workspace, write=True)
+        yield from self.compute(p.startup_compute, region=self._workspace,
+                                touches_per_slice=10,
+                                dirty_fraction=0.4,
+                                code_region=self._binary, code_touches=3)
 
-            # Image input: sequential stream through read-ahead; request
-            # sizes climb toward the 16 KB (or 32 KB combined) ceiling.
-            image_h = kernel.open(self.image_path)
-            yield from self.read_file(image_h, p.image_bytes, chunk=8192)
+    def _body_image_read(self):
+        p = self.params
+        # Image input: sequential stream through read-ahead; request
+        # sizes climb toward the 16 KB (or 32 KB combined) ceiling.
+        image_h = self.kernel.open(self.image_path)
+        yield from self.read_file(image_h, p.image_bytes, chunk=8192)
 
-            # Transform lull: activity confined to the active subset, so
-            # only limited working-set maintenance paging.  Halfway
-            # through, the registration search streams in the reference
-            # scene.
-            active = self.subregion(workspace, 0.0, p.active_fraction)
-            yield from self.compute(p.transform_compute / 2, region=active,
-                                    touches_per_slice=4,
-                                    dirty_fraction=0.35,
-                                    code_region=binary, code_touches=2)
-            ref_h = kernel.open(self.reference_path)
-            yield from self.read_file(ref_h, p.image_bytes, chunk=8192)
-            yield from self.compute(p.transform_compute / 2, region=active,
-                                    touches_per_slice=4,
-                                    dirty_fraction=0.35,
-                                    code_region=binary, code_touches=2)
+    def _body_transform_1(self):
+        p = self.params
+        # Transform lull: activity confined to the active subset, so
+        # only limited working-set maintenance paging.  Halfway
+        # through, the registration search streams in the reference
+        # scene.
+        yield from self.compute(p.transform_compute / 2,
+                                region=self._active,
+                                touches_per_slice=4,
+                                dirty_fraction=0.35,
+                                code_region=self._binary, code_touches=2)
 
-            # Output assembly: reads back every coefficient plane (a
-            # sequential sweep of the footprint -- the heavier paging at
-            # the end), then writes them out.
-            yield from self.load_pages(workspace)
-            yield from self.compute(p.end_compute, region=workspace,
-                                    touches_per_slice=12,
-                                    dirty_fraction=0.35,
-                                    code_region=binary, code_touches=3)
-            out_h = yield from kernel.create(
-                f"{self.output_dir}/coeffs.{self.node_id}")
-            yield from self.write_file(out_h, p.output_kb * 1024)
-            yield from self.barrier("done", p.nnodes)
-        finally:
-            self.stats.finished_at = kernel.sim.now
-            self._teardown_address_space()
-        return self.stats
+    def _body_reference_read(self):
+        p = self.params
+        ref_h = self.kernel.open(self.reference_path)
+        yield from self.read_file(ref_h, p.image_bytes, chunk=8192)
+
+    def _body_transform_2(self):
+        p = self.params
+        yield from self.compute(p.transform_compute / 2,
+                                region=self._active,
+                                touches_per_slice=4,
+                                dirty_fraction=0.35,
+                                code_region=self._binary, code_touches=2)
+
+    def _body_output(self):
+        p = self.params
+        # Output assembly: reads back every coefficient plane (a
+        # sequential sweep of the footprint -- the heavier paging at
+        # the end), then writes them out.
+        yield from self.load_pages(self._workspace)
+        yield from self.compute(p.end_compute, region=self._workspace,
+                                touches_per_slice=12,
+                                dirty_fraction=0.35,
+                                code_region=self._binary, code_touches=3)
+        out_h = yield from self.kernel.create(
+            f"{self.output_dir}/coeffs.{self.node_id}")
+        yield from self.write_file(out_h, p.output_kb * 1024)
+        yield from self.barrier("done", p.nnodes)
+
+    def snapshot_app_state(self) -> dict:
+        if self.cursor < 1:
+            return {}
+        return {"binary": list(self._binary),
+                "workspace": list(self._workspace)}
+
+    def restore_app_state(self, state: dict) -> None:
+        if not state:
+            return
+        self._binary = tuple(int(v) for v in state["binary"])
+        self._workspace = tuple(int(v) for v in state["workspace"])

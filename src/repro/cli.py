@@ -80,6 +80,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="stream per-node traces into a run catalog "
                              "at DIR (chunked .rpt files + manifest; "
                              "inspect with repro-trace)")
+    parser.add_argument("--checkpoint-every", type=float, default=None,
+                        metavar="SECONDS",
+                        help="capture a resumable whole-stack checkpoint "
+                             "every SECONDS of simulated time (a .ckpt "
+                             "file under --checkpoint-dir; with 'sweep', "
+                             "per grid point, and re-running the sweep "
+                             "skips finished points)")
+    parser.add_argument("--checkpoint-dir", type=Path, default=None,
+                        metavar="DIR",
+                        help="where checkpoints land (default "
+                             "checkpoints/)")
+    parser.add_argument("--resume", type=Path, default=None,
+                        metavar="FILE.ckpt",
+                        help="restore this checkpoint and continue the "
+                             "run bit-identically to the uninterrupted "
+                             "one (single experiments only)")
     parser.add_argument("--obs", action="store_true",
                         help="record runtime observability metrics "
                              "(simulator, disks, caches, trace path) and "
@@ -173,7 +189,10 @@ def _run_sweep(args) -> int:
 
     def execute():
         return run_sweep(base, axes, experiment=args.on,
-                         duration=args.duration, sink=sink)
+                         duration=args.duration, sink=sink,
+                         checkpoint_every=args.checkpoint_every,
+                         checkpoint_dir=str(args.checkpoint_dir)
+                         if args.checkpoint_dir else None)
 
     try:
         results = _profiled(execute, args.profile_out) \
@@ -202,6 +221,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.profile_out:
         args.profile = True
+    if args.resume and args.experiment in ("all", "sweep"):
+        print("--resume restores one experiment's checkpoint; it does "
+              "not apply to 'all' or 'sweep' (a re-run sweep resumes "
+              "from its --checkpoint-dir automatically)", file=sys.stderr)
+        return 2
     if args.experiment == "sweep":
         return _run_sweep(args)
     scenario = _base_scenario(args)
@@ -219,13 +243,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             return runner.run_all(parallel=True)
         results = {}
         for name in names:
-            print(f"running {name} on {runner.nnodes} nodes ...",
+            verb = "resuming" if args.resume else "running"
+            print(f"{verb} {name} on {runner.nnodes} nodes ...",
                   file=sys.stderr)
-            results[name] = runner.run(name)
+            results[name] = runner.run(
+                name, checkpoint_every=args.checkpoint_every,
+                checkpoint_dir=args.checkpoint_dir,
+                resume_from=args.resume)
         return results
 
-    results = _profiled(execute, args.profile_out) \
-        if args.profile else execute()
+    from repro.checkpoint import CheckpointError
+    try:
+        results = _profiled(execute, args.profile_out) \
+            if args.profile else execute()
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 1
     for name, result in results.items():
         m = result.metrics
         print(f"  {name}: {m.total_requests} requests, "

@@ -79,6 +79,8 @@ class BeowulfCluster:
         self.scenario = scenario
         self.params = params or NodeParams()
         streams = RandomStreams(seed=seed)
+        #: the cluster-wide stream registry (checkpoint state surface)
+        self.streams = streams
         if scenario is not None:
             self.network = scenario.network.build(
                 sim, rng=streams.stream("ethernet"), obs=obs)

@@ -99,6 +99,27 @@ class EthernetNetwork:
     def channels(self) -> int:
         return len(self._segments)
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        s = self.stats
+        return {"next_channel": self._next_channel,
+                "stats": {"messages": s.messages, "frames": s.frames,
+                          "bytes_carried": s.bytes_carried,
+                          "busy_time": s.busy_time},
+                "channel_frames": list(self.channel_frames),
+                "channel_busy_time": list(self.channel_busy_time)}
+
+    def restore_state(self, state: dict) -> None:
+        self._next_channel = int(state["next_channel"])
+        st = state["stats"]
+        self.stats = NetworkStats(
+            messages=int(st["messages"]), frames=int(st["frames"]),
+            bytes_carried=int(st["bytes_carried"]),
+            busy_time=float(st["busy_time"]))
+        self.channel_frames = [int(v) for v in state["channel_frames"]]
+        self.channel_busy_time = [float(v)
+                                  for v in state["channel_busy_time"]]
+
     def frame_time(self, payload_bytes: int) -> float:
         """Serialization time of one frame carrying ``payload_bytes``."""
         wire_bytes = min(payload_bytes, self.mtu) + self.frame_overhead

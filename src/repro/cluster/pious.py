@@ -116,6 +116,10 @@ class PIOUS:
         self.requests_by_server: Dict[int, int] = {
             node_id: 0 for node_id in self.server_ids}
         self.bytes_served = 0
+        #: per-server open partial-file handles, keyed by node then file
+        #: name — kept on the service (not server-local) so the handles'
+        #: positions and readahead windows are part of the state surface
+        self._server_handles: Dict[int, Dict[str, object]] = {}
         for node_id in self.server_ids:
             node = cluster.nodes[node_id]
             cluster.sim.process(self._server(node),
@@ -140,11 +144,52 @@ class PIOUS:
         self._reply_seq += 1
         return PIOUS_REPLY_BASE + self._reply_seq
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {
+            "files": {name: {"stripe_bytes": m.stripe_bytes,
+                             "servers": list(m.servers)}
+                      for name, m in sorted(self._files.items())},
+            "reply_seq": self._reply_seq,
+            "requests_served": self.requests_served,
+            "requests_by_server": {str(k): v for k, v in
+                                   self.requests_by_server.items()},
+            "bytes_served": self.bytes_served,
+            "server_handles": {
+                str(node_id): {name: handle.snapshot_state()
+                               for name, handle in sorted(handles.items())}
+                for node_id, handles in sorted(
+                    self._server_handles.items())},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._files = {
+            name: _StripeMap(name, int(spec["stripe_bytes"]),
+                             [int(s) for s in spec["servers"]])
+            for name, spec in state["files"].items()}
+        self._reply_seq = int(state["reply_seq"])
+        self.requests_served = int(state["requests_served"])
+        self.requests_by_server = {int(k): int(v) for k, v in
+                                   state["requests_by_server"].items()}
+        self.bytes_served = int(state["bytes_served"])
+        # Reopen each server's partial files against the (already
+        # restored) node filesystems — kernel.open is pure — then put
+        # back the positions and readahead windows.
+        self._server_handles = {}
+        for key, handles in state["server_handles"].items():
+            node_id = int(key)
+            kernel = self.cluster.nodes[node_id].kernel
+            restored = self._server_handles.setdefault(node_id, {})
+            for name, hstate in handles.items():
+                handle = kernel.open(f"{self.storage_dir}/{name}.part")
+                handle.restore_state(hstate)
+                restored[name] = handle
+
     # -- data server -------------------------------------------------------
     def _server(self, node: ClusterNode):
         kernel = node.kernel
         pvm = self.cluster.pvm
-        handles = {}
+        handles = self._server_handles.setdefault(node.node_id, {})
         yield from kernel.fs.makedirs(self.storage_dir)
         while True:
             message = yield from pvm.recv(node.node_id, tag=PIOUS_REQ_TAG)

@@ -122,12 +122,46 @@ class PVM:
         """Generator: block until ``count`` participants arrive at ``name``."""
         arrivals = self._barriers.setdefault(name, [])
         gate = self.sim.event()
-        arrivals.append(gate)
+        arrivals.append((node_id, gate))
         if len(arrivals) == count:
             del self._barriers[name]
-            for waiter in arrivals:
+            for _, waiter in arrivals:
                 waiter.succeed()
         yield gate
+
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        """Counters and queued (undelivered) messages.
+
+        Pending barriers cannot be captured: a parked participant is
+        mid-body, and the checkpoint protocol only holds applications at
+        body boundaries — every participant of a barrier in a completed
+        body has already run through it.  Receive waiters are likewise
+        not state; the only quiescent waiters are daemon server loops
+        (PIOUS), which re-park themselves on restore.
+        """
+        if self._barriers:
+            pending = {name: [n for n, _ in arrivals]
+                       for name, arrivals in self._barriers.items()}
+            raise RuntimeError(
+                f"barriers still pending at capture: {pending}")
+        mailboxes = {}
+        for node_id in sorted(self._mailboxes):
+            box = self._mailboxes[node_id]
+            mailboxes[str(node_id)] = [
+                [m.src, m.dst, m.tag, m.nbytes, m.body]
+                for m in box._messages]
+        return {"sends": self.sends, "mailboxes": mailboxes}
+
+    def restore_state(self, state: dict) -> None:
+        self.sends = int(state["sends"])
+        for key, rows in state["mailboxes"].items():
+            box = self._mailboxes[int(key)]
+            box._messages.clear()
+            for src, dst, tag, nbytes, body in rows:
+                box._messages.append(
+                    Message(int(src), int(dst), int(tag), int(nbytes),
+                            body))
 
     def bcast(self, src: int, tag: int, nbytes: int, body: Any = None):
         """Generator: send to every registered task except the source."""

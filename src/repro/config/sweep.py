@@ -153,22 +153,55 @@ def _sweep_worker(args: tuple
     Returns the point's summary metrics, the catalog run id it was
     captured under (``None`` when no sink is set), and the simulator's
     achieved events/sec for the point (``None`` without ``obs``).
+
+    With checkpointing on, each point owns two files under the
+    checkpoint directory, keyed by its scenario fingerprint:
+    ``<fp>.ckpt`` (the live checkpoint, overwritten per epoch) and
+    ``<fp>.done.json`` (written on completion).  A restarted sweep skips
+    finished points via the done marker and resumes half-run ones from
+    their checkpoint — preempt/restart costs only the unfinished tails.
     """
     from time import perf_counter
 
-    scenario_dict, name, duration, sink, obs = args
+    scenario_dict, name, duration, sink, obs, every, ckdir = args
     from repro.core.experiments import ExperimentRunner
     scenario = Scenario.from_dict(scenario_dict)
+
+    ckpt = done = None
+    if ckdir is not None:
+        from pathlib import Path
+        fp = scenario.fingerprint()
+        Path(ckdir).mkdir(parents=True, exist_ok=True)
+        ckpt = Path(ckdir) / f"{fp}.ckpt"
+        done = Path(ckdir) / f"{fp}.done.json"
+        if done.exists():
+            data = json.loads(done.read_text())
+            return data["metrics"], data.get("run_id"), None
+
     runner = ExperimentRunner(scenario=scenario, sink=sink, obs=obs)
     wall = perf_counter()
-    result = runner.run(name, duration=duration)
+    if ckpt is not None and ckpt.exists():
+        result = runner.run(name, resume_from=ckpt)
+    else:
+        result = runner.run(name, duration=duration,
+                            checkpoint_every=every,
+                            checkpoint_dir=ckpt)
     wall = perf_counter() - wall
     run_dir = getattr(runner, "last_run_dir", None)
+    run_id = run_dir.name if run_dir else None
     eps = None
     if obs:
         from repro.obs.recorder import events_per_second
         eps = events_per_second(result.obs, wall)
-    return result.metrics.to_dict(), run_dir.name if run_dir else None, eps
+    if done is not None:
+        tmp = done.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"metrics": result.metrics.to_dict(),
+                                   "run_id": run_id}))
+        import os
+        os.replace(tmp, done)
+        if ckpt.exists():
+            ckpt.unlink()
+    return result.metrics.to_dict(), run_id, eps
 
 
 def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
@@ -180,7 +213,9 @@ def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
               node_overrides: Optional[
                   Mapping[Any, Mapping[str, Any]]] = None,
               obs: bool = False,
-              on_point: Optional[Callable[..., Any]] = None
+              on_point: Optional[Callable[..., Any]] = None,
+              checkpoint_every: Optional[float] = None,
+              checkpoint_dir: Optional[str] = None
               ) -> List[SweepResult]:
     """Run ``experiment`` at every grid point; returns one result each.
 
@@ -197,9 +232,22 @@ def run_sweep(base: Scenario, axes: Sequence[SweepAxis],
     every point with an :class:`~repro.obs.ObsRecorder` so the
     callback's ``events_per_sec`` is real (results stay bit-identical;
     the snapshot additionally lands in each point's run manifest).
+
+    ``checkpoint_every`` makes every point capture a resumable
+    checkpoint at that simulated-seconds cadence under
+    ``checkpoint_dir`` (default ``checkpoints/``), keyed by the point's
+    scenario fingerprint.  Re-running the same sweep over the same
+    directory skips finished points (their done markers hold the stored
+    metrics) and resumes interrupted ones bit-identically — so a
+    preempted sweep restarts where it stopped instead of from scratch.
     """
     points = expand_grid(base, axes, node_overrides=node_overrides)
-    jobs = [(p.scenario.to_dict(), experiment, duration, sink, obs)
+    ckdir = None
+    if checkpoint_every is not None:
+        ckdir = str(checkpoint_dir) if checkpoint_dir is not None \
+            else "checkpoints"
+    jobs = [(p.scenario.to_dict(), experiment, duration, sink, obs,
+             checkpoint_every, ckdir)
             for p in points]
 
     results: List[SweepResult] = []

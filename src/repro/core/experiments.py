@@ -22,6 +22,11 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.apps import WORKLOADS, AppStats, ESSApplication
+from repro.checkpoint import (CheckpointCoordinator, CheckpointError,
+                              arm_tick_preloads, capture_state, check_format,
+                              drain_to_quiescence, load_checkpoint,
+                              restore_cluster_state, save_checkpoint,
+                              verify_restored_queue)
 from repro.cluster import BeowulfCluster
 from repro.config import NodeConfig, Scenario
 from repro.core.metrics import WorkloadMetrics, compute_metrics
@@ -204,31 +209,53 @@ class ExperimentRunner:
 
     # -- public API --------------------------------------------------------
     def run(self, name: str, *,
-            duration: Optional[float] = None) -> ExperimentResult:
+            duration: Optional[float] = None,
+            checkpoint_every: Optional[float] = None,
+            checkpoint_dir=None,
+            resume_from=None) -> ExperimentResult:
         """Run one experiment by name — the single entry point.
 
         ``name`` is one of :data:`EXPERIMENTS` or ``"serial"``.
         ``duration`` sets the baseline observation window (default
         ``baseline_duration``); application experiments run until their
         applications finish, so passing a duration for them is an error.
+
+        ``checkpoint_every`` captures the whole stack into a ``.ckpt``
+        file every that many simulated seconds (under
+        ``checkpoint_dir``, default ``checkpoints/``).  ``resume_from``
+        restores such a file and continues the run; the continuation is
+        bit-identical to the uninterrupted (checkpointing) run — same
+        trace records, same metrics, same obs counters.
         """
+        if resume_from is not None:
+            return self._resume(resume_from, name=name, duration=duration,
+                                checkpoint_every=checkpoint_every,
+                                checkpoint_dir=checkpoint_dir)
         if name == "baseline":
-            return self._run_baseline(duration)
+            return self._run_baseline(duration,
+                                      checkpoint_every=checkpoint_every,
+                                      checkpoint_dir=checkpoint_dir)
         if duration is not None:
             raise ValueError(
                 "duration= only applies to the baseline experiment; "
                 "application runs end when the applications do")
         mix = list(self.scenario.workload.mix)
         if name == "combined":
-            return self._run_apps(mix, name="combined")
+            return self._run_apps(mix, name="combined",
+                                  checkpoint_every=checkpoint_every,
+                                  checkpoint_dir=checkpoint_dir)
         if name == "serial":
             # Extension: the same applications back to back — a
             # batch-queue counterfactual to ``combined`` (identical work,
             # no multiprogramming) that isolates what concurrency itself
             # does to the I/O.
-            return self._run_apps(mix, name="serial", serial=True)
+            return self._run_apps(mix, name="serial", serial=True,
+                                  checkpoint_every=checkpoint_every,
+                                  checkpoint_dir=checkpoint_dir)
         if name in WORKLOADS:
-            return self._run_apps([name])
+            return self._run_apps([name],
+                                  checkpoint_every=checkpoint_every,
+                                  checkpoint_dir=checkpoint_dir)
         raise ValueError(f"unknown experiment {name!r}; "
                          f"choose from {EXPERIMENTS + ('serial',)}")
 
@@ -313,13 +340,21 @@ class ExperimentRunner:
         sim.run(until=sim.now + 30.0)
         cluster.reset_trace_clocks()
 
-    def _run_baseline(self, duration: Optional[float]) -> ExperimentResult:
+    def _run_baseline(self, duration: Optional[float],
+                      checkpoint_every: Optional[float] = None,
+                      checkpoint_dir=None) -> ExperimentResult:
         """Quiescent system: only kernel housekeeping and logging run."""
         duration = duration or self.baseline_duration
         sim, cluster = self._build()
         self._settle(sim, cluster)
         capture = self._start_capture("baseline", cluster)
-        sim.run(until=sim.now + duration)
+        t0 = sim.now
+        if checkpoint_every is None:
+            sim.run(until=t0 + duration)
+        else:
+            path = self._checkpoint_target(checkpoint_dir, "baseline")
+            self._baseline_epochs(sim, cluster, t0=t0, every=checkpoint_every,
+                                  duration=duration, path=path)
         trace = TraceDataset(cluster.gather_traces()).between(0, duration)
         result = ExperimentResult(name="baseline", trace=trace,
                                   duration=duration, nnodes=self.nnodes)
@@ -328,7 +363,9 @@ class ExperimentRunner:
 
     def _run_apps(self, app_names: List[str],
                   name: Optional[str] = None,
-                  serial: bool = False) -> ExperimentResult:
+                  serial: bool = False,
+                  checkpoint_every: Optional[float] = None,
+                  checkpoint_dir=None) -> ExperimentResult:
         sim, cluster = self._build()
         apps: Dict[str, List[ESSApplication]] = {n: [] for n in app_names}
         setup_procs = []
@@ -343,6 +380,48 @@ class ExperimentRunner:
         capture = self._start_capture(name or app_names[0], cluster)
 
         t0 = sim.now
+        coordinator = None
+        if checkpoint_every is not None:
+            coordinator = CheckpointCoordinator(sim)
+            for app_name in app_names:
+                for app in apps[app_name]:
+                    app.attach_coordinator(coordinator)
+        procs = self._spawn_apps(cluster, apps, app_names, serial)
+        deadline = t0 + self.hard_limit
+        done = sim.all_of(procs)
+        if checkpoint_every is None:
+            sim.run(until=deadline, stop=done)
+        else:
+            path = self._checkpoint_target(checkpoint_dir,
+                                           name or app_names[0])
+            self._apps_epochs(sim, cluster, coordinator=coordinator,
+                              apps=apps, t0=t0, deadline=deadline, done=done,
+                              every=checkpoint_every, path=path,
+                              name=name or app_names[0],
+                              app_names=app_names, serial=serial)
+        if not done.triggered:
+            raise RuntimeError(
+                f"experiment {name or app_names} exceeded the "
+                f"{self.hard_limit}s hard limit")
+        finish = sim.now
+        # Grace period: let the write-back daemons flush the tail.
+        sim.run(until=finish + self.flush_grace)
+        duration = finish - t0 + self.flush_grace
+        trace = TraceDataset(cluster.gather_traces()).between(0, duration)
+        result = ExperimentResult(
+            name=name or app_names[0],
+            trace=trace,
+            duration=duration,
+            nnodes=self.nnodes,
+            app_stats={n: [a.stats for a in apps[n]] for n in app_names},
+        )
+        self._finish_capture(capture, cluster, result)
+        return result
+
+    def _spawn_apps(self, cluster: BeowulfCluster, apps, app_names, serial):
+        """Spawn the application processes; identical on first run and
+        resume (the spawn structure — chains vs. one process per app —
+        must match for the continuation to be bit-identical)."""
         procs = []
         if serial:
             # one chain per node running its applications back to back
@@ -359,20 +438,256 @@ class ExperimentRunner:
                 for app in apps[app_name]:
                     procs.append(app.kernel.spawn(
                         app.run(), name=f"{app_name}:{app.node_id}"))
+        return procs
+
+    # -- checkpoint epochs -----------------------------------------------------
+    def _registry(self):
+        return None if self._recorder is None else self._recorder.registry
+
+    def _checkpoint_target(self, checkpoint_dir, name: str) -> Path:
+        """Where checkpoints land: ``checkpoint_dir`` is a directory
+        (default ``checkpoints/``) or, when it ends in ``.ckpt``, the
+        exact target file (how sweep points pin per-fingerprint files)."""
+        if checkpoint_dir is not None \
+                and str(checkpoint_dir).endswith(".ckpt"):
+            path = Path(checkpoint_dir)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            return path
+        directory = Path(checkpoint_dir) if checkpoint_dir is not None \
+            else Path("checkpoints")
+        directory.mkdir(parents=True, exist_ok=True)
+        stem = name
+        if self.scenario.name not in ("", "default"):
+            stem = f"{name}@{self.scenario.name}"
+        return directory / f"{stem}.ckpt"
+
+    def _ckpt_meta(self, *, kind: str, name: str, t0: float, every: float,
+                   epoch: int, duration: Optional[float] = None,
+                   app_names=None, serial: bool = False) -> dict:
+        meta = {"experiment": name, "kind": kind, "t0": t0,
+                "checkpoint_every": every, "epoch": epoch,
+                "scenario": self.scenario.to_dict()}
+        if duration is not None:
+            meta["duration"] = duration
+        if app_names is not None:
+            meta["app_names"] = list(app_names)
+            meta["serial"] = bool(serial)
+        return meta
+
+    def _baseline_epochs(self, sim: Simulator, cluster: BeowulfCluster, *,
+                         t0: float, every: float, duration: float,
+                         path: Path) -> None:
+        """Run the observation window, capturing at ``t0 + k*every``.
+
+        The schedule is *absolute*: a settle() that overshoots an epoch
+        does not shift the later ones, so a resumed run recomputes the
+        identical schedule from the restored clock.
+        """
+        end = t0 + duration
+        while sim.now < end:
+            k = int((sim.now - t0) // every) + 1
+            target = min(end, t0 + k * every)
+            if target > sim.now:
+                sim.run(until=target)
+            if sim.now >= end:
+                break
+            sim.settle()
+            meta = self._ckpt_meta(kind="baseline", name="baseline", t0=t0,
+                                   every=every, epoch=k, duration=duration)
+            tree = capture_state(sim, cluster, obs=self._registry(),
+                                 meta=meta)
+            save_checkpoint(tree, path)
+
+    def _apps_epochs(self, sim: Simulator, cluster: BeowulfCluster, *,
+                     coordinator: CheckpointCoordinator, apps, t0: float,
+                     deadline: float, done, every: float, path: Path,
+                     name: str, app_names, serial: bool) -> None:
+        """Run the applications, holding + capturing at ``t0 + k*every``."""
+        while True:
+            k = int((sim.now - t0) // every) + 1
+            target = min(deadline, t0 + k * every)
+            if target > sim.now:
+                sim.run(until=target, stop=done)
+            if done.triggered or sim.now >= deadline:
+                return
+            coordinator.arm()
+            budget = 5_000_000
+            while not coordinator.all_held:
+                sim.step()
+                budget -= 1
+                if budget <= 0:
+                    raise CheckpointError(
+                        "applications never reached their hold points")
+            if done.triggered:
+                coordinator.release()
+                return
+            sim.settle()
+            app_map = {f"{a.name}:{a.node_id}": a
+                       for fam in app_names for a in apps[fam]}
+            meta = self._ckpt_meta(kind="apps", name=name, t0=t0,
+                                   every=every, epoch=k,
+                                   app_names=app_names, serial=serial)
+            tree = capture_state(sim, cluster, apps=app_map,
+                                 obs=self._registry(), meta=meta)
+            save_checkpoint(tree, path)
+            coordinator.release()
+
+    # -- resume ----------------------------------------------------------------
+    def _resume(self, resume_from, *, name: Optional[str],
+                duration: Optional[float],
+                checkpoint_every: Optional[float],
+                checkpoint_dir) -> ExperimentResult:
+        tree = check_format(load_checkpoint(resume_from))
+        meta = tree["meta"]
+        if name is not None and name != meta["experiment"]:
+            raise CheckpointError(
+                f"checkpoint is for experiment {meta['experiment']!r}, "
+                f"not {name!r}")
+        if meta["scenario"] != self.scenario.to_dict():
+            raise CheckpointError(
+                "checkpoint was captured under a different scenario; "
+                "construct the runner from the same one to resume")
+        # the continuation must re-arm at the same epochs to stay
+        # bit-identical; overriding the cadence is an explicit choice
+        every = checkpoint_every if checkpoint_every is not None \
+            else meta["checkpoint_every"]
+        if meta["kind"] == "baseline":
+            if duration is not None and duration != meta["duration"]:
+                raise CheckpointError(
+                    f"checkpoint observed a {meta['duration']}s window; "
+                    f"cannot resume it as {duration}s")
+            return self._resume_baseline(tree, resume_from, every,
+                                         checkpoint_dir)
+        if duration is not None:
+            raise ValueError(
+                "duration= only applies to the baseline experiment; "
+                "application runs end when the applications do")
+        return self._resume_apps(tree, resume_from, every, checkpoint_dir)
+
+    def _resume_build(self, tree: dict):
+        """Rebuild a simulator + cluster around a checkpoint tree.
+
+        Order matters: the clock and tick preloads are staged *before*
+        the cluster exists, so every daemon's first sleep replays its
+        snapshotted queue entry; layer state goes back before any event
+        fires.
+        """
+        registry = None
+        self._recorder = None
+        if self.obs:
+            from repro.obs import ObsRecorder
+            self._recorder = self.obs if isinstance(self.obs, ObsRecorder) \
+                else ObsRecorder()
+            registry = self._recorder.registry
+        self.last_obs = self._recorder
+        self._wall_start = perf_counter()
+        sim = Simulator(obs=registry,
+                        queue=self.scenario.engine.event_queue)
+        sim.restore_clock(tree["clock"])
+        arm_tick_preloads(sim, tree)
+        cluster = BeowulfCluster(sim, scenario=self.scenario, obs=registry)
+        self.last_cluster = cluster
+        restore_cluster_state(cluster, tree)
+        return sim, cluster
+
+    def _restore_obs(self, tree: dict) -> None:
+        """Put back the captured metrics (after the drain, which itself
+        counts events; live instrument references stay valid because the
+        restore mutates in place)."""
+        if self._recorder is not None and tree["obs"] is not None:
+            self._recorder.registry.restore_state(tree["obs"])
+
+    def _reseed_writers(self, capture, cluster: BeowulfCluster) -> None:
+        """Seed fresh streaming writers with the records captured before
+        the checkpoint, so a resumed run's ``.rpt`` files hold the whole
+        trace from t=0."""
+        if capture is None:
+            return
+        for node in cluster.nodes:
+            buffered = node.kernel.transport.user_buffer.to_array()
+            if len(buffered):
+                capture.writer_for(node.node_id).append_array(buffered)
+
+    def _resume_baseline(self, tree: dict, resume_path,
+                         every: Optional[float],
+                         checkpoint_dir) -> ExperimentResult:
+        meta = tree["meta"]
+        t0 = float(meta["t0"])
+        duration = float(meta["duration"])
+        sim, cluster = self._resume_build(tree)
+        capture = self._start_capture("baseline", cluster)
+        self._reseed_writers(capture, cluster)
+        drain_to_quiescence(sim)
+        verify_restored_queue(sim, tree)
+        self._restore_obs(tree)
+        end = t0 + duration
+        if every is None:
+            if end > sim.now:
+                sim.run(until=end)
+        else:
+            path = Path(resume_path) if checkpoint_dir is None \
+                else self._checkpoint_target(checkpoint_dir, "baseline")
+            self._baseline_epochs(sim, cluster, t0=t0, every=every,
+                                  duration=duration, path=path)
+        trace = TraceDataset(cluster.gather_traces()).between(0, duration)
+        result = ExperimentResult(name="baseline", trace=trace,
+                                  duration=duration, nnodes=self.nnodes)
+        self._finish_capture(capture, cluster, result)
+        return result
+
+    def _resume_apps(self, tree: dict, resume_path, every: Optional[float],
+                     checkpoint_dir) -> ExperimentResult:
+        meta = tree["meta"]
+        name = meta["experiment"]
+        app_names = list(meta["app_names"])
+        serial = bool(meta["serial"])
+        t0 = float(meta["t0"])
+        sim, cluster = self._resume_build(tree)
+        coordinator = CheckpointCoordinator(sim)
+        coordinator.arm_for_resume()
+        apps: Dict[str, List[ESSApplication]] = {n: [] for n in app_names}
+        tokens = tree["apps"]
+        for node in cluster.nodes:
+            for app_name in app_names:
+                app = self.make_app(app_name, node)
+                app.attach_coordinator(coordinator)
+                key = f"{app_name}:{node.node_id}"
+                if key not in tokens:
+                    raise CheckpointError(
+                        f"checkpoint lacks a resume token for {key}")
+                app.resume_from(tokens[key])
+                apps[app_name].append(app)
+        capture = self._start_capture(name, cluster)
+        self._reseed_writers(capture, cluster)
+        procs = self._spawn_apps(cluster, apps, app_names, serial)
+        drain_to_quiescence(sim)
+        if not coordinator.all_held:
+            raise CheckpointError(
+                "resumed applications did not park on their holds")
+        verify_restored_queue(sim, tree)
+        self._restore_obs(tree)
         deadline = t0 + self.hard_limit
         done = sim.all_of(procs)
-        sim.run(until=deadline, stop=done)
+        coordinator.release()
+        if every is None:
+            sim.run(until=deadline, stop=done)
+        else:
+            path = Path(resume_path) if checkpoint_dir is None \
+                else self._checkpoint_target(checkpoint_dir, name)
+            self._apps_epochs(sim, cluster, coordinator=coordinator,
+                              apps=apps, t0=t0, deadline=deadline, done=done,
+                              every=every, path=path, name=name,
+                              app_names=app_names, serial=serial)
         if not done.triggered:
             raise RuntimeError(
-                f"experiment {name or app_names} exceeded the "
+                f"experiment {name} exceeded the "
                 f"{self.hard_limit}s hard limit")
         finish = sim.now
-        # Grace period: let the write-back daemons flush the tail.
         sim.run(until=finish + self.flush_grace)
         duration = finish - t0 + self.flush_grace
         trace = TraceDataset(cluster.gather_traces()).between(0, duration)
         result = ExperimentResult(
-            name=name or app_names[0],
+            name=name,
             trace=trace,
             duration=duration,
             nnodes=self.nnodes,

@@ -100,6 +100,20 @@ class DriveCache:
                           if not s.overlaps(sector, nsectors)]
         return before - len(self._segments)
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"segments": [(s.start, s.end, s.last_used)
+                             for s in self._segments],
+                "clock": self._clock,
+                "hits": self.hits, "misses": self.misses}
+
+    def restore_state(self, state: dict) -> None:
+        self._segments = [_Segment(int(a), int(b), int(c))
+                          for a, b, c in state["segments"]]
+        self._clock = int(state["clock"])
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
+
     def _victim(self) -> _Segment:
         if len(self._segments) < self.nsegments:
             segment = _Segment(0, 0, self._clock)
@@ -139,6 +153,13 @@ class NullDriveCache:
     def lookup(self, sector: int, nsectors: int) -> bool:
         self.misses += 1
         return False
+
+    def snapshot_state(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses}
+
+    def restore_state(self, state: dict) -> None:
+        self.hits = int(state["hits"])
+        self.misses = int(state["misses"])
 
     def fill_after_read(self, sector: int, nsectors: int,
                         disk_sectors: Optional[int] = None) -> Tuple[int, int]:

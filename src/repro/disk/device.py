@@ -41,6 +41,18 @@ class LatencyReservoir:
         self._values: list = []
         self._rng = random.Random(seed)
 
+    def snapshot_state(self) -> dict:
+        return {"count": self.count,
+                "values": list(self._values),
+                "rng": self._rng.getstate()}
+
+    def restore_state(self, state: dict) -> None:
+        self.count = int(state["count"])
+        self._values = [float(v) for v in state["values"]]
+        # setstate wants the exact nested-tuple shape getstate returned;
+        # the checkpoint round-trip preserves tuples, lists stay lists
+        self._rng.setstate(tuple(state["rng"]))
+
     def append(self, value: float) -> None:
         self.count += 1
         if len(self._values) < self.capacity:
@@ -235,6 +247,55 @@ class Disk:
         if self._wakeup is not None and not self._wakeup.triggered:
             self._wakeup.succeed()
         return request.done
+
+    # -- checkpoint state surface ------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Head position, counters, and RNG buffers of an *idle* device.
+
+        Only a quiescent device (empty queue, nothing in service) can be
+        captured: in-flight mechanical work is not data.  The settle
+        protocol guarantees that; this guards it.
+        """
+        if len(self.scheduler) or self._drained or self._in_service:
+            raise RuntimeError(
+                f"disk {self.name} is not idle "
+                f"(queue_depth={self.queue_depth})")
+        s = self.stats
+        return {
+            "head_cylinder": self.head_cylinder,
+            "head_sector": self._head_sector,
+            "epoch": self._epoch,
+            "rng": self.rng.snapshot_state(),
+            "cache": (None if self.cache is None
+                      else self.cache.snapshot_state()),
+            "stats": {"reads": s.reads, "writes": s.writes,
+                      "sectors_read": s.sectors_read,
+                      "sectors_written": s.sectors_written,
+                      "busy_time": s.busy_time,
+                      "total_latency": s.total_latency,
+                      "max_queue_depth": s.max_queue_depth,
+                      "media_errors": s.media_errors,
+                      "latencies": s._latencies.snapshot_state()},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.head_cylinder = int(state["head_cylinder"])
+        self._head_sector = int(state["head_sector"])
+        self._epoch = int(state["epoch"])
+        self.rng.restore_state(state["rng"])
+        if state["cache"] is not None:
+            self.cache.restore_state(state["cache"])
+        st = dict(state["stats"])
+        lat = st.pop("latencies")
+        self.stats = DiskStats(
+            reads=int(st["reads"]), writes=int(st["writes"]),
+            sectors_read=int(st["sectors_read"]),
+            sectors_written=int(st["sectors_written"]),
+            busy_time=float(st["busy_time"]),
+            total_latency=float(st["total_latency"]),
+            max_queue_depth=int(st["max_queue_depth"]),
+            media_errors=int(st["media_errors"]))
+        self.stats._latencies.restore_state(lat)
 
     # -- server process ----------------------------------------------------
     def _server(self):

@@ -158,6 +158,17 @@ class LogicalVolume:
         """Worst member's rate (drives the driver's retry-path choice)."""
         return max(d.media_error_rate for d in self.disks)
 
+    # -- checkpoint state surface ------------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"logical_requests": self.logical_requests,
+                "physical_requests": self.physical_requests,
+                "next_mirror": self._next_mirror}
+
+    def restore_state(self, state: dict) -> None:
+        self.logical_requests = int(state["logical_requests"])
+        self.physical_requests = int(state["physical_requests"])
+        self._next_mirror = int(state["next_mirror"])
+
     # -- mapping -----------------------------------------------------------
     def _map(self, sector: int, nsectors: int,
              is_write: bool) -> Tuple[Extent, ...]:

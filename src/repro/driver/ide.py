@@ -93,6 +93,21 @@ class InstrumentedIDEDriver:
         """Make subsequent records' timestamps relative to *now*."""
         self.time_origin = self.sim.now
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"level": int(self._level),
+                "time_origin": self.time_origin,
+                "requests_issued": self.requests_issued,
+                "retries": self.retries,
+                "hard_failures": self.hard_failures}
+
+    def restore_state(self, state: dict) -> None:
+        self.level = TraceLevel(int(state["level"]))
+        self.time_origin = float(state["time_origin"])
+        self.requests_issued = int(state["requests_issued"])
+        self.retries = int(state["retries"])
+        self.hard_failures = int(state["hard_failures"])
+
     # -- request handlers ------------------------------------------------
     def read_sectors(self, sector: int, nsectors: int,
                      origin: Any = None) -> Event:

@@ -94,6 +94,27 @@ class ProcTraceTransport:
             self.sink(len(batch))
         return len(batch)
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        """User-space records and counters of a *drained* transport.
+
+        At a quiescent capture point the kernel ring must be empty (the
+        drain loop parked waiting for a push); the captured records all
+        live in the user buffer.
+        """
+        if self._ring:
+            raise RuntimeError(
+                f"trace ring still holds {len(self._ring)} records")
+        return {"dropped": self.dropped,
+                "records_drained": self.records_drained,
+                "user_buffer": self.user_buffer.to_array()}
+
+    def restore_state(self, state: dict) -> None:
+        self.dropped = int(state["dropped"])
+        self.records_drained = int(state["records_drained"])
+        self.user_buffer.clear()
+        self.user_buffer.append_array(state["user_buffer"])
+
     def stop(self) -> None:
         """Stop the periodic drain (final drain still possible manually)."""
         self._running = False

@@ -228,6 +228,34 @@ class BufferCache:
             raise ValueError(f"invalidate of dirty block {blockno}")
         del self._buffers[blockno]
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        """Resident buffers (in LRU order), stats, and dirty bookkeeping."""
+        s = self.stats
+        return {
+            "buffers": [(b.blockno, b.dirty, b.dirty_since)
+                        for b in self._buffers.values()],
+            "earliest_dirty": self._earliest_dirty,
+            "stats": {"hits": s.hits, "misses": s.misses,
+                      "writebacks": s.writebacks,
+                      "writeback_requests": s.writeback_requests,
+                      "evictions": s.evictions},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._buffers = OrderedDict()
+        self._dirty = {}
+        for blockno, dirty, dirty_since in state["buffers"]:
+            buf = _Buffer(int(blockno), bool(dirty), float(dirty_since))
+            self._buffers[buf.blockno] = buf
+            if buf.dirty:
+                # the dirty index must alias the resident buffer objects,
+                # exactly as live bookkeeping does
+                self._dirty[buf.blockno] = buf
+        self._earliest_dirty = float(state["earliest_dirty"])
+        st = state["stats"]
+        self.stats = CacheStats(**{k: int(v) for k, v in st.items()})
+
     # -- internals ------------------------------------------------------------
     def _touch(self, blockno: int) -> None:
         self._buffers.move_to_end(blockno)

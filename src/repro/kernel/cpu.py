@@ -27,6 +27,13 @@ class CPU:
         self._res = Resource(sim, capacity=1)
         self.busy_time = 0.0
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"busy_time": self.busy_time}
+
+    def restore_state(self, state: dict) -> None:
+        self.busy_time = float(state["busy_time"])
+
     @property
     def load(self) -> int:
         """Processes holding or waiting for the CPU right now."""

@@ -385,6 +385,45 @@ class FileSystem:
                 runs.append((block, 1))
         return runs
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        """Namespace, inode table, and allocator positions."""
+        return {
+            "zones": {name: {"free": list(z._free), "next": z._next}
+                      for name, z in self._zones.items()},
+            "inodes": {str(i.ino): {"zone": i.zone, "is_dir": i.is_dir,
+                                    "size_bytes": i.size_bytes,
+                                    "blocks": list(i.blocks),
+                                    "indirect": list(i.indirect_blocks)}
+                       for i in self._inodes.values()},
+            "dirs": {str(ino): sorted(d.entries.items())
+                     for ino, d in self._dirs.items()},
+            "next_ino": self._next_ino,
+            "root_ino": self.root_ino,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        for name, z in state["zones"].items():
+            zone = self._zones[name]
+            zone._free = [int(b) for b in z["free"]]
+            zone._next = int(z["next"])
+        self._inodes = {}
+        for ino, rec in state["inodes"].items():
+            inode = Inode(ino=int(ino), zone=rec["zone"],
+                          is_dir=bool(rec["is_dir"]),
+                          size_bytes=int(rec["size_bytes"]),
+                          blocks=[int(b) for b in rec["blocks"]],
+                          indirect_blocks=[int(b)
+                                           for b in rec["indirect"]])
+            self._inodes[inode.ino] = inode
+        # directory records alias the freshly-built inode objects
+        self._dirs = {int(ino): _Dir(self._inodes[int(ino)],
+                                     {name: int(e)
+                                      for name, e in entries})
+                      for ino, entries in state["dirs"].items()}
+        self._next_ino = int(state["next_ino"])
+        self.root_ino = int(state["root_ino"])
+
     # -- consistency checking ---------------------------------------------
     def fsck(self) -> List[str]:
         """Consistency check; returns a list of problems (empty = clean).

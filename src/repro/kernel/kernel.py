@@ -107,26 +107,33 @@ class NodeKernel:
         # System daemons.  Several log files, as on a real system
         # (messages / daemon / wtmp), so quiescent writes land on a few
         # distinct sector groups instead of one sequential run.
+        prefix = f"node{node_id}"
         self.syslog = SysLogger(sim, self.fs, "/var/log/messages",
-                                zone="log", flush_interval=p.bdflush_interval)
+                                zone="log", flush_interval=p.bdflush_interval,
+                                owner=f"{prefix}:syslog:messages")
         self.daemonlog = SysLogger(sim, self.fs, "/var/log/daemon",
                                    zone="log",
-                                   flush_interval=p.bdflush_interval)
+                                   flush_interval=p.bdflush_interval,
+                                   owner=f"{prefix}:syslog:daemon")
         self.wtmplog = SysLogger(sim, self.fs, "/var/log/wtmp",
                                  zone="log",
-                                 flush_interval=p.bdflush_interval)
+                                 flush_interval=p.bdflush_interval,
+                                 owner=f"{prefix}:syslog:wtmp")
         self.instlog = SysLogger(sim, self.fs, "/var/log/iotrace",
                                  zone="highlog",
-                                 flush_interval=p.bdflush_interval)
+                                 flush_interval=p.bdflush_interval,
+                                 owner=f"{prefix}:syslog:iotrace")
         self.update = UpdateDaemon(sim, self.fs, interval=p.update_interval,
-                                   buffer_age=p.bdflush_age)
+                                   buffer_age=p.bdflush_age,
+                                   owner=f"{prefix}:update")
         self.housekeeping: Optional[HousekeepingLoad] = None
         if housekeeping:
             self.housekeeping = HousekeepingLoad(
                 sim, self.fs,
                 [self.syslog, self.daemonlog, self.wtmplog],
                 rng=streams.stream("housekeeping"),
-                message_rate=housekeeping_message_rate)
+                message_rate=housekeeping_message_rate,
+                owner=prefix)
         self._bdflush_on = True
         sim.process(self._bdflush(), name=f"bdflush:{node_id}")
 
@@ -198,6 +205,45 @@ class NodeKernel:
 
         return self.sim.process(wrapper(), name=name)
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        """Every stateful component of this node, as one plain tree."""
+        tree = {
+            "streams": self.streams.snapshot_state(),
+            "disks": [d.snapshot_state() for d in self.disks],
+            "volume": self.volume.snapshot_state(),
+            "driver": self.driver.snapshot_state(),
+            "transport": self.transport.snapshot_state(),
+            "cache": self.cache.snapshot_state(),
+            "fs": self.fs.snapshot_state(),
+            "vm": self.vm.snapshot_state(),
+            "cpu": self.cpu.snapshot_state(),
+            "loggers": {name: getattr(self, name).snapshot_state()
+                        for name in ("syslog", "daemonlog", "wtmplog",
+                                     "instlog")},
+            "update": self.update.snapshot_state(),
+            "housekeeping": (None if self.housekeeping is None
+                             else self.housekeeping.snapshot_state()),
+        }
+        return tree
+
+    def restore_state(self, state: dict) -> None:
+        self.streams.restore_state(state["streams"])
+        for disk, sub in zip(self.disks, state["disks"]):
+            disk.restore_state(sub)
+        self.volume.restore_state(state["volume"])
+        self.driver.restore_state(state["driver"])
+        self.transport.restore_state(state["transport"])
+        self.cache.restore_state(state["cache"])
+        self.fs.restore_state(state["fs"])
+        self.vm.restore_state(state["vm"])
+        self.cpu.restore_state(state["cpu"])
+        for name, sub in state["loggers"].items():
+            getattr(self, name).restore_state(sub)
+        self.update.restore_state(state["update"])
+        if state["housekeeping"] is not None:
+            self.housekeeping.restore_state(state["housekeeping"])
+
     def shutdown_daemons(self) -> None:
         """Stop periodic daemons so the simulation can drain."""
         self.syslog.stop()
@@ -217,8 +263,9 @@ class NodeKernel:
         cache = self.cache
         interval = self.params.bdflush_interval
         age = self.params.bdflush_age
+        owner = f"node{self.node_id}:bdflush"
         while self._bdflush_on:
-            yield sim.timeout(interval)
+            yield sim.tick(owner, lambda: interval)
             # ``has_aged_dirty`` is the quiescent-tick fast path: most
             # ticks have nothing old enough, and skipping the generator
             # avoids a full buffer scan per tick (it was the hottest

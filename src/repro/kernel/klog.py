@@ -29,12 +29,16 @@ class SysLogger:
     """Buffered append-only logger over one file."""
 
     def __init__(self, sim: Simulator, fs: FileSystem, path: str,
-                 zone: str = "log", flush_interval: float = 5.0):
+                 zone: str = "log", flush_interval: float = 5.0,
+                 owner: Optional[str] = None):
         self.sim = sim
         self.fs = fs
         self.path = path
         self.zone = zone
         self.flush_interval = flush_interval
+        # tick-owner key: must be unique across the whole simulator (one
+        # sim serves every node), so kernels pass a node-scoped prefix
+        self.owner = owner or f"syslog:{path}"
         self._pending_bytes = 0
         self.bytes_logged = 0
         self._handle: Optional[FileHandle] = None
@@ -61,21 +65,32 @@ class SysLogger:
             inode = self.fs.lookup(self.path)
         self._handle = FileHandle(self.fs, inode)
         while self._running:
-            yield self.sim.timeout(self.flush_interval)
+            yield self.sim.tick(self.owner, lambda: self.flush_interval)
             if self._pending_bytes:
                 n, self._pending_bytes = self._pending_bytes, 0
                 yield from self._handle.append(n)
+
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"pending_bytes": self._pending_bytes,
+                "bytes_logged": self.bytes_logged}
+
+    def restore_state(self, state: dict) -> None:
+        self._pending_bytes = int(state["pending_bytes"])
+        self.bytes_logged = int(state["bytes_logged"])
 
 
 class UpdateDaemon:
     """The `update` process: periodic metadata + aged-buffer sync."""
 
     def __init__(self, sim: Simulator, fs: FileSystem,
-                 interval: float = 30.0, buffer_age: float = 30.0):
+                 interval: float = 30.0, buffer_age: float = 30.0,
+                 owner: str = "update"):
         self.sim = sim
         self.fs = fs
         self.interval = interval
         self.buffer_age = buffer_age
+        self.owner = owner
         self.syncs = 0
         self._running = True
         sim.process(self._loop(), name="update")
@@ -85,10 +100,17 @@ class UpdateDaemon:
 
     def _loop(self):
         while self._running:
-            yield self.sim.timeout(self.interval)
+            yield self.sim.tick(self.owner, lambda: self.interval)
             yield from self.fs.sync_metadata()
             yield from self.fs.cache.flush_aged(self.buffer_age)
             self.syncs += 1
+
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"syncs": self.syncs}
+
+    def restore_state(self, state: dict) -> None:
+        self.syncs = int(state["syncs"])
 
 
 class HousekeepingLoad:
@@ -104,7 +126,9 @@ class HousekeepingLoad:
                  message_rate: float = 1.0,
                  mean_message_bytes: float = 120.0,
                  lookup_interval: float = 7.0,
-                 lookup_blocks: int = 4):
+                 lookup_blocks: int = 4,
+                 owner: str = "hk"):
+        from repro.sim.rng import uniform_index_drawer
         if message_rate <= 0:
             raise ValueError("message rate must be positive")
         self.sim = sim
@@ -118,11 +142,16 @@ class HousekeepingLoad:
         self.mean_message_bytes = mean_message_bytes
         self.lookup_interval = lookup_interval
         self.lookup_blocks = lookup_blocks
+        self.owner = owner
         #: seconds between in-place utmp/state-file rewrites (0 disables)
         self.state_rewrite_interval = 4.0
         self.messages = 0
         self.lookups = 0
         self.state_rewrites = 0
+        # constructed here (not in ``_chatter``) so its half-word buffer
+        # is reachable as checkpoint state; construction is RNG-state
+        # neutral, so the draw stream is unchanged
+        self._pick = uniform_index_drawer(self.rng, len(self.loggers))
         self._running = True
         sim.process(self._chatter(), name="klog-chatter")
         sim.process(self._table_lookups(), name="klog-lookups")
@@ -138,15 +167,19 @@ class HousekeepingLoad:
         # pick through a verified raw-word drawer.  Draw order and
         # values are identical to the naive body (the drawer
         # self-verifies against ``integers`` at construction).
-        from repro.sim.rng import uniform_index_drawer
-        timeout = self.sim.timeout
+        tick = self.sim.tick
+        owner = f"{self.owner}:chatter"
         exponential = self.rng.exponential
         mean_gap = 1.0 / self.message_rate
         mean_bytes = self.mean_message_bytes
         logs = [logger.log for logger in self.loggers]
-        pick = uniform_index_drawer(self.rng, len(logs))
+        pick = self._pick
+        # the gap draw rides inside the tick's lazy delay: on a restored
+        # run the parked tick replays from the checkpoint and the draw
+        # that produced it is *not* repeated
+        delay = lambda: float(exponential(mean_gap))  # noqa: E731
         while self._running:
-            yield timeout(float(exponential(mean_gap)))
+            yield tick(owner, delay)
             size = int(exponential(mean_bytes))
             logs[pick()](16 if size < 16 else size)
             self.messages += 1
@@ -166,8 +199,9 @@ class HousekeepingLoad:
         else:
             inode = self.fs.lookup(path)
         handle = FileHandle(self.fs, inode)
+        owner = f"{self.owner}:utmp"
         while self._running:
-            yield self.sim.timeout(self.state_rewrite_interval)
+            yield self.sim.tick(owner, lambda: self.state_rewrite_interval)
             handle.seek(0)
             yield from handle.write(256)
             self.state_rewrites += 1
@@ -175,7 +209,21 @@ class HousekeepingLoad:
     def _table_lookups(self):
         # Re-reads the first inode-table blocks; hot, so almost always hits.
         first = self.fs._inode_table_first
+        owner = f"{self.owner}:lookups"
         while self._running:
-            yield self.sim.timeout(self.lookup_interval)
+            yield self.sim.tick(owner, lambda: self.lookup_interval)
             yield from self.fs.cache.read_range(first, self.lookup_blocks)
             self.lookups += 1
+
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"messages": self.messages,
+                "lookups": self.lookups,
+                "state_rewrites": self.state_rewrites,
+                "pick_half": self._pick.get_state()}
+
+    def restore_state(self, state: dict) -> None:
+        self.messages = int(state["messages"])
+        self.lookups = int(state["lookups"])
+        self.state_rewrites = int(state["state_rewrites"])
+        self._pick.set_state(state["pick_half"])

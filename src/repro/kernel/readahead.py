@@ -34,6 +34,22 @@ class ReadAheadState:
         self.sequential_runs = 0
         self.seeks = 0
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        return {"window_blocks": self._window_blocks,
+                "next_sequential": self._next_sequential,
+                "covered_end": self._covered_end,
+                "sequential_runs": self.sequential_runs,
+                "seeks": self.seeks}
+
+    def restore_state(self, state: dict) -> None:
+        self._window_blocks = int(state["window_blocks"])
+        ns = state["next_sequential"]
+        self._next_sequential = None if ns is None else int(ns)
+        self._covered_end = int(state["covered_end"])
+        self.sequential_runs = int(state["sequential_runs"])
+        self.seeks = int(state["seeks"])
+
     @property
     def max_window_blocks(self) -> int:
         max_kb = (self._max_provider() if self._max_provider is not None

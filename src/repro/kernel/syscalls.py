@@ -103,6 +103,20 @@ class FileHandle:
         written = yield from self.write(nbytes)
         return written
 
+    # -- checkpoint state surface ---------------------------------------
+    def snapshot_state(self) -> dict:
+        """Cursor + read-ahead window (the inode travels by path/ino)."""
+        return {"ino": self.inode.ino, "pos": self.pos,
+                "closed": self.closed,
+                "readahead": (None if self.readahead is None
+                              else self.readahead.snapshot_state())}
+
+    def restore_state(self, state: dict) -> None:
+        self.pos = int(state["pos"])
+        self.closed = bool(state["closed"])
+        if state["readahead"] is not None and self.readahead is not None:
+            self.readahead.restore_state(state["readahead"])
+
     # -- lifecycle ------------------------------------------------------------
     def close(self) -> None:
         self.closed = True

@@ -209,6 +209,61 @@ class VirtualMemory:
         for page_id in range(first_page, first_page + npages):
             yield from self.access(aspace, page_id, write=write)
 
+    # -- checkpoint state surface ---------------------------------------
+    def space_by_name(self, name: str) -> AddressSpace:
+        """Find a (restored) address space by its label."""
+        for aspace in self._spaces.values():
+            if aspace.name == name:
+                return aspace
+        raise KeyError(f"no address space named {name!r}")
+
+    def snapshot_state(self) -> dict:
+        """Frame pool, swap map, and address spaces, re-keyed by name.
+
+        Live bookkeeping keys frames by ``id(aspace)``; ids are
+        process-specific, so the snapshot uses the space *name* (unique
+        per node: one space per application instance).
+        """
+        names = {sid: a.name for sid, a in self._spaces.items()}
+        s = self.stats
+        return {
+            "spaces": [{"name": a.name,
+                        "file_pages": [[p, sec, n] for p, (sec, n)
+                                       in sorted(a.file_pages.items())],
+                        "swapped": sorted(a.swapped),
+                        "resident": sorted(a.resident)}
+                       for a in self._spaces.values()],
+            "frames": [[names[sid], page, dirty]
+                       for (sid, page), dirty in self._frames.items()],
+            "slots": sorted([names[sid], page, slot]
+                            for (sid, page), slot in self._slot_of.items()),
+            "free_slots": list(self._free_slots),
+            "next_slot": self._next_slot,
+            "stats": {k: getattr(s, k) for k in vars(s)},
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._spaces = {}
+        by_name: Dict[str, int] = {}
+        for sp in state["spaces"]:
+            aspace = AddressSpace(
+                name=sp["name"],
+                file_pages={int(p): (int(sec), int(n))
+                            for p, sec, n in sp["file_pages"]},
+                swapped=set(sp["swapped"]),
+                resident=set(sp["resident"]))
+            self._spaces[id(aspace)] = aspace
+            by_name[aspace.name] = id(aspace)
+        self._frames = OrderedDict(
+            ((by_name[name], int(page)), bool(dirty))
+            for name, page, dirty in state["frames"])
+        self._slot_of = {(by_name[name], int(page)): int(slot)
+                         for name, page, slot in state["slots"]}
+        self._free_slots = [int(s) for s in state["free_slots"]]
+        self._next_slot = int(state["next_slot"])
+        self.stats = VMStats(**{k: int(v)
+                                for k, v in state["stats"].items()})
+
     # -- internals ------------------------------------------------------------
     def _evict_one(self):
         (victim_space_id, victim_page), dirty = next(iter(self._frames.items()))

@@ -313,6 +313,27 @@ class MetricsRegistry:
         return {name: self._metrics[name].snapshot()
                 for name in sorted(self._metrics)}
 
+    # -- checkpoint state surface -------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Full internal state of every instrument (checkpoint path).
+
+        Unlike :meth:`snapshot` (a lossy report), this keeps everything
+        needed to put the registry back exactly: helps, gauge high-water
+        marks, histogram extrema, and the child tree.
+        """
+        return {name: _instrument_state(self._metrics[name])
+                for name in sorted(self._metrics)}
+
+    def restore_state(self, state: dict) -> None:
+        """Recreate/overwrite instruments so counting continues exactly
+        where the snapshot left off.  Instruments already registered are
+        updated in place (live references keep working)."""
+        makers = {"counter": self.counter, "gauge": self.gauge,
+                  "histogram": self.histogram}
+        for name, sub in state.items():
+            instrument = makers[sub["kind"]](name, sub.get("help", ""))
+            _restore_instrument(instrument, sub)
+
     # -- internals ----------------------------------------------------------
     def _get(self, name: str, cls, help: str):
         got = self._metrics.get(name)
@@ -377,9 +398,53 @@ class NullRegistry(MetricsRegistry):
     def snapshot(self) -> dict:
         return {}
 
+    def snapshot_state(self) -> dict:
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        pass
+
 
 #: process-wide disabled registry; safe to share (it holds no state)
 NULL_REGISTRY = NullRegistry()
+
+
+def _instrument_state(m) -> dict:
+    """One instrument's complete state as a plain tree (recursive)."""
+    if m.kind == "histogram":
+        m._fold()
+        state: dict = {"kind": "histogram", "help": m.help,
+                       "count": m._count, "sum": m._sum,
+                       "min": m._min, "max": m._max,
+                       "underflow": m._underflow,
+                       "buckets": {str(k): int(v)
+                                   for k, v in sorted(m._buckets.items())}}
+    else:
+        state = {"kind": m.kind, "help": m.help, "value": m.value}
+        if m.kind == "gauge":
+            state["max"] = m.max
+    if m._children:
+        state["children"] = {label: _instrument_state(child)
+                             for label, child in sorted(m._children.items())}
+    return state
+
+
+def _restore_instrument(m, state: dict) -> None:
+    if state["kind"] == "histogram":
+        del m.raw[:]
+        m._count = int(state["count"])
+        m._sum = float(state["sum"])
+        m._min = float(state["min"])
+        m._max = float(state["max"])
+        m._underflow = int(state["underflow"])
+        m._buckets = {int(k): int(v)
+                      for k, v in state["buckets"].items()}
+    else:
+        m.value = state["value"]
+        if state["kind"] == "gauge":
+            m.max = state["max"]
+    for label, sub in state.get("children", {}).items():
+        _restore_instrument(m.child(label), sub)
 
 
 def _num(value: float):

@@ -289,6 +289,19 @@ class JobStore:
                 return "held", dep_id
         return "ready", None
 
+    def completed_run_ids(self, job_id: str) -> List[str]:
+        """Catalog run ids of grid points a (possibly dead) worker
+        finished, from the job's event log — one ``point`` event lands
+        per completed point, so the log is the durable progress record
+        even when the worker never wrote a terminal state."""
+        out: List[str] = []
+        for record in self.events(job_id).read():
+            if record.get("event") == "point" and record.get("run_id"):
+                run_id = str(record["run_id"])
+                if run_id not in out:
+                    out.append(run_id)
+        return out
+
     def block(self, job_id: str, dep_id: str) -> Job:
         """Settle a queued job whose dependency failed, with an event.
 
@@ -308,17 +321,23 @@ class JobStore:
         failed are settled to ``blocked`` here — the cascade survives
         the daemon that should have applied it).  ``running`` jobs whose
         recorded worker pid is gone are re-queued (the daemon died under
-        them; the simulation is deterministic, so re-running is safe —
-        the partially-written catalog run keeps its own directory and a
-        fresh one is claimed).  Running jobs whose pid is still alive
-        are left alone: their worker will write the terminal state
-        itself.  The returned jobs may still be *held* by unfinished
-        dependencies — the scheduler re-derives readiness per pass.
+        them; re-running is safe — the worker's periodic checkpoints
+        let the new run resume rather than start over, and the
+        partially-written catalog run keeps its own directory).  The
+        run ids of grid points the dead worker already completed are
+        harvested from the job's event log onto the job file, so the
+        progress survives the requeue and the resumed sweep skips those
+        points.  Running jobs whose pid is still alive are left alone:
+        their worker will write the terminal state itself.  The
+        returned jobs may still be *held* by unfinished dependencies —
+        the scheduler re-derives readiness per pass.
         """
         requeued = []
         for job in self.jobs():
             if job.state == "running" and not _pid_alive(job.pid):
-                requeued.append(self.transition(job.id, "queued"))
+                run_ids = self.completed_run_ids(job.id)
+                requeued.append(self.transition(job.id, "queued",
+                                                run_ids=run_ids))
         ready: List[Job] = []
         dep_states: Dict[str, str] = {}
         for job in self.jobs("queued"):

@@ -47,7 +47,12 @@ from repro.serve.jobs import Job, JobError, JobStore
 CATALOGS_DIR = "catalogs"
 #: subdirectory of the service root holding job state files
 JOBS_DIR = "jobs"
+#: subdirectory of the service root holding per-job checkpoint files
+CHECKPOINTS_DIR = "checkpoints"
 DEFAULT_CATALOG = "default"
+#: simulated seconds between worker checkpoints (spec key
+#: ``checkpoint_every`` overrides; 0/false disables)
+DEFAULT_CHECKPOINT_EVERY = 60.0
 
 
 def catalog_root(root: Union[str, Path], name: str = DEFAULT_CATALOG) -> Path:
@@ -66,7 +71,17 @@ def execute_job(job: Job, root: Union[str, Path],
     ``progress(event, **data)`` is called per grid point (and per
     experiment completion) when given — the worker wires it to the
     job's event log.
+
+    Workers checkpoint periodically (every ``checkpoint_every``
+    simulated seconds from the spec, default
+    :data:`DEFAULT_CHECKPOINT_EVERY`; 0 disables) into
+    ``<root>/checkpoints/<job-id>/``.  A job re-queued after a worker
+    death resumes from those files: an experiment continues
+    bit-identically from its last checkpoint, a sweep skips its
+    finished points and resumes the interrupted one.  The directory is
+    removed once the job finishes.
     """
+    import shutil
     from time import perf_counter
 
     from repro.config import Scenario, parse_axis_spec, run_sweep
@@ -81,6 +96,8 @@ def execute_job(job: Job, root: Union[str, Path],
     duration = spec.get("duration")
     sink = catalog_root(root, spec.get("catalog", DEFAULT_CATALOG))
     sink.mkdir(parents=True, exist_ok=True)
+    every = spec.get("checkpoint_every", DEFAULT_CHECKPOINT_EVERY) or None
+    ckdir = Path(root) / CHECKPOINTS_DIR / job.id
 
     if job.kind == "sweep":
         axes = [parse_axis_spec(s) for s in spec.get("grid", [])]
@@ -97,14 +114,24 @@ def execute_job(job: Job, root: Union[str, Path],
                             duration=duration, sink=str(sink),
                             parallel=bool(spec.get("parallel", False)),
                             workers=spec.get("workers"),
-                            obs=True, on_point=on_point)
+                            obs=True, on_point=on_point,
+                            checkpoint_every=every,
+                            checkpoint_dir=str(ckdir) if every else None)
+        shutil.rmtree(ckdir, ignore_errors=True)
         return {"summary": [r.to_dict() for r in results],
                 "run_ids": [r.run_id for r in results if r.run_id]}
 
     runner = ExperimentRunner(scenario=scenario, sink=sink, obs=True)
+    resume_from = next(ckdir.glob("*.ckpt"), None) if every else None
     wall = perf_counter()
-    result = runner.run(experiment, duration=duration)
+    if resume_from is not None:
+        result = runner.run(experiment, resume_from=resume_from)
+    else:
+        result = runner.run(experiment, duration=duration,
+                            checkpoint_every=every,
+                            checkpoint_dir=ckdir if every else None)
     wall = perf_counter() - wall
+    shutil.rmtree(ckdir, ignore_errors=True)
     run_dir = getattr(runner, "last_run_dir", None)
     emit("point", k=1, n=1, label=experiment,
          run_id=run_dir.name if run_dir else None,

@@ -28,6 +28,7 @@ from repro.sim.core import (
     Process,
     SimulationError,
     Simulator,
+    Tick,
     Timeout,
 )
 from repro.sim.calqueue import CalendarSimulator
@@ -51,6 +52,7 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Store",
+    "Tick",
     "uniform_index_drawer",
     "Timeout",
 ]

@@ -129,6 +129,40 @@ class CalendarSimulator(Simulator):
         if count > (self._nbuckets << 3):
             self._grow = True
 
+    def _enqueue_exact(self, time: float, priority: int, seq: int,
+                       event: Event) -> None:
+        """Insert a restored queue entry under its snapshotted key.
+
+        Restore-path only — ``_seq`` is untouched (the caller resets it
+        from the snapshot).  The entry lands wherever the current
+        calendar geometry hashes it; ordering is driven entirely by the
+        ``(time, priority, seq)`` key, so the bucket layout need not
+        match the snapshotted simulator's.
+        """
+        event._scheduled = True
+        item = (time, priority, seq, event)
+        if time > self._max_time:
+            self._max_time = time
+        vb = int(time / self._width)
+        if vb <= self._cur_vb:
+            insort(self._drain, item, lo=self._di)
+        else:
+            self._buckets[vb & self._mask].append(item)
+        count = self._count + 1
+        self._count = count
+        if count > (self._nbuckets << 3):
+            self._grow = True
+
+    def queue_items(self) -> list:
+        """The queued ``(time, priority, seq, event)`` entries in firing
+        order.  Checkpoint-path only — O(n log n), never on the hot path.
+        """
+        items = list(self._drain[self._di:])
+        for bucket in self._buckets:
+            items.extend(bucket)
+        items.sort()
+        return items
+
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if nothing is queued."""
         if self._di < len(self._drain):

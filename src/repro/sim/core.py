@@ -137,6 +137,26 @@ class Timeout(Event):
         sim._enqueue(delay, NORMAL, self)
 
 
+class Tick(Timeout):
+    """A daemon's self-rescheduling sleep, tagged with a stable owner key.
+
+    Ticks are the only events allowed to sit in the queue across a
+    checkpoint: ``(time, priority, seq, owner)`` fully describes one, so
+    the queue becomes plain data.  Periodic daemons (bdflush, update,
+    syslog flush, workload chatter, ...) create them through
+    :meth:`Simulator.tick` instead of :meth:`Simulator.timeout`; in an
+    un-checkpointed run the two are bit-identical (same enqueue, same
+    sequence numbers).
+    """
+
+    __slots__ = ("owner",)
+
+    def __init__(self, sim: "Simulator", delay: float, owner: str,
+                 value: Any = None):
+        super().__init__(sim, delay, value)
+        self.owner = owner
+
+
 class Initialize(Event):
     """Internal event used to start a process at its spawn time."""
 
@@ -300,6 +320,9 @@ class Simulator:
         self._instr: Optional[_SimInstruments] = None
         if obs is not None and getattr(obs, "enabled", False):
             self._instr = _SimInstruments(obs)
+        #: owner -> (time, priority, seq, value): the snapshotted queue
+        #: entry to replay on that owner's next tick() (restore path)
+        self._tick_preloads: dict = {}
         self._init_queue()
 
     def _init_queue(self) -> None:
@@ -328,6 +351,34 @@ class Simulator:
         self._enqueue(delay, NORMAL, event)
         return event
 
+    def tick(self, owner: str, delay_fn: Callable[[], float]) -> Timeout:
+        """A checkpoint-aware daemon sleep (see :class:`Tick`).
+
+        ``delay_fn`` is called lazily — only when no preloaded tick
+        exists for ``owner``.  After a restore the first sleep per owner
+        replays the snapshotted queue entry (same wake time, priority,
+        and sequence number) *without* re-drawing the delay, so RNG
+        streams stay aligned with the uninterrupted run.  In a normal
+        run this is exactly ``timeout(delay_fn())`` plus an owner tag.
+        """
+        pre = self._tick_preloads
+        if pre:
+            entry = pre.pop(owner, None)
+            if entry is not None:
+                time, priority, seq, value = entry
+                event = Tick.__new__(Tick)
+                event.sim = self
+                event.callbacks = []
+                event._value = value
+                event._ok = True
+                event._scheduled = False
+                event.processed = False
+                event.delay = max(0.0, time - self.now)
+                event.owner = owner
+                self._enqueue_exact(time, priority, seq, event)
+                return event
+        return Tick(self, delay_fn(), owner)
+
     def process(self, generator: Generator, name: Optional[str] = None) -> Process:
         return Process(self, generator, name=name)
 
@@ -346,6 +397,60 @@ class Simulator:
         event._scheduled = True
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, priority, self._seq, event))
+
+    def _enqueue_exact(self, time: float, priority: int, seq: int,
+                       event: Event) -> None:
+        """Insert a restored queue entry under its snapshotted key.
+
+        Restore-path only: the sequence number comes from the snapshot,
+        so ``_seq`` is *not* advanced (the caller resets it separately).
+        """
+        event._scheduled = True
+        heapq.heappush(self._heap, (time, priority, seq, event))
+
+    def queue_items(self) -> list:
+        """The queued ``(time, priority, seq, event)`` entries in firing
+        order.  Checkpoint-path only — O(n log n), never on the hot path.
+        """
+        return sorted(self._heap)
+
+    def settle(self, max_events: int = 5_000_000) -> float:
+        """Advance to the next quiescent instant: fire events (in the
+        normal total order) until every queued entry is a :class:`Tick`.
+
+        At such an instant the event queue is pure data — every daemon
+        is parked on an owner-tagged sleep and every process is either
+        finished or parked on a pending (queue-absent) event — which is
+        the precondition for :mod:`repro.checkpoint` capturing it.
+        Returns the reached time.
+        """
+        budget = max_events
+        while True:
+            horizon = None
+            for time, _prio, _seq, event in self.queue_items():
+                if type(event) is not Tick:
+                    horizon = time  # entries are sorted: keeps the max
+            if horizon is None:
+                return self.now
+            # fire everything scheduled up to the horizon instant, in
+            # exactly the order run() would have fired it
+            while self.peek() <= horizon:
+                self.step()
+                budget -= 1
+                if budget <= 0:
+                    raise SimulationError(
+                        "settle() exceeded its event budget without "
+                        "reaching a tick-only queue")
+
+    def clock_state(self) -> dict:
+        """The engine-level snapshot scalars (time and sequence counter)."""
+        return {"now": self.now, "seq": self._seq,
+                "queue_kind": self.queue_kind}
+
+    def restore_clock(self, state: dict) -> None:
+        """Restore :meth:`clock_state` (queue entries travel separately)."""
+        self.now = float(state["now"])
+        self._seq = int(state["seq"])
 
     def schedule_callback(self, delay: float,
                           callback: Callable[[], None]) -> Event:

@@ -42,6 +42,21 @@ class RandomStreams:
             f"{self.seed}/spawn/{suffix}".encode()).digest()
         return RandomStreams(int.from_bytes(digest[:8], "little"))
 
+    def snapshot_state(self) -> dict:
+        """Every instantiated stream's bit-generator state, by name.
+
+        The state dicts are plain trees (PCG64: a couple of big ints),
+        so they drop straight into a checkpoint.
+        """
+        return {"seed": self.seed,
+                "streams": {name: gen.bit_generator.state
+                            for name, gen in sorted(self._cache.items())}}
+
+    def restore_state(self, state: dict) -> None:
+        """Recreate the named streams and rewind them to ``state``."""
+        for name, bg_state in state["streams"].items():
+            self.stream(name).bit_generator.state = bg_state
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"RandomStreams(seed={self.seed})"
 
@@ -74,7 +89,10 @@ def uniform_index_drawer(gen: np.random.Generator, n: int):
     fallback = gen.integers
     if n == 1:
         # numpy skips the stream entirely for a single-value range
-        return lambda: 0
+        drawer = lambda: 0  # noqa: E731
+        drawer.get_state = lambda: None
+        drawer.set_state = lambda _state: None
+        return drawer
     raw = gen.bit_generator.random_raw
     threshold = (1 << 32) % n  # Lemire rejection bound (0 for pow2 n)
     buffered = [None]
@@ -96,11 +114,18 @@ def uniform_index_drawer(gen: np.random.Generator, n: int):
     state = gen.bit_generator.state
     expected = [int(fallback(n)) for _ in range(64)]
     gen.bit_generator.state = state
-    if [fast() for _ in range(64)] != expected:
+    if [fast() for _ in range(64)] != expected:  # pragma: no cover - drift
         gen.bit_generator.state = state
-        return lambda: int(fallback(n))  # pragma: no cover - numpy drift
+        drawer = lambda: int(fallback(n))  # noqa: E731
+        drawer.get_state = lambda: None
+        drawer.set_state = lambda _state: None
+        return drawer
     gen.bit_generator.state = state
     buffered[0] = None
+    # The buffered half-word is RNG state the generator itself cannot
+    # see; checkpoints capture it through these hooks.
+    fast.get_state = lambda: buffered[0]
+    fast.set_state = lambda half: buffered.__setitem__(0, half)
     return fast
 
 
@@ -137,3 +162,14 @@ class BatchedDraws:
             i = 0
         self._i = i + 1
         return buf[i]
+
+    def snapshot_state(self) -> dict:
+        """Prefetch buffer + cursor (the generator state travels with
+        its :class:`RandomStreams` owner, not here)."""
+        return {"block": self._block, "buf": self._buf.copy(),
+                "i": self._i}
+
+    def restore_state(self, state: dict) -> None:
+        self._block = int(state["block"])
+        self._buf = state["buf"].copy()
+        self._i = int(state["i"])

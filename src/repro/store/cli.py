@@ -174,7 +174,12 @@ def _print_info(path: Path, reader: TraceReader, verbose: bool) -> None:
     writes = sum(c.writes for c in reader.chunks)
     reads = len(reader) - writes
     ratio = raw / comp if comp else 0.0
-    state = " (recovered: no footer)" if reader.recovered else ""
+    state = ""
+    if reader.recovered:
+        state = " (recovered: no footer"
+        if reader.tail_bytes:
+            state += f"; dropped {reader.tail_bytes:,} B torn tail"
+        state += ")"
     print(f"{path}: trace store v{1}{state}")
     print(f"  records   {len(reader):>12,}  "
           f"({reads:,} reads / {writes:,} writes)")

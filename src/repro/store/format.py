@@ -238,7 +238,16 @@ def decode_header(fh) -> dict:
     blob = fh.read(jlen)
     if len(blob) < jlen:
         raise StoreFormatError("truncated trace store header")
-    meta = json.loads(blob)
+    try:
+        # ValueError covers both JSONDecodeError and the UnicodeDecodeError
+        # a torn (partially written) header raises on non-UTF-8 bytes
+        meta = json.loads(blob)
+    except ValueError as exc:
+        raise StoreFormatError(
+            f"corrupt trace store header: {exc}") from None
+    if not isinstance(meta, dict) or "dtype" not in meta:
+        raise StoreFormatError(
+            "corrupt trace store header: not a header object")
     meta["header_size"] = HEADER_FIXED_SIZE + jlen
     return meta
 

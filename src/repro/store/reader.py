@@ -38,19 +38,27 @@ class TraceReader:
     def __init__(self, path: Union[str, Path]):
         self.path = Path(path)
         self._fh = self.path.open("rb")
-        self.header = decode_header(self._fh)
-        self.dtype = dtype_from_descr(self.header["dtype"])
-        self.recovered = False
-        #: chunks decompressed so far (the predicate-pushdown scorecard)
-        self.chunks_read = 0
-        size = self.path.stat().st_size
-        index = decode_footer(self._fh, size)
-        if index is not None:
-            self.chunks, self.record_count = index
-        else:
-            self.chunks = self._scan_chunks(size)
-            self.record_count = sum(c.count for c in self.chunks)
-            self.recovered = True
+        try:
+            self.header = decode_header(self._fh)
+            self.dtype = dtype_from_descr(self.header["dtype"])
+            self.recovered = False
+            #: bytes past the last complete chunk that a recovery scan
+            #: had to drop (a torn write's tail); 0 on clean files
+            self.tail_bytes = 0
+            #: chunks decompressed so far (the predicate-pushdown scorecard)
+            self.chunks_read = 0
+            size = self.path.stat().st_size
+            index = decode_footer(self._fh, size)
+            if index is not None:
+                self.chunks, self.record_count = index
+            else:
+                self.chunks = self._scan_chunks(size)
+                self.record_count = sum(c.count for c in self.chunks)
+                self.recovered = True
+        except BaseException:
+            # never leak the handle when the file turns out unreadable
+            self._fh.close()
+            raise
 
     # -- basic protocol -------------------------------------------------------
     def __len__(self) -> int:
@@ -148,6 +156,7 @@ class TraceReader:
                 break
             chunks.append(meta)
             offset = end
+        self.tail_bytes = size - offset
         return chunks
 
 

@@ -1,0 +1,175 @@
+"""Checkpointing at the service layers: sweeps, serve jobs, and the CLI.
+
+A preempted sweep must restart where it stopped (done markers skip
+finished points, live checkpoints resume interrupted ones), and a serve
+job whose worker dies mid-sweep must resume without re-running the
+points it already finished.
+"""
+
+import pytest
+
+from repro.config import Scenario, parse_axis_spec, run_sweep
+from repro.config.sweep import expand_grid
+from repro.core.experiments import ExperimentRunner
+from repro.serve.jobs import JobStore
+from repro.serve.pool import (
+    CHECKPOINTS_DIR,
+    JOBS_DIR,
+    catalog_root,
+    execute_job,
+)
+
+BASE = {
+    "cluster": {"nnodes": 2},
+    "experiment": {"baseline_duration": 20.0},
+}
+GRID = ["scheduler=clook,fifo"]
+
+
+def sweep(ck, **kw):
+    return run_sweep(Scenario.from_dict(BASE),
+                     [parse_axis_spec(s) for s in GRID],
+                     experiment="baseline", duration=20.0, parallel=False,
+                     checkpoint_every=6.0, checkpoint_dir=str(ck), **kw)
+
+
+def test_sweep_done_markers_skip_finished_points(tmp_path):
+    ck = tmp_path / "ck"
+    first = sweep(ck)
+    markers = sorted(p.name for p in ck.glob("*.done.json"))
+    assert len(markers) == len(first) == 2
+    assert not list(ck.glob("*.ckpt"))  # live checkpoints cleaned up
+
+    # a rerun touches nothing: metrics come straight from the markers
+    mtimes = {p.name: p.stat().st_mtime_ns for p in ck.glob("*.done.json")}
+    second = sweep(ck)
+    assert [r.metrics for r in first] == [r.metrics for r in second]
+    assert {p.name: p.stat().st_mtime_ns
+            for p in ck.glob("*.done.json")} == mtimes
+
+
+def test_sweep_resumes_interrupted_point_bit_identically(tmp_path):
+    ck = tmp_path / "ck"
+    reference = sweep(ck)
+
+    # preempt one point: drop its done marker, plant a mid-run checkpoint
+    point = expand_grid(Scenario.from_dict(BASE),
+                        [parse_axis_spec(s) for s in GRID])[0]
+    fp = point.scenario.fingerprint()
+    (ck / f"{fp}.done.json").unlink()
+    ExperimentRunner(scenario=point.scenario).run(
+        "baseline", duration=20.0, checkpoint_every=6.0,
+        checkpoint_dir=str(ck / f"{fp}.ckpt"))
+    assert (ck / f"{fp}.ckpt").exists()
+
+    resumed = sweep(ck)
+    assert [r.metrics for r in reference] == [r.metrics for r in resumed]
+    assert not (ck / f"{fp}.ckpt").exists()
+
+
+class WorkerDied(Exception):
+    pass
+
+
+def test_serve_job_killed_mid_sweep_resumes_completed_points(tmp_path):
+    root = tmp_path
+    store = JobStore(root / JOBS_DIR)
+    job = store.create("sweep", {
+        "scenario": BASE, "experiment": "baseline", "duration": 20.0,
+        "grid": GRID, "parallel": False, "checkpoint_every": 6.0,
+    })
+    log = store.events(job.id)
+    seen = []
+
+    def dying_progress(event, **data):
+        log.append(event, job=job.id, **data)
+        seen.append(data)
+        if event == "point" and data["k"] == 1:
+            raise WorkerDied("simulated worker death after first point")
+
+    with pytest.raises(WorkerDied):
+        execute_job(job, root, progress=dying_progress)
+    first_run_id = seen[0]["run_id"]
+    ckdir = root / CHECKPOINTS_DIR / job.id
+    assert list(ckdir.glob("*.done.json"))  # durable progress survived
+
+    # recovery harvests the finished point's run id from the event log
+    assert store.completed_run_ids(job.id) == [first_run_id]
+
+    # the requeued job re-runs only the unfinished point
+    cat = catalog_root(root)
+    before = {p.name for p in cat.iterdir()} if cat.exists() else set()
+    events = []
+    outcome = execute_job(job, root,
+                          progress=lambda e, **d: events.append((e, d)))
+    new_runs = {p.name for p in cat.iterdir()} - before
+    assert len(new_runs) == 1, "finished point was re-executed"
+    assert len(outcome["summary"]) == 2
+    assert not ckdir.exists()  # checkpoints cleaned up on completion
+    skipped = [d for e, d in events if e == "point" and d["k"] == 1][0]
+    assert skipped["run_id"] == first_run_id
+
+
+def test_serve_experiment_job_resumes_from_checkpoint(tmp_path):
+    root = tmp_path
+    store = JobStore(root / JOBS_DIR)
+    spec = {"scenario": {"cluster": {"nnodes": 2}}, "experiment": "baseline",
+            "duration": 20.0, "checkpoint_every": 6.0}
+    job = store.create("experiment", spec)
+
+    # plant a mid-run checkpoint where a crashed worker would leave one
+    ckdir = root / CHECKPOINTS_DIR / job.id
+    ckdir.mkdir(parents=True)
+    runner = ExperimentRunner(scenario=Scenario.from_dict(spec["scenario"]))
+    reference = runner.run("baseline", duration=20.0, checkpoint_every=6.0,
+                           checkpoint_dir=str(ckdir / "baseline.ckpt"))
+
+    outcome = execute_job(job, root)
+    assert outcome["summary"]["total_requests"] == \
+        reference.metrics.to_dict()["total_requests"]
+    assert not ckdir.exists()
+
+
+def test_serve_spec_can_disable_checkpointing(tmp_path):
+    root = tmp_path
+    store = JobStore(root / JOBS_DIR)
+    job = store.create("experiment", {
+        "scenario": {"cluster": {"nnodes": 2}}, "experiment": "baseline",
+        "duration": 20.0, "checkpoint_every": 0,
+    })
+    execute_job(job, root)
+    assert not (root / CHECKPOINTS_DIR / job.id).exists()
+
+
+# -- CLI flags -----------------------------------------------------------------
+def test_cli_checkpoint_and_resume_round_trip(tmp_path, capsys):
+    from repro.cli import main
+    ck = tmp_path / "ck"
+    rc = main(["baseline", "--nodes", "2", "--duration", "20",
+               "--checkpoint-every", "6", "--checkpoint-dir", str(ck)])
+    assert rc == 0
+    ckpt = next(ck.glob("*.ckpt"))
+    # resume takes the same scenario flags (the checkpoint is validated
+    # against the scenario the runner is constructed from)
+    rc = main(["baseline", "--nodes", "2", "--duration", "20",
+               "--resume", str(ckpt)])
+    assert rc == 0
+    assert "resuming" in capsys.readouterr().err
+
+
+def test_cli_resume_rejects_sweep_and_all(tmp_path, capsys):
+    from repro.cli import main
+    bogus = tmp_path / "x.ckpt"
+    bogus.write_bytes(b"")
+    for experiment in ("all", "sweep"):
+        rc = main([experiment, "--resume", str(bogus)])
+        assert rc == 2
+
+
+def test_cli_resume_reports_bad_checkpoint_cleanly(tmp_path, capsys):
+    from repro.cli import main
+    bad = tmp_path / "bad.ckpt"
+    bad.write_bytes(b"\xff" * 64)
+    rc = main(["baseline", "--nodes", "2", "--resume", str(bad)])
+    assert rc == 1
+    assert "checkpoint" in capsys.readouterr().err.lower()

@@ -170,6 +170,90 @@ def test_unfinalised_writer_file_is_recoverable(tmp_path):
         assert np.array_equal(reader.read(), arr)
 
 
+def test_recovered_reader_reports_torn_tail_bytes(tmp_path):
+    arr = make_records(2_500)
+    path = tmp_path / "t.rpt"
+    write_trace(path, arr, chunk_records=1_000)
+    blob = path.read_bytes()
+    trunc = tmp_path / "trunc.rpt"
+    trunc.write_bytes(blob[:len(blob) - 37])
+    with TraceReader(trunc) as reader:
+        assert reader.recovered
+        # everything past the last complete chunk counts as torn tail
+        assert reader.tail_bytes > 0
+        assert reader.tail_bytes < len(blob)
+    with TraceReader(path) as reader:
+        assert not reader.recovered
+        assert reader.tail_bytes == 0
+
+
+def test_torn_header_raises_store_error_not_unicode_error(tmp_path):
+    """A file truncated (or torn) inside the header JSON must surface as a
+    clean StoreFormatError, never a raw UnicodeDecodeError."""
+    arr = make_records(100)
+    path = tmp_path / "t.rpt"
+    write_trace(path, arr)
+    blob = bytearray(path.read_bytes())
+    # corrupt the JSON region of the header with non-UTF-8 garbage while
+    # keeping the fixed header (magic/version/jlen) intact
+    from repro.store.format import HEADER_FIXED_SIZE
+    for i in range(HEADER_FIXED_SIZE, HEADER_FIXED_SIZE + 16):
+        blob[i] = 0xFF
+    path.write_bytes(bytes(blob))
+    with pytest.raises(StoreFormatError):
+        TraceReader(path)
+    # valid JSON that is not a header object is rejected the same way
+    import json as _json
+    import struct as _struct
+    payload = _json.dumps([1, 2, 3]).encode()
+    from repro.store.format import MAGIC, VERSION
+    bad = _struct.pack("<8sHHI", MAGIC, VERSION, 0, len(payload)) + payload
+    path.write_bytes(bad)
+    with pytest.raises(StoreFormatError):
+        TraceReader(path)
+
+
+def test_reader_closes_handle_when_init_fails(tmp_path):
+    from pathlib import Path
+    path = tmp_path / "bogus.rpt"
+    path.write_bytes(b"\xff" * 64)
+    closed = []
+    real_open = Path.open
+
+    def spy_open(self, *a, **kw):
+        fh = real_open(self, *a, **kw)
+        if self == path:
+            orig_close = fh.close
+            fh.close = lambda: (closed.append(True), orig_close())
+        return fh
+
+    import unittest.mock as mock
+    with mock.patch.object(Path, "open", spy_open):
+        with pytest.raises(StoreFormatError):
+            TraceReader(path)
+    assert closed, "TraceReader leaked its file handle on init failure"
+
+
+def test_trace_info_cli_reports_truncated_file(tmp_path, capsys):
+    from repro.store.cli import main as trace_main
+    arr = make_records(2_500)
+    path = tmp_path / "t.rpt"
+    write_trace(path, arr, chunk_records=1_000)
+    blob = path.read_bytes()
+    trunc = tmp_path / "trunc.rpt"
+    trunc.write_bytes(blob[:len(blob) - 53])
+    assert trace_main(["info", str(trunc)]) == 0
+    out = capsys.readouterr().out
+    assert "recovered: no footer" in out
+    assert "torn tail" in out
+    # a header torn beyond recovery is a clean error and exit 1
+    torn = tmp_path / "torn.rpt"
+    torn.write_bytes(blob[:8] + b"\xff" * 32)
+    assert trace_main(["info", str(torn)]) == 1
+    err = capsys.readouterr().err
+    assert "torn.rpt" in err
+
+
 def test_corrupt_chunk_payload_fails_crc(tmp_path):
     arr = make_records(1_000)
     path = tmp_path / "t.rpt"

@@ -23,6 +23,11 @@ Four measurements make up the core perf trajectory (``BENCH_core.json``):
   pre-PR per-request ``sqrt``/zone math, as p50/p95 nanoseconds over
   timed batches.
 
+A fifth, *informational* section (``checkpoint``) records the cost of a
+whole-stack checkpoint epoch — capture, save, load, and restore
+latency, plus the ``.ckpt`` size on disk — so the weight of periodic
+checkpointing stays visible in the trajectory without gating CI.
+
 Absolute numbers are machine-bound, so the CI gate mostly compares
 *speedups* (calendar/heap, batched/scalar, table/scalar) — ratios of
 two measurements taken on the same machine moments apart — against the
@@ -236,13 +241,71 @@ def bench_service_time(nbatches: int = 300, batch: int = 100,
             "speedup_p95": scalar["p95"] / table["p95"]}
 
 
+# -- checkpoint/restore cost --------------------------------------------------
+def bench_checkpoint(repeats: int = 3, duration: float = 30.0) -> dict:
+    """Whole-stack snapshot/restore latency and ``.ckpt`` size (not gated).
+
+    Times the four legs separately on a mid-run baseline checkpoint
+    (``nnodes=2``): reading + verifying the envelope, rebuilding a
+    restored stack from the tree, re-capturing a quiescent stack, and
+    the atomic write.  Informational only — the numbers track how heavy
+    a checkpoint epoch is, they do not fail CI.
+    """
+    import tempfile
+
+    from repro.checkpoint import (
+        capture_state,
+        drain_to_quiescence,
+        load_checkpoint,
+        save_checkpoint,
+        verify_restored_queue,
+    )
+
+    best = {"load_ms": float("inf"), "restore_ms": float("inf"),
+            "capture_ms": float("inf"), "save_ms": float("inf")}
+    with tempfile.TemporaryDirectory(prefix="bench-ckpt-") as tmp:
+        ck = Path(tmp)
+        ExperimentRunner(nnodes=2, seed=1).run(
+            "baseline", duration=duration,
+            checkpoint_every=duration / 2, checkpoint_dir=ck)
+        path = ck / "baseline.ckpt"
+        size = path.stat().st_size
+        tree = load_checkpoint(path)
+        for _ in range(repeats):
+            t0 = perf_counter()
+            tree = load_checkpoint(path)
+            best["load_ms"] = min(best["load_ms"],
+                                  (perf_counter() - t0) * 1e3)
+
+            t0 = perf_counter()
+            runner = ExperimentRunner(nnodes=2, seed=1)
+            sim, cluster = runner._resume_build(tree)
+            drain_to_quiescence(sim)
+            verify_restored_queue(sim, tree)
+            best["restore_ms"] = min(best["restore_ms"],
+                                     (perf_counter() - t0) * 1e3)
+
+            t0 = perf_counter()
+            again = capture_state(sim, cluster, meta=tree["meta"])
+            best["capture_ms"] = min(best["capture_ms"],
+                                     (perf_counter() - t0) * 1e3)
+
+            t0 = perf_counter()
+            save_checkpoint(again, ck / "bench.ckpt")
+            best["save_ms"] = min(best["save_ms"],
+                                  (perf_counter() - t0) * 1e3)
+    return {"name": "baseline", "nnodes": 2, "duration_s": duration,
+            "ckpt_bytes": size, **best}
+
+
 # -- harness ------------------------------------------------------------------
 def measure(npending: int = 500_000, repeats: int = 3) -> dict:
     return {"schema": 2,
             "run_loop": bench_run_loop(npending=npending, repeats=repeats),
             "experiment": bench_experiment(repeats=repeats),
             "batched_drain": bench_batched_drain(repeats=repeats),
-            "service_time": bench_service_time()}
+            "service_time": bench_service_time(),
+            "checkpoint": bench_checkpoint(repeats=repeats)}
 
 
 def _get(result: dict, path: tuple) -> float:
@@ -256,6 +319,7 @@ def render(result: dict) -> str:
     exp = result["experiment"]
     drain = result["batched_drain"]
     svc = result["service_time"]
+    ckpt = result["checkpoint"]
     return "\n".join([
         f"run loop   heap {run['heap_events_per_s'] / 1e6:6.3f} M ev/s   "
         f"calendar {run['calendar_events_per_s'] / 1e6:6.3f} M ev/s   "
@@ -272,6 +336,11 @@ def render(result: dict) -> str:
         f"table p50 {svc['table_ns']['p50']:7.0f} ns   "
         f"speedup {svc['speedup_p50']:5.2f}x "
         f"(p95 {svc['speedup_p95']:.2f}x)",
+        f"checkpoint capture {ckpt['capture_ms']:6.1f} ms   "
+        f"save {ckpt['save_ms']:6.1f} ms   "
+        f"load {ckpt['load_ms']:6.1f} ms   "
+        f"restore {ckpt['restore_ms']:6.1f} ms   "
+        f"({ckpt['ckpt_bytes'] / 1024:,.0f} KiB, not gated)",
     ])
 
 
